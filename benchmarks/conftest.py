@@ -1,0 +1,5 @@
+import sys
+import pathlib
+
+# Make `benchmarks.common` importable when pytest roots at the repo.
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))

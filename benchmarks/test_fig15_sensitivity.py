@@ -1,0 +1,101 @@
+"""Figure 15: (a) window-size and pipeline-depth sensitivity;
+(b) bfs speedups on different input graphs.
+
+Shape targets: Phelps speedups persist (or grow) at ROB 1024 on bc/bfs;
+deeper pipelines increase Phelps' advantage (bigger misprediction
+penalty); bfs wins on all three input graphs.
+"""
+
+from repro.core import CoreConfig
+from repro.harness import ascii_table
+
+from benchmarks.common import emit, run, speedup_of
+
+WINDOWS = [316, 632, 1024]
+DEPTHS = [11, 15, 19]
+WINDOW_WORKLOADS = ["bc", "bfs", "astar"]
+BFS_INPUTS = ["bfs", "bfs_web", "bfs_uniform"]
+
+
+def _window_core(rob: int, depth: int = 11) -> CoreConfig:
+    cfg = CoreConfig(pipeline_stages=depth)
+    rob_rounded = rob // 8 * 8
+    return cfg.with_window(rob_rounded)
+
+
+def test_fig15a_window_size(benchmark):
+    def collect():
+        table = {}
+        for w in WINDOW_WORKLOADS:
+            table[w] = {}
+            for rob in WINDOWS:
+                core = _window_core(rob)
+                table[w][rob] = {
+                    "baseline": run(w, "baseline", core=core),
+                    "phelps": run(w, "phelps", core=core),
+                }
+        return table
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    sp = {}
+    for w in WINDOW_WORKLOADS:
+        sp[w] = {rob: speedup_of(table[w][rob]["phelps"], table[w][rob]["baseline"])
+                 for rob in WINDOWS}
+        rows.append([w] + [sp[w][rob] for rob in WINDOWS])
+    emit("fig15a_window", ascii_table(["workload"] + [f"ROB {r}" for r in WINDOWS], rows))
+
+    # Phelps keeps winning across window sizes on the delinquent kernels.
+    for w in WINDOW_WORKLOADS:
+        assert sp[w][632] > 1.02, w
+        assert sp[w][1024] > 1.0, w
+    benchmark.extra_info["speedups"] = {w: {str(r): round(v, 3) for r, v in d.items()}
+                                        for w, d in sp.items()}
+
+
+def test_fig15a_pipeline_depth(benchmark):
+    def collect():
+        table = {}
+        for w in ["bfs", "astar"]:
+            table[w] = {}
+            for depth in DEPTHS:
+                core = CoreConfig(pipeline_stages=depth)
+                table[w][depth] = {
+                    "baseline": run(w, "baseline", core=core),
+                    "phelps": run(w, "phelps", core=core),
+                }
+        return table
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    sp = {}
+    for w in table:
+        sp[w] = {d: speedup_of(table[w][d]["phelps"], table[w][d]["baseline"])
+                 for d in DEPTHS}
+        rows.append([w] + [sp[w][d] for d in DEPTHS])
+    emit("fig15a_depth", ascii_table(["workload"] + [f"{d} stages" for d in DEPTHS], rows))
+
+    # Deeper pipelines raise the misprediction penalty: Phelps' advantage
+    # grows monotonically-ish (paper: astar 15/22/27%, bfs 64/70/74%).
+    for w in sp:
+        assert sp[w][19] > sp[w][11] * 0.98, w
+        assert sp[w][19] > 1.05, w
+
+
+def test_fig15b_bfs_inputs(benchmark):
+    def collect():
+        return {w: {"baseline": run(w, "baseline"), "phelps": run(w, "phelps")}
+                for w in BFS_INPUTS}
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    sp = {}
+    for w in BFS_INPUTS:
+        sp[w] = speedup_of(table[w]["phelps"], table[w]["baseline"])
+        rows.append([w, sp[w], table[w]["baseline"]["mpki"], table[w]["phelps"]["mpki"]])
+    emit("fig15b_bfs_inputs", ascii_table(
+        ["input", "speedup", "baseline MPKI", "Phelps MPKI"], rows))
+
+    # bfs speeds up on every input graph (paper Fig. 15b).
+    for w in BFS_INPUTS:
+        assert sp[w] > 1.1, w

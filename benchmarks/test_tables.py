@@ -1,0 +1,82 @@
+"""Tables I, II, III: configuration and cost tables regenerated from code."""
+
+from fractions import Fraction
+
+from repro.core import CoreConfig, PartitionPlan
+from repro.harness import ascii_table
+from repro.memory import MemoryConfig
+from repro.phelps import component_costs, total_cost_bytes
+from repro.phelps.budget import total_cost_kb
+
+from benchmarks.common import emit
+
+
+def test_table1_partitioning(benchmark):
+    def collect():
+        cfg = CoreConfig()
+        out = {}
+        for mode in ("MT_ITO", "MT_OT_IT"):
+            plan = PartitionPlan(cfg, mode)
+            out[mode] = {role: plan.share(role) for role in plan.roles()}
+        return out
+
+    shares = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for mode, roles in shares.items():
+        for role, s in roles.items():
+            rows.append([mode, role, s.fetch_width, s.rob, s.prf_quota, s.lq, s.sq])
+    emit("table1_partitioning", ascii_table(
+        ["mode", "thread", "fetch", "ROB", "PRF", "LQ", "SQ"], rows))
+
+    # Table I fractions.
+    mt_ito = shares["MT_ITO"]
+    assert mt_ito["MT"].rob == mt_ito["ITO"].rob == 316
+    nested = shares["MT_OT_IT"]
+    assert nested["MT"].rob == 316        # 1/2
+    assert nested["OT"].rob == 79         # 1/8
+    assert nested["IT"].rob == 237        # 3/8
+    assert nested["MT"].fetch_width == 4
+    assert nested["OT"].fetch_width == 1
+    assert nested["IT"].fetch_width == 3
+
+
+def test_table2_component_costs(benchmark):
+    costs = benchmark.pedantic(component_costs, rounds=1, iterations=1)
+    rows = [[name, f"{b:.1f}"] for name, b in costs]
+    rows.append(["TOTAL", f"{total_cost_bytes():.0f} B = {total_cost_kb():.2f} KB"])
+    emit("table2_costs", ascii_table(["component", "bytes"], rows))
+
+    named = dict(costs)
+    assert named["DBT"] == 5280
+    assert named["HTC"] == 2432
+    assert named["Visit Queue"] == 560
+    assert abs(total_cost_kb() - 10.82) < 0.01
+    benchmark.extra_info["total_kb"] = round(total_cost_kb(), 2)
+
+
+def test_table3_core_config(benchmark):
+    def collect():
+        return CoreConfig(), MemoryConfig()
+
+    core, mem = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        ["fetch/retire width", f"{core.fetch_width}/{core.retire_width}"],
+        ["pipeline stages", core.pipeline_stages],
+        ["ROB/PRF/LQ/SQ/IQ",
+         f"{core.rob_size}/{core.prf_size}/{core.lq_size}/{core.sq_size}/{core.iq_size}"],
+        ["lanes (simple/mem/complex)",
+         f"{core.lanes_simple}/{core.lanes_mem}/{core.lanes_complex}"],
+        ["L1I", f"{mem.l1i_size // 1024}KB {mem.l1i_ways}-way"],
+        ["L1D", f"{mem.l1d_size // 1024}KB {mem.l1d_ways}-way {mem.l1d_latency}cy"],
+        ["L2", f"{mem.l2_size // 1024}KB {mem.l2_ways}-way {mem.l2_latency}cy"],
+        ["L3", f"{mem.l3_size // 1024}KB {mem.l3_ways}-way {mem.l3_latency}cy"],
+        ["DRAM", f"{mem.dram_latency}cy"],
+    ]
+    emit("table3_core", ascii_table(["parameter", "value"], rows))
+
+    # Table III values.
+    assert core.rob_size == 632 and core.prf_size == 696
+    assert core.lq_size == core.sq_size == 144 and core.iq_size == 128
+    assert core.pipeline_stages == 11
+    assert mem.l1d_size == 48 * 1024 and mem.l1d_ways == 12
+    assert mem.l2_latency == 15 and mem.l3_latency == 40 and mem.dram_latency == 100

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Inspect the helper thread Phelps constructs for astar's makebound2 loop.
+
+Shows the whole life cycle in one run: delinquency measurement (DBT),
+loop selection (LT), IBDA slice growth, CDFSM guard learning, and the
+finalized Helper Thread Cache row — predicate producers, predicated
+stores, live-in sets, and queue assignments.
+
+    python examples/inspect_helper_thread.py
+"""
+
+from repro.core import Core, CoreConfig
+from repro.isa.opcodes import Opcode
+from repro.phelps import PhelpsConfig, PhelpsEngine
+from repro.workloads.astar import build_astar
+
+
+def main() -> None:
+    program = build_astar(worklist_len=704, grid_dim=64, seed=5)
+    engine = PhelpsEngine(PhelpsConfig(epoch_length=8000))
+    core = Core(program, config=CoreConfig(), engine=engine)
+    print("Running astar until the helper thread deploys...")
+    stats = core.run()
+
+    print(f"\nEpochs: {engine.epoch_index}, activations: {engine.activations}")
+    print(f"Loop status: {engine.loop_status}")
+
+    row = next(iter(engine.htc.rows.values()))
+    print(f"\nHTC row for loop {row.loop_target:#x}..{row.loop_branch:#x} "
+          f"({'nested' if row.is_nested else 'inner-thread-only'})")
+    print(f"  helper thread size: {row.size} instructions")
+    print(f"  live-ins from main thread: "
+          f"{['x%d' % r for r in row.mt_liveins_outer]}")
+    print(f"  prediction queues: {len(row.queue_assignment)} "
+          f"(PCs {[hex(pc) for pc in sorted(row.queue_assignment)][:4]}...)")
+
+    print("\nHelper thread instructions (predicate producers marked):")
+    for inst in row.inner_insts:
+        marker = ""
+        if inst.opcode is Opcode.PRED:
+            guard = f"p{inst.pred_rs}@{'T' if inst.pred_dir else 'NT'}" \
+                if inst.pred_rs else "pred0 (unguarded)"
+            marker = f"   <-- predicate producer p{inst.pred_rd}, guarded by {guard}"
+        elif inst.opcode is Opcode.SD:
+            guard = f"p{inst.pred_rs}@{'T' if inst.pred_dir else 'NT'}" \
+                if inst.pred_rs else "pred0"
+            marker = f"   <-- predicated store (suppressed unless {guard})"
+        elif inst.is_cond_branch:
+            marker = "   <-- loop branch (the helper's only control flow)"
+        print(f"  {inst!r}{marker}")
+
+    print(f"\nResult: MPKI {stats.mpki:.2f}, "
+          f"{engine.queues.consumed} pre-executed outcomes consumed, "
+          f"{engine.queue_wrong} of them wrong "
+          f"({engine.spec_cache.losses} speculative-cache evictions).")
+
+
+if __name__ == "__main__":
+    main()

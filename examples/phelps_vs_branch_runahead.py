@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Phelps vs Branch Runahead on the dependent-branch problem (Fig. 11).
+
+Runs astar's makebound2 kernel under both pre-execution schemes and shows
+*why* Phelps wins: BR's chains predict the guarding branch (b1) with a
+bimodal predictor and roll back when wrong — the misprediction bottleneck
+just moves into the helper engine — while Phelps pre-executes everything
+and lets the main thread pick.
+
+    python examples/phelps_vs_branch_runahead.py
+"""
+
+from repro.harness import RunConfig, ascii_table, simulate
+
+
+def main() -> None:
+    n = 100_000
+    print(f"Simulating astar under four configurations ({n:,} instructions "
+          f"each; takes a few minutes)...\n")
+
+    rows = []
+    details = {}
+    base = simulate(RunConfig(workload="astar", engine="baseline",
+                              max_instructions=n))
+    rows.append(["baseline", 1.0, base.mpki, base.ipc])
+    for label, engine in [("BR (non-spec)", "br_nonspec"),
+                          ("BR (spec)", "br"),
+                          ("Phelps", "phelps")]:
+        r = simulate(RunConfig(workload="astar", engine=engine,
+                               max_instructions=n))
+        speedup = (r.stats.retired / r.cycles) / (base.stats.retired / base.cycles)
+        rows.append([label, speedup, r.mpki, r.ipc])
+        details[label] = r.stats.engine
+
+    print(ascii_table(["config", "speedup", "MPKI", "IPC"], rows))
+
+    br = details["BR (spec)"]
+    ph = details["Phelps"]
+    print("\nWhy the gap (engine internals):")
+    print(f"  BR rollbacks (chain-group squashes):   {br.get('rollbacks')}")
+    print(f"  BR outcomes not ready in time:         {br['br_queue']['not_timely']}")
+    print(f"  BR stores: excluded by design -> stale b1 inputs")
+    print(f"  Phelps outcomes consumed / wrong:      "
+          f"{ph['queue']['consumed']} / {ph['queue_wrong']}")
+    print(f"  Phelps rollbacks in the helper thread: 0 by construction "
+          f"(lockstep queues, no guard prediction)")
+
+
+if __name__ == "__main__":
+    main()

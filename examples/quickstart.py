@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: baseline core vs Phelps on the astar kernel.
+
+Runs the paper's running example (Figure 3's makebound2 loop with its 16
+dependent delinquent branches and 8 doubly-guarded stores) on the Table III
+core, with and without Phelps, and prints what happened.
+
+    python examples/quickstart.py
+"""
+
+from repro.harness import RunConfig, simulate
+
+
+def main() -> None:
+    n = 80_000
+    print(f"Simulating astar for {n:,} instructions (this takes ~30s)...\n")
+
+    base = simulate(RunConfig(workload="astar", engine="baseline",
+                              max_instructions=n))
+    phelps = simulate(RunConfig(workload="astar", engine="phelps",
+                                max_instructions=n))
+
+    print(f"{'':14s} {'IPC':>6s} {'MPKI':>7s} {'cycles':>9s}")
+    print(f"{'baseline':14s} {base.ipc:6.3f} {base.mpki:7.2f} {base.cycles:9d}")
+    print(f"{'Phelps':14s} {phelps.ipc:6.3f} {phelps.mpki:7.2f} {phelps.cycles:9d}")
+
+    speedup = (phelps.stats.retired / phelps.cycles) / (base.stats.retired / base.cycles)
+    print(f"\nPhelps speedup: {speedup:.2f}x   "
+          f"MPKI: {base.mpki:.1f} -> {phelps.mpki:.1f}")
+
+    e = phelps.stats.engine
+    print(f"\nWhat Phelps did:")
+    print(f"  epochs observed:            {e['epochs']}")
+    print(f"  helper-thread activations:  {e['activations']}")
+    print(f"  pre-executed outcomes used: {e['queue']['consumed']}")
+    print(f"  outcomes not ready in time: {e['queue']['not_timely']}")
+    print(f"  helper instructions retired: {phelps.stats.helper_retired:,}"
+          f" (the cost of pre-execution)")
+
+
+if __name__ == "__main__":
+    main()

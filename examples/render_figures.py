@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Re-draw the paper's figures as ASCII charts from the benchmark cache.
+
+Run ``pytest benchmarks/ --benchmark-only`` first (it populates
+``benchmarks/results/cache.json``), then:
+
+    python examples/render_figures.py
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.harness.plots import grouped_bars, hbar_chart, stacked_percent_rows
+
+CACHE = pathlib.Path(__file__).parent.parent / "benchmarks" / "results" / "cache.json"
+
+GAP = ["bc", "bfs", "pr", "cc", "cc_sv", "sssp", "astar"]
+ENGINES = ["perfbp", "phelps", "br", "br12"]
+
+
+def _entries(cache, workload, n="100000"):
+    out = {}
+    for key, entry in cache.items():
+        parts = key.split("|")
+        if parts[0] == workload and parts[2] == n and len(parts) == 3:
+            out[parts[1]] = entry
+        elif parts[0] == workload and parts[2] == n and parts[1] == "phelps" \
+                and "gb1_st1_gs1" in key and "ep20000" in key and len(parts) == 4:
+            out["phelps"] = entry
+    return out
+
+
+def main() -> int:
+    if not CACHE.exists():
+        print("No benchmark cache yet — run: pytest benchmarks/ --benchmark-only")
+        return 1
+    cache = json.loads(CACHE.read_text())
+
+    print("=== Fig. 12a: speedup over baseline (|:baseline) ===\n")
+    groups = {}
+    for w in GAP:
+        entries = _entries(cache, w)
+        base = entries.get("baseline")
+        if not base:
+            continue
+        base_rate = base["retired"] / base["cycles"]
+        series = {}
+        for e in ENGINES:
+            if e in entries:
+                rate = entries[e]["retired"] / entries[e]["cycles"]
+                series[e] = rate / base_rate
+        groups[w] = series
+    print(grouped_bars(groups, width=44, reference=1.0))
+
+    print("\n=== Fig. 13a: MPKI, baseline vs Phelps ===\n")
+    series = {}
+    for w in GAP:
+        entries = _entries(cache, w)
+        if "baseline" in entries and "phelps" in entries:
+            series[f"{w} base"] = entries["baseline"]["mpki"]
+            series[f"{w} phelps"] = entries["phelps"]["mpki"]
+    print(hbar_chart(series, width=44))
+
+    print("\n=== Fig. 14: misprediction taxonomy (stacked) ===\n")
+    order = ["eliminated", "gathering", "being_constructed", "too_big",
+             "not_iterating", "not_in_loop", "not_delinquent",
+             "deployed_residual"]
+    rows = {}
+    for w in GAP + ["mcf", "xz", "gcc", "leela", "xalanc"]:
+        entries = _entries(cache, w)
+        if "baseline" not in entries or "phelps" not in entries:
+            continue
+        classes = dict(entries["phelps"]["engine"].get("misp_classes", {}))
+        classes["eliminated"] = max(
+            0, entries["baseline"]["mispredicts"] - entries["phelps"]["mispredicts"])
+        rows[w] = {k: float(v) for k, v in classes.items()}
+    print(stacked_percent_rows(rows, order=order, width=50))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

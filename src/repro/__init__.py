@@ -1,0 +1,45 @@
+"""repro — a full reproduction of "Delinquent Loop Pre-execution Using
+Predicated Helper Threads" (HPCA 2025).
+
+Public API tour:
+
+* :mod:`repro.isa` — the mini RISC-V-like ISA, assembler DSL, and
+  functional executor the whole system is built on;
+* :mod:`repro.core` — the out-of-order superscalar core (Table III) with
+  SMT-style partitioning (Table I) and the pre-execution engine interface;
+* :mod:`repro.phelps` — the paper's contribution: predicated helper
+  threads, loop-iteration-lockstep prediction queues, dual decoupled
+  helper threads, and the epoch controller;
+* :mod:`repro.runahead` — the Branch Runahead comparator;
+* :mod:`repro.workloads` — synthetic astar / GAP / SPEC2017-like kernels;
+* :mod:`repro.harness` — ``simulate(RunConfig(...))`` and experiment
+  sweeps that regenerate every figure and table.
+
+Quickstart::
+
+    from repro.harness import RunConfig, simulate
+
+    base = simulate(RunConfig(workload="astar", engine="baseline"))
+    phelps = simulate(RunConfig(workload="astar", engine="phelps"))
+    print(base.mpki, "->", phelps.mpki)
+"""
+
+from repro.harness import RunConfig, SimResult, simulate
+from repro.core import Core, CoreConfig
+from repro.phelps import PhelpsConfig, PhelpsEngine
+from repro.workloads import build_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunConfig",
+    "SimResult",
+    "simulate",
+    "Core",
+    "CoreConfig",
+    "PhelpsConfig",
+    "PhelpsEngine",
+    "build_workload",
+    "workload_names",
+    "__version__",
+]

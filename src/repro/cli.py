@@ -1,0 +1,144 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro run astar --engine phelps -n 80000
+    python -m repro compare bfs --engines baseline phelps perfbp
+    python -m repro costs
+    python -m repro inspect astar
+"""
+
+import argparse
+import sys
+
+from repro.harness import RunConfig, ascii_table, simulate
+from repro.phelps import PhelpsConfig
+from repro.phelps.budget import cost_table
+from repro.workloads import workload_names
+
+
+def _cmd_list(args) -> int:
+    print("\n".join(workload_names()))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    cfg = RunConfig(workload=args.workload, engine=args.engine,
+                    max_instructions=args.instructions)
+    result = simulate(cfg)
+    s = result.stats
+    print(f"{args.workload} [{args.engine}] "
+          f"{s.retired:,} insts in {s.cycles:,} cycles "
+          f"({result.wall_seconds:.1f}s wall)")
+    print(f"  IPC {s.ipc:.3f}  MPKI {s.mpki:.2f}  "
+          f"mispredicts {s.mispredicts:,}  helper insts {s.helper_retired:,}")
+    if args.verbose and s.engine:
+        for k, v in s.engine.items():
+            print(f"  {k}: {v}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    base = None
+    for engine in args.engines:
+        r = simulate(RunConfig(workload=args.workload, engine=engine,
+                               max_instructions=args.instructions))
+        if base is None:
+            base = r
+        speedup = (r.stats.retired / r.cycles) / (base.stats.retired / base.cycles)
+        rows.append([engine, r.ipc, r.mpki, speedup])
+    print(ascii_table(["engine", "IPC", "MPKI", "speedup"], rows))
+    return 0
+
+
+def _cmd_costs(args) -> int:
+    print(cost_table())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core import Core, CoreConfig
+    from repro.core.trace import PipelineTracer
+    from repro.phelps import PhelpsEngine
+    from repro.workloads import build_workload
+
+    engine = PhelpsEngine(PhelpsConfig()) if args.engine == "phelps" else None
+    core = Core(build_workload(args.workload), config=CoreConfig(), engine=engine)
+    tracer = PipelineTracer(core)
+    core.run(max_instructions=args.instructions)
+    print(tracer.render(last=args.last))
+    print(f"\navg fetch-to-retire latency: {tracer.average_latency():.1f} cycles, "
+          f"{len(tracer.squashed())} squashed uops in window")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.core import Core, CoreConfig
+    from repro.phelps import PhelpsEngine
+    from repro.workloads import build_workload
+
+    engine = PhelpsEngine(PhelpsConfig())
+    core = Core(build_workload(args.workload), config=CoreConfig(), engine=engine)
+    core.run(max_instructions=args.instructions)
+    print(f"epochs: {engine.epoch_index}, activations: {engine.activations}")
+    print(f"loop status: {engine.loop_status}")
+    for start, row in engine.htc.rows.items():
+        kind = "nested (OT+IT)" if row.is_nested else "inner-thread-only"
+        print(f"\nHTC row @ {start:#x}: {kind}, {row.size} instructions, "
+              f"{len(row.queue_assignment)} queues")
+        for inst in (row.outer_insts + row.inner_insts)[:args.limit]:
+            print(f"  {inst!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Phelps (HPCA 2025) reproduction: cycle-level simulation driver")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="simulate one workload/engine pair")
+    run.add_argument("workload")
+    run.add_argument("--engine", default="baseline",
+                     choices=["baseline", "perfbp", "phelps", "br",
+                              "br_nonspec", "br12", "partition_only"])
+    run.add_argument("-n", "--instructions", type=int, default=100_000)
+    run.add_argument("-v", "--verbose", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    cmp_ = sub.add_parser("compare", help="run several engines on one workload")
+    cmp_.add_argument("workload")
+    cmp_.add_argument("--engines", nargs="+",
+                      default=["baseline", "phelps", "perfbp"])
+    cmp_.add_argument("-n", "--instructions", type=int, default=100_000)
+    cmp_.set_defaults(fn=_cmd_compare)
+
+    sub.add_parser("costs", help="print Table II").set_defaults(fn=_cmd_costs)
+
+    trace = sub.add_parser("trace", help="pipeline-trace a short run")
+    trace.add_argument("workload")
+    trace.add_argument("--engine", default="baseline",
+                       choices=["baseline", "phelps"])
+    trace.add_argument("-n", "--instructions", type=int, default=2000)
+    trace.add_argument("--last", type=int, default=40)
+    trace.set_defaults(fn=_cmd_trace)
+
+    ins = sub.add_parser("inspect", help="show the helper thread Phelps builds")
+    ins.add_argument("workload")
+    ins.add_argument("-n", "--instructions", type=int, default=80_000)
+    ins.add_argument("--limit", type=int, default=40)
+    ins.set_defaults(fn=_cmd_inspect)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

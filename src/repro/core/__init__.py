@@ -1,0 +1,43 @@
+"""Out-of-order superscalar core (the paper's Table III host machine).
+
+Execute-at-execute: instruction values flow through a physical register
+file; loads disambiguate against the store queue; branches resolve at
+execute and squash younger instructions; stores update committed memory at
+retire.  The core supports SMT-style thread contexts with the horizontal
+partitioning of frontend width and resources that Phelps requires
+(Table I), and exposes a :class:`PreExecutionEngine` hook interface that
+the Phelps and Branch Runahead controllers implement.
+"""
+
+from repro.core.config import CoreConfig, PartitionPlan
+from repro.core.uop import Uop, UopState
+from repro.core.regfile import PhysRegFile, PredRegFile, PRED_ALWAYS
+from repro.core.freelist import SharedPhysPool
+from repro.core.rename import RenameMapTable
+from repro.core.lsq import LoadQueue, StoreQueue
+from repro.core.thread import ThreadContext, ThreadKind, FetchUnit, MainFetchUnit
+from repro.core.engine_api import PreExecutionEngine, NullEngine
+from repro.core.pipeline import Core
+from repro.core.stats import SimStats
+
+__all__ = [
+    "CoreConfig",
+    "PartitionPlan",
+    "Uop",
+    "UopState",
+    "PhysRegFile",
+    "PredRegFile",
+    "PRED_ALWAYS",
+    "SharedPhysPool",
+    "RenameMapTable",
+    "LoadQueue",
+    "StoreQueue",
+    "ThreadContext",
+    "ThreadKind",
+    "FetchUnit",
+    "MainFetchUnit",
+    "PreExecutionEngine",
+    "NullEngine",
+    "Core",
+    "SimStats",
+]

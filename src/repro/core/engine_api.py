@@ -1,0 +1,82 @@
+"""Interface between the core pipeline and a pre-execution engine.
+
+Phelps (``repro.phelps.controller``) and Branch Runahead
+(``repro.runahead.controller``) implement this; the baseline core uses
+:class:`NullEngine`.  The pipeline calls these hooks at well-defined
+points; the engine may in turn drive core-level actions (full squash,
+re-partitioning, spawning helper thread contexts) through the ``core``
+reference it is given at attach time.
+"""
+
+from typing import Any, Optional, Tuple
+
+from repro.core.uop import Uop
+from repro.core.thread import ThreadContext
+
+
+class PreExecutionEngine:
+    """Default no-op engine."""
+
+    def attach(self, core) -> None:
+        """Called once when the engine is installed on a core."""
+        self.core = core
+
+    # ------------------------------------------------------------ fetch
+    def fetch_override(self, thread: ThreadContext, inst) -> Optional[Tuple[bool, Any]]:
+        """Prediction-queue override for a conditional branch fetched by the
+        main thread.  Returns (taken, token) to override the default
+        predictor, or None to fall through.  The token is stored on the uop
+        and handed back at retire for accuracy accounting."""
+        return None
+
+    def note_fetched(self, thread: ThreadContext, uop: Uop) -> None:
+        """Called for every fetched uop *after* next-PC selection (used to
+        advance spec_head on loop-branch fetch)."""
+
+    # ---------------------------------------------------------- recovery
+    def checkpoint(self) -> Any:
+        """Snapshot engine speculative state (spec_head pointer sets)."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Restore a snapshot taken by :meth:`checkpoint`."""
+
+    def on_squash(self, thread: ThreadContext, uop: Uop) -> None:
+        """Called once per squashed uop (resource reclamation hooks)."""
+
+    def note_refetched(self, thread: ThreadContext, uop: Uop) -> None:
+        """After a conditional-branch misprediction recovery: the engine's
+        checkpoint has been restored; re-apply this branch's own effect on
+        speculative pointers (e.g. loop-branch spec_head advance)."""
+
+    def on_helper_branch_mispredicted(self, thread: ThreadContext, uop: Uop) -> None:
+        """A helper thread's conditional branch resolved against its
+        fetch-time prediction (the wrongly-fetched-ahead instructions were
+        just squashed).  The engine redirects the helper's fetch unit."""
+
+    # ------------------------------------------------------------ retire
+    def retire_blocked(self, thread: ThreadContext, uop: Uop) -> bool:
+        """Backpressure hook checked before retiring the ROB head: a helper
+        thread's loop branch stalls when its prediction-queue column ring is
+        full, and an outer thread's header predicate stalls when the Visit
+        Queue is full."""
+        return False
+
+    def on_retire(self, thread: ThreadContext, uop: Uop) -> None:
+        """Called for every retired uop, after architectural effects.
+
+        This is where Phelps trains the DBT/CDFSM/IBDA structures, deposits
+        predicate-producer outcomes, advances queue tails, triggers and
+        terminates helper threads."""
+
+    # ------------------------------------------------------------- cycle
+    def on_cycle(self, cycle: int) -> None:
+        """Called once per simulated cycle (engine-internal bookkeeping)."""
+
+    # ------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        return {}
+
+
+class NullEngine(PreExecutionEngine):
+    """Explicit alias for the baseline (no pre-execution) core."""

@@ -1,0 +1,44 @@
+"""Quota-based physical register allocation.
+
+All physical registers live in one shared pool; each thread context has a
+quota (its Table I share).  A thread may allocate while it holds fewer
+registers than its quota and the pool is non-empty.  Partition changes
+happen only across full-pipeline squashes, so transitions are clean.
+"""
+
+from typing import List, Optional
+
+
+class SharedPhysPool:
+    def __init__(self, size: int, reserved: int = 1):
+        """``reserved`` low registers (the constant zero, pred0) are never allocated."""
+        self.size = size
+        self._free: List[int] = list(range(reserved, size))
+        self._held = {}  # thread_id -> count
+
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def held_by(self, thread_id: int) -> int:
+        return self._held.get(thread_id, 0)
+
+    def can_allocate(self, thread_id: int, quota: int) -> bool:
+        return bool(self._free) and self.held_by(thread_id) < quota
+
+    def allocate(self, thread_id: int, quota: int) -> Optional[int]:
+        if not self.can_allocate(thread_id, quota):
+            return None
+        reg = self._free.pop()
+        self._held[thread_id] = self.held_by(thread_id) + 1
+        return reg
+
+    def release(self, thread_id: int, reg: int) -> None:
+        self._free.append(reg)
+        count = self.held_by(thread_id) - 1
+        if count < 0:
+            raise RuntimeError(f"thread {thread_id} released more registers than held")
+        self._held[thread_id] = count
+
+    def release_all_for(self, thread_id: int, regs) -> None:
+        for reg in regs:
+            self.release(thread_id, reg)

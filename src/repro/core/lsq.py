@@ -1,0 +1,94 @@
+"""Per-thread load and store queues.
+
+The store queue supports store-to-load forwarding (youngest older store
+with a matching address) and memory-ordering-violation detection (a store
+resolving its address finds a younger load that already executed with the
+same address but did not see this store's data).
+
+Helper threads use the store queue's ``all_older_resolved`` check to issue
+loads conservatively (rollback-free, per DESIGN.md §6).
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.core.uop import Uop
+
+
+class StoreQueue:
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: List[Uop] = []  # program order (oldest first)
+
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def insert(self, uop: Uop) -> None:
+        if self.full():
+            raise RuntimeError("store queue overflow (dispatch must check)")
+        self.entries.append(uop)
+
+    def remove(self, uop: Uop) -> None:
+        try:
+            self.entries.remove(uop)
+        except ValueError:
+            pass
+
+    def forward_source(self, load_seq: int, addr: int) -> Optional[Uop]:
+        """Youngest store older than ``load_seq`` with a resolved matching
+        address and a known value, eligible to forward."""
+        best = None
+        for st in self.entries:
+            if st.seq >= load_seq:
+                break
+            if st.mem_addr == addr and st.store_value is not None and st.pred_enabled is not False:
+                best = st
+        return best
+
+    def unresolved_older(self, load_seq: int) -> bool:
+        """Any store older than the load without a resolved address yet?"""
+        for st in self.entries:
+            if st.seq >= load_seq:
+                break
+            if st.mem_addr is None:
+                return True
+        return False
+
+    def squash_from(self, seq: int) -> None:
+        self.entries = [e for e in self.entries if e.seq < seq]
+
+
+class LoadQueue:
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: List[Uop] = []
+
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def insert(self, uop: Uop) -> None:
+        if self.full():
+            raise RuntimeError("load queue overflow (dispatch must check)")
+        self.entries.append(uop)
+
+    def remove(self, uop: Uop) -> None:
+        try:
+            self.entries.remove(uop)
+        except ValueError:
+            pass
+
+    def find_violation(self, store: Uop) -> Optional[Uop]:
+        """Oldest *younger* load that executed to the same address without
+        having forwarded from this store or a younger one (memory-order
+        violation)."""
+        victim = None
+        for ld in self.entries:
+            if ld.seq <= store.seq:
+                continue
+            if (ld.mem_addr == store.mem_addr and ld.result is not None
+                    and (ld.forward_seq is None or ld.forward_seq < store.seq)):
+                if victim is None or ld.seq < victim.seq:
+                    victim = ld
+        return victim
+
+    def squash_from(self, seq: int) -> None:
+        self.entries = [e for e in self.entries if e.seq < seq]

@@ -1,0 +1,731 @@
+"""The out-of-order pipeline.
+
+Stage order within :meth:`Core.tick` is writeback -> retire -> issue ->
+dispatch -> fetch, which lets a dependent instruction issue the cycle its
+producer writes back while keeping each stage's inputs one cycle old.
+
+Recovery model: branch mispredictions squash younger same-thread uops and
+restore the rename map by walking the ROB from the tail (per-uop previous
+mappings).  Load-order violations squash from the offending load inclusive.
+Predictor global history, the return-address stack, and the pre-execution
+engine's speculative pointers (Phelps ``spec_head``) are restored from
+per-uop checkpoints taken at fetch (paper Section IV-B).
+"""
+
+from collections import defaultdict, deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import (
+    BranchTargetBuffer,
+    IndirectTargetPredictor,
+    ReturnAddressStack,
+    TageSCL,
+)
+from repro.isa.executor import ArchState
+from repro.isa.opcodes import LaneClass, Opcode, exec_latency
+from repro.isa.program import Program
+from repro.isa.semantics import eval_alu, eval_branch, mem_effective_address
+from repro.memory import MemoryConfig, MemoryHierarchy
+from repro.utils.bits import to_i64
+
+from repro.core.config import CoreConfig, PartitionPlan
+from repro.core.engine_api import NullEngine, PreExecutionEngine
+from repro.core.freelist import SharedPhysPool
+from repro.core.regfile import PhysRegFile, PredRegFile, PRED_ALWAYS, ZERO_REG
+from repro.core.stats import SimStats
+from repro.core.thread import MainFetchUnit, ThreadContext, ThreadKind
+from repro.core.uop import Uop, UopState
+
+_RI_OPS = frozenset({Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                     Opcode.SLTI, Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.LI})
+
+
+class Core:
+    """One simulated superscalar core plus its memory hierarchy."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[CoreConfig] = None,
+        mem_config: Optional[MemoryConfig] = None,
+        predictor=None,
+        engine: Optional[PreExecutionEngine] = None,
+    ):
+        self.program = program
+        self.config = config or CoreConfig()
+        cfg = self.config
+        self.cycle = 0
+        self.halted = False
+
+        self.prf = PhysRegFile(cfg.prf_size)
+        self.pred_prf = PredRegFile(cfg.pred_prf_size)
+        self.pool = SharedPhysPool(cfg.prf_size, reserved=1)
+        self.pred_pool = SharedPhysPool(cfg.pred_prf_size, reserved=1)
+
+        self.hierarchy = MemoryHierarchy(mem_config)
+        # Committed architectural memory (main-thread retired stores only).
+        self.mem: Dict[int, int] = {a: to_i64(v) for a, v in program.data.items()}
+
+        self.predictor = predictor if predictor is not None else TageSCL()
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack()
+        self.indirect = IndirectTargetPredictor()
+
+        self.oracle: Optional[ArchState] = None
+        if cfg.perfect_branch_prediction:
+            self.oracle = ArchState(program, undo=True)
+
+        # Thread contexts.  The main thread always exists; helper contexts
+        # are added/removed by the engine across full squashes.
+        self.plan = PartitionPlan(cfg, "MT_ONLY")
+        self.main = ThreadContext(0, ThreadKind.MAIN, MainFetchUnit(program),
+                                  self.plan.share("MT"))
+        self.main.read_value = self._read_committed
+        self.main.commit_store = self._commit_store_main
+        self.main.resume_pc = program.entry
+        self.threads: List[ThreadContext] = [self.main]
+        self._next_thread_id = 1
+
+        # Shared backend structures.
+        self.iq_count = 0
+        self.ready_q: List[Uop] = []
+        self.wb_events: Dict[int, List[Uop]] = defaultdict(list)
+
+        self.stats = SimStats()
+
+        self.engine = engine or NullEngine()
+        self.engine.attach(self)
+
+    # ------------------------------------------------------------------
+    # Memory plumbing.
+    # ------------------------------------------------------------------
+    def _read_committed(self, addr: int) -> int:
+        return self.mem.get(addr & ~7, 0)
+
+    def _commit_store_main(self, addr: int, value: int) -> None:
+        self.mem[addr & ~7] = value
+
+    # ------------------------------------------------------------------
+    # Thread/partition management (engine-driven, across full squashes).
+    # ------------------------------------------------------------------
+    def set_partition_mode(self, mode: str) -> None:
+        """Re-partition frontend width and resources (Table I).
+
+        Must be called with an empty pipeline (after :meth:`full_squash`).
+        """
+        self.plan = PartitionPlan(self.config, mode)
+        self.main.share = self.plan.share("MT")
+        self.main.lq.capacity = self.main.share.lq
+        self.main.sq.capacity = self.main.share.sq
+
+    def add_helper_thread(self, kind: ThreadKind, fetch_unit, role: str) -> ThreadContext:
+        share = self.plan.share(role)
+        ctx = ThreadContext(self._next_thread_id, kind, fetch_unit, share)
+        self._next_thread_id += 1
+        ctx.read_value = self._read_committed  # engine typically overrides
+        ctx.commit_store = lambda addr, value: None
+        ctx.resume_pc = 0
+        self.threads.append(ctx)
+        return ctx
+
+    def remove_helper_threads(self) -> None:
+        """Drop all helper contexts (their uops must already be squashed)."""
+        for ctx in self.threads[1:]:
+            # Release any physical registers the helper still holds
+            # (committed live-in mappings).
+            for table, pool in ((ctx.rmt, self.pool), (ctx.pred_rmt, self.pred_pool)):
+                for phys in set(table.mapped_physical()):
+                    pool.release(ctx.id, phys)
+                table.restore([0] * table.num_logical)
+        self.threads = [self.main]
+
+    def full_squash(self) -> None:
+        """Squash every unretired instruction in every thread (helper-thread
+        trigger/termination, Section V-F/V-G)."""
+        self.stats.full_squashes += 1
+        # Restore MT speculative state from the oldest squashed MT uop.
+        oldest = None
+        for _, u in self.main.frontend_q:
+            if oldest is None or u.seq < oldest.seq:
+                oldest = u
+        if self.main.rob:
+            head = self.main.rob[0]
+            if oldest is None or head.seq < oldest.seq:
+                oldest = head
+        for thread in self.threads:
+            if thread.rob:
+                self._squash_thread(thread, thread.rob[0].seq)
+            else:
+                self._squash_thread(thread, 0)
+        if oldest is not None:
+            self._restore_speculative_state(self.main, oldest)
+        self.main.fetch.redirect(self.main.resume_pc)
+        self.main.fetch_halted = False
+        self.main.wait_for_moves = False
+
+    # ------------------------------------------------------------------
+    # Squash machinery.
+    # ------------------------------------------------------------------
+    def _restore_speculative_state(self, thread: ThreadContext, uop: Uop) -> None:
+        """Restore predictor/RAS/engine state to just before ``uop`` fetched."""
+        if thread.kind is not ThreadKind.MAIN:
+            return
+        if uop.predictor_checkpoint is not None:
+            self.predictor.restore(uop.predictor_checkpoint)
+        if uop.ras_checkpoint is not None:
+            self.ras.restore(uop.ras_checkpoint)
+        if uop.engine_checkpoint is not None:
+            self.engine.restore(uop.engine_checkpoint)
+
+    def _squash_thread(self, thread: ThreadContext, cutoff_seq: int) -> List[Uop]:
+        """Squash all uops with seq >= cutoff in ``thread``; returns them."""
+        squashed: List[Uop] = []
+        kept_fq = deque()
+        for ready_cycle, u in thread.frontend_q:
+            if u.seq >= cutoff_seq:
+                u.state = UopState.SQUASHED
+                squashed.append(u)
+            else:
+                kept_fq.append((ready_cycle, u))
+        thread.frontend_q = kept_fq
+
+        while thread.rob and thread.rob[-1].seq >= cutoff_seq:
+            u = thread.rob.pop()
+            if u.state is UopState.DISPATCHED:
+                self.iq_count -= 1
+            # Undo rename (reverse order restores earlier mappings correctly).
+            if u.phys_dest is not None:
+                thread.rmt.map[u.inst.dest_reg] = u.old_phys_dest
+                self.pool.release(thread.id, u.phys_dest)
+            if u.pred_phys_dest is not None:
+                thread.pred_rmt.map[u.inst.pred_rd] = u.old_pred_phys_dest
+                self.pred_pool.release(thread.id, u.pred_phys_dest)
+            if u.inst.is_load:
+                thread.lq.remove(u)
+            elif u.inst.is_store:
+                thread.sq.remove(u)
+            u.state = UopState.SQUASHED
+            squashed.append(u)
+            self.engine.on_squash(thread, u)
+        return squashed
+
+    def _recover_to(self, thread: ThreadContext, uop: Uop, refetch_pc: int,
+                    inclusive: bool) -> None:
+        """Branch-mispredict (exclusive) or load-violation (inclusive) recovery."""
+        cutoff = uop.seq if inclusive else uop.seq + 1
+        self._squash_thread(thread, cutoff)
+        if thread.kind is ThreadKind.MAIN:
+            if inclusive:
+                self._restore_speculative_state(thread, uop)
+            else:
+                # State just after the branch: its pre-fetch checkpoint plus
+                # the actual outcome.
+                self._restore_speculative_state(thread, uop)
+                if uop.inst.is_cond_branch:
+                    self.predictor.spec_update(uop.pc, bool(uop.taken))
+                    self.engine.note_refetched(thread, uop)
+                elif uop.inst.opcode is Opcode.JAL and uop.inst.rd == 1:
+                    self.ras.push(uop.pc + 4)
+                elif uop.inst.opcode is Opcode.JALR and uop.inst.rd == 0 and uop.inst.rs1 == 1:
+                    self.ras.pop()
+            if self.oracle is not None:
+                mark = uop.oracle_mark if inclusive else uop.oracle_mark_after
+                if mark is not None:
+                    self.oracle.undo.rewind(self.oracle, mark)
+        thread.fetch.redirect(refetch_pc)
+        thread.fetch_halted = False
+
+    # ------------------------------------------------------------------
+    # Fetch.
+    # ------------------------------------------------------------------
+    def _fetch_thread(self, thread: ThreadContext) -> None:
+        if thread.fetch_halted or thread.wait_for_moves:
+            return
+        if self.cycle < thread.fetch_stalled_until:
+            return
+        cfg = self.config
+        width = thread.share.fetch_width
+        # Bounded frontend buffer: width * frontend depth.
+        if len(thread.frontend_q) >= width * (cfg.frontend_latency + 1):
+            return
+
+        if thread.kind is ThreadKind.MAIN:
+            inst0 = thread.fetch.peek()
+            if inst0 is not None:
+                ready = self.hierarchy.ifetch(inst0.pc, self.cycle)
+                if ready > self.cycle + 1:
+                    thread.fetch_stalled_until = ready
+                    return
+
+        fetched = 0
+        while fetched < width:
+            inst = thread.fetch.peek()
+            if inst is None:
+                break
+            uop = Uop(inst, thread.id, thread.alloc_seq(), self.cycle)
+            thread.fetch.annotate_uop(uop)
+            taken, target = self._predict(thread, uop)
+            thread.frontend_q.append((self.cycle + cfg.frontend_latency, uop))
+            self.engine.note_fetched(thread, uop)
+            thread.fetch.advance(taken, target)
+            fetched += 1
+            if inst.opcode is Opcode.HALT:
+                thread.fetch_halted = True
+                break
+            if taken:
+                break  # fetch group ends at a predicted-taken transfer
+
+    def _predict(self, thread: ThreadContext, uop: Uop) -> Tuple[bool, Optional[int]]:
+        """Next-PC selection; records prediction state on the uop."""
+        inst = uop.inst
+        is_main = thread.kind is ThreadKind.MAIN
+
+        if is_main:
+            uop.predictor_checkpoint = self.predictor.checkpoint()
+            uop.ras_checkpoint = self.ras.checkpoint()
+            uop.engine_checkpoint = self.engine.checkpoint()
+            if self.oracle is not None:
+                uop.oracle_mark = self.oracle.undo.mark()
+                if not self.oracle.halted:
+                    uop.oracle_outcome = self.oracle.step()
+                uop.oracle_mark_after = self.oracle.undo.mark()
+
+        taken, target = False, None
+        if inst.is_cond_branch:
+            if is_main:
+                if self.oracle is not None:
+                    taken = bool(uop.oracle_outcome.taken) if uop.oracle_outcome else False
+                else:
+                    override = self.engine.fetch_override(thread, inst)
+                    if override is not None:
+                        taken, uop.queue_token = override
+                    else:
+                        meta = self.predictor.predict(inst.pc)
+                        uop.predictor_meta = meta
+                        taken = meta.taken
+                self.predictor.spec_update(inst.pc, taken)
+            else:
+                # Helper threads: the fetch unit supplies the prediction
+                # (always-taken loop wrap for Phelps; bimodal for Branch
+                # Runahead chains).
+                taken = thread.fetch.predict_branch(inst)
+            target = inst.imm
+        elif inst.opcode is Opcode.JAL:
+            taken, target = True, inst.imm
+            if is_main and inst.rd == 1:
+                self.ras.push(inst.pc + 4)
+        elif inst.opcode is Opcode.JALR:
+            taken = True
+            if self.oracle is not None and is_main and uop.oracle_outcome is not None:
+                target = uop.oracle_outcome.next_pc
+                if inst.rd == 0 and inst.rs1 == 1:
+                    self.ras.pop()
+            elif is_main and inst.rd == 0 and inst.rs1 == 1:
+                target = self.ras.pop()
+            else:
+                target = self.indirect.predict(inst.pc)
+            if target is None:
+                target = inst.pc + 4  # will mispredict and repair at execute
+        uop.pred_taken, uop.pred_target = taken, target
+        return taken, target
+
+    # ------------------------------------------------------------------
+    # Dispatch (rename + queue insertion).
+    # ------------------------------------------------------------------
+    def _dispatch_thread(self, thread: ThreadContext) -> None:
+        cfg = self.config
+        for _ in range(thread.share.dispatch_width):
+            if not thread.frontend_q:
+                return
+            ready_cycle, uop = thread.frontend_q[0]
+            if ready_cycle > self.cycle or uop.squashed:
+                if uop.squashed:
+                    thread.frontend_q.popleft()
+                    continue
+                return
+            inst = uop.inst
+            needs_iq = inst.opcode not in (Opcode.NOP, Opcode.HALT)
+            if thread.rob_full():
+                return
+            if needs_iq and self.iq_count >= cfg.iq_size:
+                return
+            if inst.is_load and thread.lq.full():
+                return
+            if inst.is_store and thread.sq.full():
+                return
+            dest = inst.dest_reg
+            if dest is not None and not self.pool.can_allocate(thread.id, thread.share.prf_quota):
+                return
+            if inst.is_pred_producer and not self.pred_pool.can_allocate(
+                    thread.id, cfg.pred_fl_size // 2):
+                return
+
+            thread.frontend_q.popleft()
+
+            # Source rename.
+            if inst.opcode is Opcode.MOV_LIVEIN:
+                if uop.livein_value is None:
+                    # Live-in copy from the *main thread's* rename map.
+                    uop.phys_srcs = [self.main.rmt.lookup(inst.rs1)]
+                else:
+                    uop.phys_srcs = []
+            else:
+                uop.phys_srcs = [thread.rmt.lookup(s) for s in inst.src_regs]
+            if inst.pred_rs is not None:
+                uop.pred_phys_src = thread.pred_rmt.lookup(inst.pred_rs)
+            if inst.pred_rs2 is not None:
+                uop.pred_phys_src2 = thread.pred_rmt.lookup(inst.pred_rs2)
+
+            # Destination rename.
+            if dest is not None:
+                phys = self.pool.allocate(thread.id, thread.share.prf_quota)
+                uop.old_phys_dest = thread.rmt.set(dest, phys)
+                uop.phys_dest = phys
+                self.prf.mark_not_ready(phys)
+            if inst.is_pred_producer:
+                pphys = self.pred_pool.allocate(thread.id, cfg.pred_fl_size // 2)
+                uop.old_pred_phys_dest = thread.pred_rmt.set(inst.pred_rd, pphys)
+                uop.pred_phys_dest = pphys
+                self.pred_prf.mark_not_ready(pphys)
+
+            thread.rob.append(uop)
+            if inst.is_load:
+                thread.lq.insert(uop)
+            elif inst.is_store:
+                thread.sq.insert(uop)
+
+            if not needs_iq:
+                uop.state = UopState.DONE
+                continue
+
+            uop.state = UopState.DISPATCHED
+            self.iq_count += 1
+            pending = 0
+            for phys in uop.phys_srcs:
+                if self.prf.subscribe(phys, uop):
+                    pending += 1
+            if uop.pred_phys_src is not None:
+                if self.pred_prf.subscribe(uop.pred_phys_src, uop):
+                    pending += 1
+            if uop.pred_phys_src2 is not None:
+                if self.pred_prf.subscribe(uop.pred_phys_src2, uop):
+                    pending += 1
+            uop.pending = pending
+            if pending == 0:
+                self.ready_q.append(uop)
+
+    # ------------------------------------------------------------------
+    # Issue + execute.
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        cfg = self.config
+        lanes = {LaneClass.SIMPLE: cfg.lanes_simple,
+                 LaneClass.MEM: cfg.lanes_mem,
+                 LaneClass.COMPLEX: cfg.lanes_complex}
+        budget = cfg.issue_width
+
+        # Retry previously blocked helper loads first (oldest first).
+        candidates = []
+        for thread in self.threads:
+            if thread.blocked_loads:
+                candidates.extend(thread.blocked_loads)
+                thread.blocked_loads = []
+        candidates.extend(self.ready_q)
+        self.ready_q = []
+        candidates = [u for u in candidates if u.state is UopState.DISPATCHED]
+        candidates.sort(key=lambda u: (u.fetch_cycle, u.thread_id, u.seq))
+
+        leftover = []
+        for uop in candidates:
+            if uop.state is not UopState.DISPATCHED:
+                continue  # squashed by a recovery triggered earlier this cycle
+            if budget <= 0:
+                leftover.append(uop)
+                continue
+            lane = uop.inst.lane
+            if lanes.get(lane, 0) <= 0:
+                leftover.append(uop)
+                continue
+            thread = self._thread(uop.thread_id)
+            if uop.inst.is_load and not self._load_may_issue(thread, uop):
+                thread.blocked_loads.append(uop)
+                continue
+            lanes[lane] -= 1
+            budget -= 1
+            self._execute(thread, uop)
+        self.ready_q.extend(leftover)
+
+    def _thread(self, thread_id: int) -> ThreadContext:
+        for t in self.threads:
+            if t.id == thread_id:
+                return t
+        raise KeyError(thread_id)
+
+    def _load_may_issue(self, thread: ThreadContext, uop: Uop) -> bool:
+        """Loads issue speculatively; memory-order violations are detected
+        when the conflicting store resolves (main and helper threads alike —
+        the paper's helper threads are rollback-free *except* for load
+        violations)."""
+        return True
+
+    def _execute(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        op = inst.opcode
+        uop.state = UopState.ISSUED
+        self.iq_count -= 1
+        read = self.prf.read
+
+        if op is Opcode.LD:
+            base = read(uop.phys_srcs[0])
+            addr = mem_effective_address(base, inst.imm)
+            uop.mem_addr = addr
+            fwd = thread.sq.forward_source(uop.seq, addr)
+            if fwd is not None:
+                uop.result = fwd.store_value
+                uop.forward_seq = fwd.seq
+                done = self.cycle + self.config.store_forward_latency
+            else:
+                spec_value = (thread.spec_cache.read(addr)
+                              if thread.spec_cache is not None else None)
+                if spec_value is not None:
+                    # Helper-thread hit in the tiny speculative D$ (IV-A).
+                    uop.result = to_i64(spec_value)
+                    done = self.cycle + self.config.store_forward_latency + 1
+                else:
+                    uop.result = to_i64(thread.read_value(addr))
+                    done = self.hierarchy.load(inst.pc, addr, self.cycle)
+            self._schedule_wb(uop, done)
+            return
+
+        if op is Opcode.SD:
+            base = read(uop.phys_srcs[0])
+            value = read(uop.phys_srcs[1])
+            addr = mem_effective_address(base, inst.imm)
+            uop.mem_addr = addr
+            uop.store_value = value
+            if uop.pred_phys_src is not None:
+                uop.pred_enabled = self._pred_enabled(uop)
+            victim = thread.lq.find_violation(uop)
+            if victim is not None:
+                thread.load_violations += 1
+                self._recover_to(thread, victim, victim.pc, inclusive=True)
+            self._schedule_wb(uop, self.cycle + 1)
+            return
+
+        if op is Opcode.PRED:
+            a, b = read(uop.phys_srcs[0]), read(uop.phys_srcs[1])
+            uop.taken = eval_branch(inst.origin_opcode, a, b)
+            uop.pred_enabled = self._pred_enabled(uop)
+            self._schedule_wb(uop, self.cycle + 1)
+            return
+
+        if inst.is_cond_branch:
+            a, b = read(uop.phys_srcs[0]), read(uop.phys_srcs[1])
+            uop.taken = eval_branch(op, a, b)
+            uop.actual_target = inst.imm if uop.taken else inst.pc + 4
+            self._schedule_wb(uop, self.cycle + 1)
+            return
+
+        if op is Opcode.JAL:
+            uop.result = inst.pc + 4
+            uop.taken = True
+            uop.actual_target = inst.imm
+            self._schedule_wb(uop, self.cycle + 1)
+            return
+
+        if op is Opcode.JALR:
+            base = read(uop.phys_srcs[0])
+            uop.result = inst.pc + 4
+            uop.taken = True
+            uop.actual_target = (base + inst.imm) & ~1
+            self._schedule_wb(uop, self.cycle + 1)
+            return
+
+        if op is Opcode.MOV_LIVEIN:
+            if uop.livein_value is not None:
+                uop.result = to_i64(uop.livein_value)
+            else:
+                uop.result = read(uop.phys_srcs[0])
+            self._schedule_wb(uop, self.cycle + 1)
+            return
+
+        # ALU (register-register or register-immediate).
+        if op in _RI_OPS:
+            a = 0 if op is Opcode.LI else read(uop.phys_srcs[0])
+            uop.result = eval_alu(op, a, inst.imm)
+        else:
+            uop.result = eval_alu(op, read(uop.phys_srcs[0]), read(uop.phys_srcs[1]))
+        self._schedule_wb(uop, self.cycle + exec_latency(op))
+
+    def _pred_enabled(self, uop: Uop) -> bool:
+        """Predication rule (Section V-H), with the optional second source
+        ORed in (Section V-K OR-guarding)."""
+        inst = uop.inst
+        if uop.pred_phys_src is None:
+            return True
+        enabled = self.pred_prf.consumer_enabled(uop.pred_phys_src,
+                                                 bool(inst.pred_dir))
+        if uop.pred_phys_src2 is not None:
+            enabled = enabled or self.pred_prf.consumer_enabled(
+                uop.pred_phys_src2, bool(inst.pred_dir2))
+        return enabled
+
+    def _schedule_wb(self, uop: Uop, done_cycle: int) -> None:
+        uop.ready_cycle = max(done_cycle, self.cycle + 1)
+        self.wb_events[uop.ready_cycle].append(uop)
+
+    # ------------------------------------------------------------------
+    # Writeback.
+    # ------------------------------------------------------------------
+    def _writeback(self) -> None:
+        events = self.wb_events.pop(self.cycle, None)
+        if not events:
+            return
+        for uop in events:
+            if uop.state is not UopState.ISSUED:
+                continue  # squashed after issue
+            thread = self._thread(uop.thread_id)
+            uop.state = UopState.DONE
+            if uop.phys_dest is not None:
+                for waiter in self.prf.write(uop.phys_dest, uop.result):
+                    self._wake(waiter)
+            if uop.pred_phys_dest is not None:
+                for waiter in self.pred_prf.write_pred(
+                        uop.pred_phys_dest, bool(uop.pred_enabled), bool(uop.taken)):
+                    self._wake(waiter)
+            if uop.inst.is_branch:
+                self._resolve_branch(thread, uop)
+            elif uop.inst.is_store and thread.kind is not ThreadKind.MAIN:
+                # Helper-thread loads wait on older store addresses; now that
+                # this store resolved, blocked loads may proceed next cycle.
+                pass
+
+    def _wake(self, uop: Uop) -> None:
+        if uop.state is not UopState.DISPATCHED:
+            return
+        uop.pending -= 1
+        if uop.pending <= 0:
+            self.ready_q.append(uop)
+
+    def _resolve_branch(self, thread: ThreadContext, uop: Uop) -> None:
+        mispredicted = (bool(uop.pred_taken) != bool(uop.taken)
+                        or (uop.taken and uop.pred_target != uop.actual_target))
+        uop.mispredicted = bool(uop.inst.is_cond_branch and
+                                bool(uop.pred_taken) != bool(uop.taken))
+        if not mispredicted:
+            return
+        if thread.kind is ThreadKind.MAIN:
+            refetch = uop.actual_target if uop.taken else uop.pc + 4
+            self._recover_to(thread, uop, refetch, inclusive=False)
+        else:
+            # Helper-thread branch resolved against its fetch-time
+            # prediction: squash the wrongly-fetched-ahead instructions and
+            # let the engine redirect the helper's fetch unit (loop wrap /
+            # next visit for Phelps; bimodal-mispredict repair for Branch
+            # Runahead chains).
+            self._squash_thread(thread, uop.seq + 1)
+            self.engine.on_helper_branch_mispredicted(thread, uop)
+
+    # ------------------------------------------------------------------
+    # Retire.
+    # ------------------------------------------------------------------
+    def _retire(self) -> None:
+        for thread in list(self.threads):
+            count = 0
+            while thread.rob and count < thread.share.retire_width:
+                uop = thread.rob[0]
+                if uop.state is not UopState.DONE:
+                    break
+                if self.engine.retire_blocked(thread, uop):
+                    break
+                thread.rob.popleft()
+                self._retire_uop(thread, uop)
+                count += 1
+                if self.halted:
+                    return
+
+    def _retire_uop(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        uop.state = UopState.RETIRED
+        thread.retired += 1
+        is_main = thread.kind is ThreadKind.MAIN
+        if not is_main:
+            self.stats.helper_retired += 1
+
+        if inst.is_store:
+            thread.sq.remove(uop)
+            if uop.pred_enabled is not False:
+                thread.commit_store(uop.mem_addr, uop.store_value)
+                if is_main:
+                    self.hierarchy.store(inst.pc, uop.mem_addr, self.cycle)
+                thread.retired_stores += 1
+            elif not is_main:
+                self.stats.helper_stores_suppressed += 1
+        elif inst.is_load:
+            thread.lq.remove(uop)
+        elif inst.is_cond_branch:
+            thread.retired_branches += 1
+            if uop.mispredicted:
+                thread.mispredicts += 1
+            if is_main:
+                if uop.predictor_meta is not None:
+                    self.predictor.update(inst.pc, bool(uop.taken), uop.predictor_meta)
+                if uop.taken:
+                    self.btb.insert(inst.pc, uop.actual_target)
+        elif inst.opcode is Opcode.JALR and is_main:
+            self.indirect.update(inst.pc, uop.actual_target)
+        elif inst.opcode is Opcode.HALT and is_main:
+            self.halted = True
+
+        # Committed rename state + physical register reclamation.
+        if uop.phys_dest is not None:
+            thread.amt.map[inst.dest_reg] = uop.phys_dest
+            if uop.old_phys_dest is not None and uop.old_phys_dest != ZERO_REG:
+                self.pool.release(thread.id, uop.old_phys_dest)
+        if uop.pred_phys_dest is not None:
+            if uop.old_pred_phys_dest is not None and uop.old_pred_phys_dest != PRED_ALWAYS:
+                self.pred_pool.release(thread.id, uop.old_pred_phys_dest)
+
+        if is_main:
+            if inst.is_branch:
+                thread.resume_pc = uop.actual_target if uop.taken else inst.pc + 4
+            elif inst.opcode is not Opcode.HALT:
+                thread.resume_pc = inst.pc + 4
+
+        self.engine.on_retire(thread, uop)
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        self._writeback()
+        self._retire()
+        if self.halted:
+            return
+        self._issue()
+        for thread in list(self.threads):
+            self._dispatch_thread(thread)
+        for thread in list(self.threads):
+            self._fetch_thread(thread)
+        self.engine.on_cycle(self.cycle)
+        self.cycle += 1
+
+    def run(self, max_instructions: int = 1_000_000, max_cycles: int = 20_000_000) -> SimStats:
+        """Simulate until HALT retires, ``max_instructions`` main-thread
+        instructions retire, or ``max_cycles`` elapse."""
+        while (not self.halted and self.main.retired < max_instructions
+               and self.cycle < max_cycles):
+            self.tick()
+        return self.collect_stats()
+
+    def collect_stats(self) -> SimStats:
+        s = self.stats
+        s.cycles = self.cycle
+        s.retired = self.main.retired
+        s.retired_branches = self.main.retired_branches
+        s.mispredicts = self.main.mispredicts
+        s.load_violations = self.main.load_violations
+        s.halted = self.halted
+        s.memory = self.hierarchy.stats()
+        s.engine = self.engine.stats()
+        return s

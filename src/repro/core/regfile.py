@@ -1,0 +1,86 @@
+"""Physical register files: integer PRF and the 2-bit predicate PRF.
+
+Wakeup is event-driven: consumers subscribe to a physical register; when
+its producer writes back, subscribers are notified (their pending-source
+count drops; at zero they enter the ready queue).
+"""
+
+from typing import Callable, Dict, List, Optional
+
+ZERO_REG = 0  # physical register 0 is the architected constant zero
+PRED_ALWAYS = 0  # predicate physical register 0 = pred0 = unconditional
+
+
+class PhysRegFile:
+    """Integer physical registers with values, ready bits, and wakeup lists."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.value: List[int] = [0] * size
+        self.ready: List[bool] = [False] * size
+        self._waiters: Dict[int, List] = {}
+        # Register 0 is the constant zero, always ready.
+        self.ready[ZERO_REG] = True
+
+    def mark_not_ready(self, reg: int) -> None:
+        if reg != ZERO_REG:
+            self.ready[reg] = False
+
+    def write(self, reg: int, value: int) -> List:
+        """Write back a result; returns the wakeup list of waiting uops."""
+        if reg == ZERO_REG:
+            return []
+        self.value[reg] = value
+        self.ready[reg] = True
+        return self._waiters.pop(reg, [])
+
+    def subscribe(self, reg: int, waiter) -> bool:
+        """Register a waiter; returns False if the reg was already ready."""
+        if self.ready[reg]:
+            return False
+        self._waiters.setdefault(reg, []).append(waiter)
+        return True
+
+    def read(self, reg: int) -> int:
+        return 0 if reg == ZERO_REG else self.value[reg]
+
+    def drop_waiters(self, predicate: Callable) -> None:
+        """Remove waiters matching ``predicate`` (used on squash)."""
+        for reg in list(self._waiters):
+            kept = [w for w in self._waiters[reg] if not predicate(w)]
+            if kept:
+                self._waiters[reg] = kept
+            else:
+                del self._waiters[reg]
+
+
+class PredRegFile(PhysRegFile):
+    """Predicate physical registers (paper Section V-H).
+
+    Each value is 2 bits: ``msb`` = the producer itself was predicated-true
+    (enabled); ``lsb`` = the producer's taken/not-taken outcome.  Register 0
+    is ``pred0`` — the always-enabled predicate for unguarded instructions.
+    """
+
+    def __init__(self, size: int = 128):
+        super().__init__(size)
+        self.value[PRED_ALWAYS] = 0b10  # enabled, direction unused
+
+    @staticmethod
+    def pack(enabled: bool, taken: bool) -> int:
+        return (int(enabled) << 1) | int(taken)
+
+    def consumer_enabled(self, reg: int, enabling_direction: bool) -> bool:
+        """Paper's rule: enabled iff (msb == 1) && (lsb == consumer dir).
+
+        ``pred0`` always enables its consumer.
+        """
+        if reg == PRED_ALWAYS:
+            return True
+        v = self.value[reg]
+        return bool(v & 0b10) and bool(v & 0b01) == enabling_direction
+
+    def write_pred(self, reg: int, enabled: bool, taken: bool) -> List:
+        if reg == PRED_ALWAYS:
+            raise ValueError("pred0 is constant")
+        return super().write(reg, self.pack(enabled, taken))

@@ -1,0 +1,41 @@
+"""Rename map tables (speculative RMT and committed AMT)."""
+
+from typing import List
+
+from repro.isa.registers import NUM_REGS
+from repro.core.regfile import ZERO_REG
+
+
+class RenameMapTable:
+    """Logical -> physical mapping for one thread.
+
+    ``x0`` permanently maps to the constant-zero physical register.  The
+    same class serves the predicate rename tables (pred-RMT), where entry 0
+    is ``pred0``.
+    """
+
+    def __init__(self, num_logical: int = NUM_REGS, zero_phys: int = ZERO_REG):
+        self.num_logical = num_logical
+        self._zero = zero_phys
+        self.map: List[int] = [zero_phys] * num_logical
+
+    def lookup(self, logical: int) -> int:
+        return self.map[logical]
+
+    def set(self, logical: int, phys: int) -> int:
+        """Update the mapping; returns the previous physical register."""
+        if logical == 0:
+            raise ValueError("logical register 0 is constant")
+        old = self.map[logical]
+        self.map[logical] = phys
+        return old
+
+    def snapshot(self) -> List[int]:
+        return list(self.map)
+
+    def restore(self, snap: List[int]) -> None:
+        self.map = list(snap)
+
+    def mapped_physical(self) -> List[int]:
+        """Physical registers currently mapped (excluding the zero reg)."""
+        return [p for p in self.map if p != self._zero]

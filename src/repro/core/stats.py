@@ -1,0 +1,43 @@
+"""Simulation statistics."""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimStats:
+    """Counters collected over one simulation run.
+
+    ``retired`` / ``mispredicts`` are main-thread architectural counts;
+    helper-thread overheads are reported separately (Fig. 13b).
+    """
+
+    cycles: int = 0
+    retired: int = 0
+    retired_branches: int = 0
+    mispredicts: int = 0
+    load_violations: int = 0
+    helper_retired: int = 0
+    helper_stores_suppressed: int = 0
+    queue_consumed: int = 0
+    queue_consumed_wrong: int = 0
+    queue_not_timely: int = 0
+    full_squashes: int = 0
+    halted: bool = False
+    memory: Dict = field(default_factory=dict)
+    engine: Dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        return 1000.0 * self.mispredicts / self.retired if self.retired else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"cycles={self.cycles} retired={self.retired} IPC={self.ipc:.3f} "
+            f"MPKI={self.mpki:.2f} misp={self.mispredicts} "
+            f"ht_retired={self.helper_retired} viol={self.load_violations}"
+        )

@@ -1,0 +1,81 @@
+"""In-flight micro-op record."""
+
+import enum
+from typing import Any, List, Optional
+
+from repro.isa.instruction import Instruction
+
+
+class UopState(enum.Enum):
+    FETCHED = "fetched"      # in the frontend queue
+    DISPATCHED = "dispatched"  # renamed, in IQ (or waiting in LSQ)
+    ISSUED = "issued"        # executing
+    DONE = "done"            # result written back, awaiting retire
+    RETIRED = "retired"
+    SQUASHED = "squashed"
+
+
+class Uop:
+    """One dynamic instruction instance."""
+
+    __slots__ = (
+        "inst", "thread_id", "seq", "pc", "state",
+        # fetch-time prediction info
+        "pred_taken", "pred_target", "predictor_meta", "predictor_checkpoint",
+        "ras_checkpoint", "queue_token", "engine_checkpoint",
+        "oracle_mark", "oracle_mark_after", "oracle_outcome", "pending",
+        # rename info
+        "phys_srcs", "phys_dest", "old_phys_dest",
+        "pred_phys_src", "pred_phys_src2", "pred_phys_dest", "old_pred_phys_dest",
+        # execution results
+        "result", "taken", "actual_target", "mem_addr", "store_value",
+        "ready_cycle", "pred_enabled", "forward_seq",
+        # flags
+        "mispredicted", "is_wrong_path_marker", "livein_value",
+        "fetch_cycle",
+    )
+
+    def __init__(self, inst: Instruction, thread_id: int, seq: int, fetch_cycle: int):
+        self.inst = inst
+        self.thread_id = thread_id
+        self.seq = seq
+        self.pc = inst.pc
+        self.state = UopState.FETCHED
+        self.pred_taken: Optional[bool] = None
+        self.pred_target: Optional[int] = None
+        self.predictor_meta: Any = None
+        self.predictor_checkpoint: Any = None
+        self.ras_checkpoint: Any = None
+        self.queue_token: Any = None        # prediction-queue consumption record
+        self.engine_checkpoint: Any = None  # spec_head pointer snapshot
+        self.oracle_mark: Optional[int] = None
+        self.oracle_mark_after: Optional[int] = None
+        self.oracle_outcome: Any = None
+        self.pending = 0
+        self.phys_srcs: List[int] = []
+        self.phys_dest: Optional[int] = None
+        self.old_phys_dest: Optional[int] = None
+        self.pred_phys_src: Optional[int] = None
+        self.pred_phys_src2: Optional[int] = None
+        self.pred_phys_dest: Optional[int] = None
+        self.old_pred_phys_dest: Optional[int] = None
+        self.result: Optional[int] = None
+        self.taken: Optional[bool] = None
+        self.actual_target: Optional[int] = None
+        self.mem_addr: Optional[int] = None
+        self.store_value: Optional[int] = None
+        self.ready_cycle: Optional[int] = None
+        self.pred_enabled: Optional[bool] = None  # predication outcome (PRED/SD)
+        self.forward_seq: Optional[int] = None  # seq of store this load forwarded from
+        self.mispredicted = False
+        self.is_wrong_path_marker = False
+        self.livein_value: Optional[int] = None  # MOV_LIVEIN immediate value path
+        self.fetch_cycle = fetch_cycle
+
+    @property
+    def squashed(self) -> bool:
+        return self.state is UopState.SQUASHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<uop t{self.thread_id} #{self.seq} {self.inst.opcode.value}"
+                f"@{self.pc:#x} {self.state.value}>")

@@ -1,0 +1,25 @@
+"""Branch prediction stack.
+
+The paper's baseline core uses a 64 KB TAGE-SC-L predictor; we provide a
+scaled TAGE-SC-L-lite (:class:`TageSCL`), plus the bimodal predictor Branch
+Runahead uses for speculative chain triggering, a gshare for tests, and the
+target-prediction structures (BTB, return-address stack, indirect table).
+"""
+
+from repro.frontend.base import BranchPredictor, PredictorMeta
+from repro.frontend.bimodal import BimodalPredictor
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.tage import TageSCL, TageConfig
+from repro.frontend.targets import BranchTargetBuffer, ReturnAddressStack, IndirectTargetPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "PredictorMeta",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "TageSCL",
+    "TageConfig",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "IndirectTargetPredictor",
+]

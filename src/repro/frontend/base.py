@@ -1,0 +1,47 @@
+"""Common branch-predictor interface.
+
+The out-of-order core drives predictors in three phases:
+
+1. ``predict(pc)`` at fetch — returns the direction and an opaque
+   :class:`PredictorMeta` that travels with the instruction.
+2. ``spec_update(pc, taken)`` at fetch — speculatively shifts the predicted
+   direction into the global history.  ``checkpoint()`` /
+   ``restore(state)`` bracket this so squashes can repair the history.
+3. ``update(pc, taken, meta)`` at retire — trains the tables with the
+   architectural outcome.
+"""
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class PredictorMeta:
+    """Opaque per-prediction payload carried from fetch to retire."""
+
+    taken: bool = False
+    payload: Any = None
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract conditional-branch direction predictor."""
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> PredictorMeta:
+        """Predict the direction of the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool, meta: PredictorMeta) -> None:
+        """Train with the resolved outcome (called at retire, in order)."""
+
+    # History management — predictors without global history inherit no-ops.
+    def spec_update(self, pc: int, taken: bool) -> None:
+        """Speculatively push a predicted outcome into global history."""
+
+    def checkpoint(self) -> Any:
+        """Snapshot speculative history state (cheap, copy-on-write style)."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Restore history state captured by :meth:`checkpoint`."""

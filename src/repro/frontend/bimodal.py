@@ -1,0 +1,34 @@
+"""Bimodal (per-PC 2-bit counter) predictor.
+
+Branch Runahead (paper Section II / VI) uses a bimodal predictor inside the
+helper engine to speculatively trigger child chains; it is also a useful
+baseline in tests.
+"""
+
+from repro.frontend.base import BranchPredictor, PredictorMeta
+from repro.utils.counters import SaturatingCounter
+
+
+class BimodalPredictor(BranchPredictor):
+    """A table of n-bit saturating counters indexed by PC."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._entries = entries
+        self._mask = entries - 1
+        self._bits = counter_bits
+        self._table = [SaturatingCounter(counter_bits) for _ in range(entries)]
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> PredictorMeta:
+        return PredictorMeta(taken=self._table[self._index(pc)].taken)
+
+    def update(self, pc: int, taken: bool, meta: PredictorMeta = None) -> None:
+        self._table[self._index(pc)].update(taken)
+
+    def confidence(self, pc: int) -> bool:
+        """True when the counter is saturated (high-confidence direction)."""
+        return self._table[self._index(pc)].is_saturated

@@ -1,0 +1,40 @@
+"""Gshare predictor: PC xor global-history indexed 2-bit counters."""
+
+from repro.frontend.base import BranchPredictor, PredictorMeta
+from repro.utils.bits import fold_bits
+from repro.utils.counters import SaturatingCounter
+
+
+class GsharePredictor(BranchPredictor):
+    """Classic gshare with speculative global history."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._index_bits = entries.bit_length() - 1
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._table = [SaturatingCounter(2) for _ in range(entries)]
+        self._ghr = 0  # speculative global history
+
+    def _index(self, pc: int, history: int) -> int:
+        return (fold_bits(pc >> 2, self._index_bits) ^ fold_bits(history, self._index_bits)) & self._mask
+
+    def predict(self, pc: int) -> PredictorMeta:
+        idx = self._index(pc, self._ghr)
+        return PredictorMeta(taken=self._table[idx].taken, payload=idx)
+
+    def spec_update(self, pc: int, taken: bool) -> None:
+        self._ghr = ((self._ghr << 1) | int(taken)) & self._history_mask
+
+    def checkpoint(self):
+        return self._ghr
+
+    def restore(self, state) -> None:
+        self._ghr = state
+
+    def update(self, pc: int, taken: bool, meta: PredictorMeta) -> None:
+        # Train the entry actually used at prediction time.
+        idx = meta.payload if meta and meta.payload is not None else self._index(pc, self._ghr)
+        self._table[idx].update(taken)

@@ -1,0 +1,373 @@
+"""TAGE-SC-L-lite: the core's default direction predictor.
+
+A scaled-down but structurally faithful TAGE-SC-L (Seznec, CBP-5):
+
+* ``TAGE``: a bimodal base table plus ``num_tables`` partially-tagged
+  tables with geometrically increasing history lengths, usefulness
+  counters, alt-prediction, and use-alt-on-newly-allocated policy.
+* ``SC`` (statistical corrector lite): perceptron-style bias tables that
+  can override a weak TAGE prediction when the statistical evidence
+  disagrees.
+* ``L`` (loop predictor): detects constant trip counts and predicts the
+  loop-exit instance exactly.
+
+The paper's evaluation uses the 64 KB championship configuration; ours is
+scaled to match the scaled workload footprints (see DESIGN.md §3).  What
+matters for reproducing the paper is preserved: branches whose outcomes are
+regular functions of control history are predicted nearly perfectly, while
+*delinquent* branches (outcomes driven by arbitrary data values) stay
+unpredictable no matter the history length.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.frontend.base import BranchPredictor, PredictorMeta
+from repro.utils.bits import fold_bits
+
+
+@dataclass
+class TageConfig:
+    """Geometry of the TAGE-SC-L-lite predictor."""
+
+    num_tables: int = 6
+    table_entries: int = 1024
+    base_entries: int = 4096
+    tag_bits: int = 9
+    min_history: int = 4
+    max_history: int = 128
+    counter_bits: int = 3
+    useful_bits: int = 2
+    use_sc: bool = True
+    use_loop: bool = True
+    loop_entries: int = 64
+    loop_confidence: int = 2
+    useful_reset_period: int = 32768
+
+    def history_lengths(self) -> List[int]:
+        """Geometric series of history lengths, one per tagged table."""
+        if self.num_tables == 1:
+            return [self.min_history]
+        ratio = (self.max_history / self.min_history) ** (1.0 / (self.num_tables - 1))
+        lengths = []
+        for i in range(self.num_tables):
+            lengths.append(max(1, int(round(self.min_history * (ratio ** i)))))
+        return lengths
+
+
+class _TaggedTable:
+    """One TAGE component table."""
+
+    __slots__ = ("entries", "index_bits", "tag_bits", "history_len",
+                 "tags", "ctrs", "useful", "_mask")
+
+    def __init__(self, entries: int, tag_bits: int, history_len: int):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.history_len = history_len
+        self._mask = entries - 1
+        self.tags = [0] * entries
+        self.ctrs = [4] * entries  # 3-bit, 0..7, taken when >= 4
+        self.useful = [0] * entries
+
+    def index(self, pc: int, history: int) -> int:
+        h = history & ((1 << self.history_len) - 1)
+        # Two differently-folded history images (one shifted) so that short
+        # histories cannot cancel out of the index.
+        return (fold_bits(pc >> 2, self.index_bits)
+                ^ fold_bits(h, self.index_bits)
+                ^ (fold_bits(h, max(1, self.index_bits - 2)) << 1)) & self._mask
+
+    def tag(self, pc: int, history: int) -> int:
+        h = history & ((1 << self.history_len) - 1)
+        t = (fold_bits(pc >> 2, self.tag_bits)
+             ^ fold_bits(h, self.tag_bits)
+             ^ (fold_bits(h, self.tag_bits - 1) << 1))
+        return t & ((1 << self.tag_bits) - 1) or 1  # tag 0 means "invalid"
+
+
+class _LoopEntry:
+    __slots__ = ("pc", "trip", "confidence", "arch_iter")
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        self.trip = -1
+        self.confidence = 0
+        self.arch_iter = 0
+
+
+class TageSCL(BranchPredictor):
+    """TAGE + statistical corrector + loop predictor."""
+
+    def __init__(self, config: Optional[TageConfig] = None):
+        self.config = config or TageConfig()
+        cfg = self.config
+        self._tables = [
+            _TaggedTable(cfg.table_entries, cfg.tag_bits, hist)
+            for hist in cfg.history_lengths()
+        ]
+        self._base = [2] * cfg.base_entries  # 2-bit counters
+        self._base_mask = cfg.base_entries - 1
+        self._ghr = 0
+        self._ghr_mask = (1 << cfg.max_history) - 1
+        self._use_alt_on_na = 7  # 4-bit centered counter, 0..15 (>=8 favours alt)
+        self._update_count = 0
+        # Statistical corrector: two tables of centered weights.
+        self._sc_pc = [0] * 1024
+        self._sc_hist = [0] * 1024
+        self._sc_threshold = 6
+        # Loop predictor: committed state per PC, speculative iteration dict.
+        self._loops: Dict[int, _LoopEntry] = {}
+        self._loop_spec_iter: Dict[int, int] = {}
+        # Stats observable by tests.
+        self.predictions = 0
+        self.provider_hits = 0
+
+    # ------------------------------------------------------------------
+    # Prediction.
+    # ------------------------------------------------------------------
+    def _base_index(self, pc: int) -> int:
+        return (pc >> 2) & self._base_mask
+
+    def _tage_lookup(self, pc: int) -> Tuple[bool, dict]:
+        lookups = []
+        for table in self._tables:
+            idx = table.index(pc, self._ghr)
+            tag = table.tag(pc, self._ghr)
+            lookups.append((idx, tag))
+        # Provider = longest-history hit; alt = next-longest.
+        provider, alt = None, None
+        for t in range(len(self._tables) - 1, -1, -1):
+            idx, tag = lookups[t]
+            if self._tables[t].tags[idx] == tag:
+                if provider is None:
+                    provider = (t, idx)
+                elif alt is None:
+                    alt = (t, idx)
+                    break
+        base_idx = self._base_index(pc)
+        base_pred = self._base[base_idx] >= 2
+
+        if alt is not None:
+            t, idx = alt
+            alt_pred = self._tables[t].ctrs[idx] >= 4
+        else:
+            alt_pred = base_pred
+
+        if provider is not None:
+            t, idx = provider
+            ctr = self._tables[t].ctrs[idx]
+            provider_pred = ctr >= 4
+            newly_allocated = self._tables[t].useful[idx] == 0 and ctr in (3, 4)
+            if newly_allocated and self._use_alt_on_na >= 8:
+                pred = alt_pred
+                used_alt = True
+            else:
+                pred = provider_pred
+                used_alt = False
+        else:
+            provider_pred = base_pred
+            pred = base_pred
+            used_alt = False
+
+        info = {
+            "lookups": lookups,
+            "provider": provider,
+            "alt": alt,
+            "base_idx": base_idx,
+            "provider_pred": provider_pred,
+            "alt_pred": alt_pred,
+            "used_alt": used_alt,
+            "tage_pred": pred,
+        }
+        return pred, info
+
+    def _sc_lookup(self, pc: int, tage_pred: bool, info: dict) -> Tuple[bool, dict]:
+        """Statistical corrector: may invert a weak TAGE prediction."""
+        i1 = fold_bits(pc >> 2, 10)
+        i2 = (fold_bits(pc >> 2, 10) ^ fold_bits(self._ghr & 0xFF, 10)) & 1023
+        total = self._sc_pc[i1] + self._sc_hist[i2] + (5 if tage_pred else -5)
+        sc_pred = total >= 0
+        use_sc = abs(total) > self._sc_threshold and sc_pred != tage_pred
+        sc_info = {"i1": i1, "i2": i2, "total": total, "use_sc": use_sc}
+        return (sc_pred if use_sc else tage_pred), sc_info
+
+    def _loop_lookup(self, pc: int) -> Tuple[Optional[bool], bool]:
+        """Returns (prediction, valid) from the loop predictor."""
+        entry = self._loops.get(pc)
+        if entry is None or entry.confidence < self.config.loop_confidence:
+            return None, False
+        spec_iter = self._loop_spec_iter.get(pc, entry.arch_iter)
+        return spec_iter < entry.trip, True
+
+    def predict(self, pc: int) -> PredictorMeta:
+        self.predictions += 1
+        pred, info = self._tage_lookup(pc)
+        if info["provider"] is not None:
+            self.provider_hits += 1
+        sc_info = None
+        if self.config.use_sc:
+            pred, sc_info = self._sc_lookup(pc, pred, info)
+        loop_used = False
+        if self.config.use_loop:
+            loop_pred, valid = self._loop_lookup(pc)
+            if valid:
+                pred = loop_pred
+                loop_used = True
+        info["sc"] = sc_info
+        info["loop_used"] = loop_used
+        return PredictorMeta(taken=pred, payload=info)
+
+    # ------------------------------------------------------------------
+    # Speculative history.
+    # ------------------------------------------------------------------
+    def spec_update(self, pc: int, taken: bool) -> None:
+        self._ghr = ((self._ghr << 1) | int(taken)) & self._ghr_mask
+        if self.config.use_loop and pc in self._loops:
+            entry = self._loops[pc]
+            cur = self._loop_spec_iter.get(pc, entry.arch_iter)
+            self._loop_spec_iter[pc] = cur + 1 if taken else 0
+
+    def checkpoint(self) -> Any:
+        return (self._ghr, dict(self._loop_spec_iter))
+
+    def restore(self, state: Any) -> None:
+        self._ghr, self._loop_spec_iter = state[0], dict(state[1])
+
+    # ------------------------------------------------------------------
+    # Retire-time training.
+    # ------------------------------------------------------------------
+    def _allocate(self, pc: int, taken: bool, info: dict) -> None:
+        provider = info["provider"]
+        start = (provider[0] + 1) if provider is not None else 0
+        if start >= len(self._tables):
+            return
+        # Find an entry with useful == 0 in a longer table; decay otherwise.
+        allocated = False
+        for t in range(start, len(self._tables)):
+            idx, tag = info["lookups"][t]
+            table = self._tables[t]
+            if table.useful[idx] == 0:
+                table.tags[idx] = tag
+                table.ctrs[idx] = 4 if taken else 3
+                table.useful[idx] = 0
+                allocated = True
+                break
+        if not allocated:
+            for t in range(start, len(self._tables)):
+                idx, _ = info["lookups"][t]
+                if self._tables[t].useful[idx] > 0:
+                    self._tables[t].useful[idx] -= 1
+
+    def _update_tage(self, pc: int, taken: bool, info: dict) -> None:
+        provider = info["provider"]
+        tage_pred = info["tage_pred"]
+
+        # Use-alt-on-newly-allocated policy training.
+        if provider is not None:
+            t, idx = provider
+            table = self._tables[t]
+            ctr = table.ctrs[idx]
+            newly = table.useful[idx] == 0 and ctr in (3, 4)
+            if newly and info["provider_pred"] != info["alt_pred"]:
+                if info["provider_pred"] == taken and self._use_alt_on_na > 0:
+                    self._use_alt_on_na -= 1
+                elif info["provider_pred"] != taken and self._use_alt_on_na < 15:
+                    self._use_alt_on_na += 1
+
+        if tage_pred != taken:
+            self._allocate(pc, taken, info)
+
+        if provider is not None:
+            t, idx = provider
+            table = self._tables[t]
+            ctr = table.ctrs[idx]
+            if taken and ctr < 7:
+                table.ctrs[idx] = ctr + 1
+            elif not taken and ctr > 0:
+                table.ctrs[idx] = ctr - 1
+            if info["provider_pred"] != info["alt_pred"]:
+                if info["provider_pred"] == taken:
+                    if table.useful[idx] < (1 << self.config.useful_bits) - 1:
+                        table.useful[idx] += 1
+                elif table.useful[idx] > 0:
+                    table.useful[idx] -= 1
+            # Train the alt/base when the provider entry is weak.
+            if ctr in (3, 4):
+                self._train_alt(pc, taken, info)
+        else:
+            self._train_base(pc, taken, info)
+
+        self._update_count += 1
+        if self._update_count % self.config.useful_reset_period == 0:
+            for table in self._tables:
+                table.useful = [u >> 1 for u in table.useful]
+
+    def _train_base(self, pc: int, taken: bool, info: dict) -> None:
+        idx = info["base_idx"]
+        v = self._base[idx]
+        self._base[idx] = min(3, v + 1) if taken else max(0, v - 1)
+
+    def _train_alt(self, pc: int, taken: bool, info: dict) -> None:
+        alt = info["alt"]
+        if alt is None:
+            self._train_base(pc, taken, info)
+        else:
+            t, idx = alt
+            table = self._tables[t]
+            ctr = table.ctrs[idx]
+            if taken and ctr < 7:
+                table.ctrs[idx] = ctr + 1
+            elif not taken and ctr > 0:
+                table.ctrs[idx] = ctr - 1
+
+    def _update_sc(self, taken: bool, info: dict) -> None:
+        sc = info.get("sc")
+        if sc is None:
+            return
+        # Perceptron-style: train on use or low confidence.
+        if sc["use_sc"] or abs(sc["total"]) <= self._sc_threshold * 2:
+            delta = 1 if taken else -1
+            self._sc_pc[sc["i1"]] = max(-31, min(31, self._sc_pc[sc["i1"]] + delta))
+            self._sc_hist[sc["i2"]] = max(-31, min(31, self._sc_hist[sc["i2"]] + delta))
+
+    def _update_loop(self, pc: int, taken: bool) -> None:
+        entry = self._loops.get(pc)
+        if entry is None:
+            if not taken:
+                return  # only start tracking branches seen taken (loop-like)
+            if len(self._loops) >= self.config.loop_entries:
+                # Evict an unconfident entry if possible.
+                victim = next((k for k, e in self._loops.items() if e.confidence == 0), None)
+                if victim is None:
+                    return
+                del self._loops[victim]
+                self._loop_spec_iter.pop(victim, None)
+            entry = _LoopEntry(pc)
+            self._loops[pc] = entry
+        if taken:
+            entry.arch_iter += 1
+            if entry.trip >= 0 and entry.arch_iter > entry.trip:
+                # Ran past the learned trip count: trip is not constant.
+                entry.confidence = 0
+                entry.trip = -1
+        else:
+            if entry.arch_iter == entry.trip:
+                entry.confidence = min(15, entry.confidence + 1)
+            else:
+                entry.trip = entry.arch_iter
+                entry.confidence = 0
+            entry.arch_iter = 0
+
+    def update(self, pc: int, taken: bool, meta: PredictorMeta) -> None:
+        info = meta.payload
+        if info is None:  # defensive: prediction made without lookup
+            return
+        self._update_tage(pc, taken, info)
+        if self.config.use_sc:
+            self._update_sc(taken, info)
+        if self.config.use_loop:
+            self._update_loop(pc, taken)

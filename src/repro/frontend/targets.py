@@ -1,0 +1,90 @@
+"""Branch-target structures: BTB, return-address stack, indirect predictor.
+
+Our simulator pre-decodes instructions at fetch (the code image is a Python
+object), so direct branch targets are always known; the BTB is still
+modelled because Phelps' Delinquent Branch Table training and the fetch
+unit's loop-bound checks use its hit/miss behaviour, and because indirect
+jumps (JALR) genuinely need target prediction.
+"""
+
+from typing import List, Optional
+
+
+class BranchTargetBuffer:
+    """Set-associative PC -> target cache for taken control transfers."""
+
+    def __init__(self, sets: int = 1024, ways: int = 4):
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        self._sets = sets
+        self._ways = ways
+        # Per set: list of [tag, target], most-recently-used first.
+        self._table: List[List[List[int]]] = [[] for _ in range(sets)]
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) & (self._sets - 1)
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target for ``pc``, or None on miss."""
+        s = self._table[self._set_index(pc)]
+        for i, (tag, target) in enumerate(s):
+            if tag == pc:
+                if i:
+                    s.insert(0, s.pop(i))
+                return target
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        s = self._table[self._set_index(pc)]
+        for i, entry in enumerate(s):
+            if entry[0] == pc:
+                entry[1] = target
+                if i:
+                    s.insert(0, s.pop(i))
+                return
+        s.insert(0, [pc, target])
+        if len(s) > self._ways:
+            s.pop()
+
+
+class ReturnAddressStack:
+    """Fixed-depth RAS; overflow wraps (oldest entry lost)."""
+
+    def __init__(self, depth: int = 32):
+        self._depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self._depth:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def checkpoint(self) -> List[int]:
+        return list(self._stack)
+
+    def restore(self, state: List[int]) -> None:
+        self._stack = list(state)
+
+
+class IndirectTargetPredictor:
+    """Last-target table for JALR (other than returns)."""
+
+    def __init__(self, entries: int = 512):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._targets: List[Optional[int]] = [None] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._targets[self._index(pc)]
+
+    def update(self, pc: int, target: int) -> None:
+        self._targets[self._index(pc)] = target

@@ -1,0 +1,25 @@
+"""Simulation harness: run configuration, experiment sweeps, reporting."""
+
+from repro.harness.simulator import RunConfig, SimResult, simulate
+from repro.harness.experiment import compare_engines, speedup, sweep
+from repro.harness.reporting import ascii_table, format_series
+from repro.harness.plots import grouped_bars, hbar_chart, line_plot, stacked_percent_rows
+from repro.harness.regions import Region, evaluate_regions, regions_for
+
+__all__ = [
+    "RunConfig",
+    "SimResult",
+    "simulate",
+    "compare_engines",
+    "speedup",
+    "sweep",
+    "ascii_table",
+    "format_series",
+    "grouped_bars",
+    "hbar_chart",
+    "line_plot",
+    "stacked_percent_rows",
+    "Region",
+    "evaluate_regions",
+    "regions_for",
+]

@@ -1,0 +1,97 @@
+"""ASCII chart rendering for experiment results.
+
+The paper's figures are bar charts and line plots; these helpers render
+the same series as fixed-width text so a terminal-only workflow (or a CI
+log) can eyeball the shapes.  Used by ``examples/render_figures.py`` to
+re-draw every figure from the benchmark cache.
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def hbar_chart(series: Dict[str, float], width: int = 50,
+               maximum: Optional[float] = None, unit: str = "",
+               reference: Optional[float] = None) -> str:
+    """Horizontal bar chart: one labelled row per entry.
+
+    ``reference`` draws a marker column (e.g. the 1.0x baseline).
+    """
+    if not series:
+        return "(no data)"
+    max_v = maximum if maximum is not None else max(series.values()) or 1.0
+    label_w = max(len(k) for k in series)
+    ref_col = None
+    if reference is not None and max_v > 0:
+        ref_col = min(width - 1, int(reference / max_v * width))
+    lines = []
+    for name, value in series.items():
+        n = max(0, min(width, int(round(value / max_v * width)))) if max_v else 0
+        bar = list("#" * n + " " * (width - n))
+        if ref_col is not None and bar[ref_col] == " ":
+            bar[ref_col] = "|"
+        lines.append(f"{name:<{label_w}s}  {''.join(bar)}  {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(groups: Dict[str, Dict[str, float]], width: int = 40,
+                 reference: Optional[float] = None) -> str:
+    """Grouped horizontal bars (Fig. 12a style: per workload, per engine)."""
+    out = []
+    max_v = max((v for g in groups.values() for v in g.values()), default=1.0)
+    for group, series in groups.items():
+        out.append(f"{group}:")
+        chart = hbar_chart(series, width=width, maximum=max_v,
+                           reference=reference)
+        out.extend("  " + line for line in chart.splitlines())
+    return "\n".join(out)
+
+
+def line_plot(points: Sequence[Tuple[float, float]], width: int = 50,
+              height: int = 12, x_label: str = "", y_label: str = "") -> str:
+    """A minimal scatter/line plot for sensitivity sweeps (Fig. 15a)."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x0) / (x1 - x0) * (width - 1))
+        row = height - 1 - int((y - y0) / (y1 - y0) * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{y1:8.2f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y0:8.2f} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"{x0:<10.0f}{x_label:^{max(0, width - 20)}}{x1:>10.0f}")
+    if y_label:
+        lines.insert(0, f"[{y_label}]")
+    return "\n".join(lines)
+
+
+def stacked_percent_rows(rows: Dict[str, Dict[str, float]],
+                         order: Sequence[str], glyphs: str = "#@%*+=-:. ",
+                         width: int = 50) -> str:
+    """Fig. 14-style 100%-stacked bars: each row's categories share a bar.
+
+    Categories are assigned glyphs in ``order``; a legend is appended.
+    """
+    label_w = max((len(k) for k in rows), default=4)
+    out = []
+    for name, cats in rows.items():
+        total = sum(cats.values()) or 1.0
+        bar = ""
+        for i, cat in enumerate(order):
+            share = cats.get(cat, 0) / total
+            bar += glyphs[i % len(glyphs)] * int(round(share * width))
+        bar = (bar + " " * width)[:width]
+        out.append(f"{name:<{label_w}s}  [{bar}]")
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={cat}"
+                       for i, cat in enumerate(order))
+    out.append(f"legend: {legend}")
+    return "\n".join(out)

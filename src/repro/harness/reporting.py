@@ -1,0 +1,37 @@
+"""Plain-text rendering of experiment results (the benches' output)."""
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(name: str, points: Dict) -> str:
+    """One figure series as ``name: k1=v1 k2=v2 ...``."""
+    body = " ".join(f"{k}={_fmt(v)}" for k, v in points.items())
+    return f"{name}: {body}"
+
+
+def bar(value: float, scale: float = 40.0, maximum: float = 2.0) -> str:
+    """A crude ASCII bar for eyeballing figure shapes in bench output."""
+    n = max(0, int(value / maximum * scale))
+    return "#" * min(n, int(scale * 2))

@@ -1,0 +1,109 @@
+"""Top-level simulation entry point.
+
+``simulate(RunConfig(...))`` wires a workload, a core configuration, and a
+pre-execution engine together, runs the simulation, and returns a
+:class:`SimResult`.  The ``engine`` field selects the paper's compared
+configurations:
+
+* ``baseline``       — the Table III core alone;
+* ``perfbp``         — perfect (oracle) branch prediction;
+* ``phelps``         — full Phelps (flags on ``phelps_config`` select the
+                       Fig. 11 ablations and Fig. 12b's no-stores variant);
+* ``br`` / ``br12``  — Branch Runahead with speculative triggering, on the
+                       baseline core or the widened BR-12w core;
+* ``br_nonspec``     — Branch Runahead with non-speculative triggering;
+* ``partition_only`` — the main thread running alone but with half the
+                       frontend/resources (Fig. 13c).
+"""
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import Core, CoreConfig, SimStats
+from repro.memory import MemoryConfig
+from repro.phelps import PhelpsConfig, PhelpsEngine
+from repro.workloads import build_workload
+
+ENGINES = ("baseline", "perfbp", "phelps", "br", "br12", "br_nonspec", "partition_only")
+
+
+@dataclass
+class RunConfig:
+    workload: str
+    engine: str = "baseline"
+    max_instructions: int = 120_000
+    max_cycles: int = 5_000_000
+    core: Optional[CoreConfig] = None
+    memory: Optional[MemoryConfig] = None
+    phelps_config: Optional[PhelpsConfig] = None
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; known: {ENGINES}")
+
+
+@dataclass
+class SimResult:
+    config: RunConfig
+    stats: SimStats
+    wall_seconds: float
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def mpki(self) -> float:
+        return self.stats.mpki
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+def _widened_core(core_cfg: CoreConfig) -> CoreConfig:
+    """The BR-12w configuration: 4 extra lanes and enough extra frontend
+    width/resources that the main thread keeps baseline allocations after
+    the 50/50 split (paper Section VII)."""
+    return dataclasses.replace(
+        core_cfg,
+        fetch_width=core_cfg.fetch_width * 12 // 8,
+        dispatch_width=core_cfg.dispatch_width * 12 // 8,
+        retire_width=core_cfg.retire_width * 12 // 8,
+        rob_size=core_cfg.rob_size * 2,
+        prf_size=core_cfg.prf_size * 3 // 2,
+        lq_size=core_cfg.lq_size * 3 // 2 // 8 * 8,
+        sq_size=core_cfg.sq_size * 3 // 2 // 8 * 8,
+        lanes_simple=core_cfg.lanes_simple + 2,
+        lanes_mem=core_cfg.lanes_mem + 1,
+        lanes_complex=core_cfg.lanes_complex + 1,
+    )
+
+
+def simulate(config: RunConfig) -> SimResult:
+    program = build_workload(config.workload)
+    core_cfg = config.core or CoreConfig()
+    engine = None
+
+    if config.engine == "perfbp":
+        core_cfg = dataclasses.replace(core_cfg, perfect_branch_prediction=True)
+    elif config.engine == "phelps":
+        engine = PhelpsEngine(config.phelps_config or PhelpsConfig())
+    elif config.engine in ("br", "br12", "br_nonspec"):
+        from repro.runahead import BranchRunaheadEngine, BRConfig
+
+        br_cfg = BRConfig(speculative_triggering=config.engine != "br_nonspec")
+        engine = BranchRunaheadEngine(br_cfg)
+        if config.engine == "br12":
+            core_cfg = _widened_core(core_cfg)
+
+    core = Core(program, config=core_cfg, mem_config=config.memory, engine=engine)
+    if config.engine == "partition_only":
+        core.set_partition_mode("MT_ITO")
+
+    start = time.time()
+    stats = core.run(max_instructions=config.max_instructions,
+                     max_cycles=config.max_cycles)
+    return SimResult(config=config, stats=stats, wall_seconds=time.time() - start)

@@ -1,0 +1,30 @@
+"""A small RISC-V-flavoured 64-bit ISA used as the simulation substrate.
+
+The paper's simulator is RISC-V execution-driven; ours uses a compact
+RISC-like ISA with 32 integer registers, 8-byte memory words, conditional
+branches, and a pair of helper-thread-internal operations (predicate
+producers and live-in moves) that never appear in architectural programs.
+"""
+
+from repro.isa.opcodes import Opcode, LaneClass
+from repro.isa.registers import REG_NAMES, reg_index, reg_name, NUM_REGS
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.assembler import Assembler
+from repro.isa.executor import ArchState, StepResult, UndoLog, run_program
+
+__all__ = [
+    "Opcode",
+    "LaneClass",
+    "REG_NAMES",
+    "reg_index",
+    "reg_name",
+    "NUM_REGS",
+    "Instruction",
+    "Program",
+    "Assembler",
+    "ArchState",
+    "StepResult",
+    "UndoLog",
+    "run_program",
+]

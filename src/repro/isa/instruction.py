@@ -1,0 +1,164 @@
+"""The :class:`Instruction` record shared by the assembler, the functional
+executor, the out-of-order core, and the Phelps helper-thread machinery."""
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.isa.opcodes import (
+    COND_BRANCH_OPS,
+    LaneClass,
+    Opcode,
+    RI_ALU_OPS,
+    RR_ALU_OPS,
+    COMPLEX_OPS,
+    lane_class,
+)
+
+
+@dataclass
+class Instruction:
+    """One static instruction.
+
+    ``imm`` is overloaded the way fixed-format RISC encodings overload it:
+    the immediate operand for ALU-immediate ops, the byte offset for
+    loads/stores, and the *absolute target PC* for branches and JAL
+    (the assembler resolves labels to absolute PCs).
+
+    The ``pred_*`` fields only exist on helper-thread instructions after
+    Phelps converts delinquent branches to predicate producers and assigns
+    predicate operands (paper Section V-E): ``pred_rd`` is the logical
+    destination predicate register of a PRED; ``pred_rs`` is the logical
+    source predicate register of a PRED or guarded store (0 = ``pred0`` =
+    unconditional); ``pred_dir`` is the enabling direction bit.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    pc: int = -1
+    # --- helper-thread-only fields ---
+    pred_rd: Optional[int] = None
+    pred_rs: Optional[int] = None
+    pred_dir: Optional[bool] = None
+    # Optional second predicate source (Section V-K OR-guarding: the two
+    # evaluations are ORed).  Disabled in the paper's evaluated design.
+    pred_rs2: Optional[int] = None
+    pred_dir2: Optional[bool] = None
+    origin_pc: Optional[int] = None  # PC of the branch a PRED was converted from
+    origin_opcode: Optional[Opcode] = None  # comparison a PRED performs
+    # Outer-thread header branch: logical regs captured into the Visit Queue
+    # at retire (live-ins supplied to the inner thread).
+    capture_regs: Tuple[int, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    # Classification properties.
+    # ------------------------------------------------------------------
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode in COND_BRANCH_OPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.opcode in (Opcode.JAL, Opcode.JALR)
+
+    @property
+    def is_branch(self) -> bool:
+        """Any control-transfer instruction."""
+        return self.is_cond_branch or self.is_jump
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.SD
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode in (Opcode.LD, Opcode.SD)
+
+    @property
+    def is_pred_producer(self) -> bool:
+        return self.opcode is Opcode.PRED
+
+    @property
+    def is_backward_branch(self) -> bool:
+        """A conditional branch whose taken-target precedes it (loop branch)."""
+        return self.is_cond_branch and self.imm is not None and self.imm <= self.pc
+
+    @property
+    def lane(self) -> LaneClass:
+        if self.opcode is Opcode.PRED:
+            return LaneClass.SIMPLE
+        if self.opcode is Opcode.MOV_LIVEIN:
+            return LaneClass.SIMPLE
+        return lane_class(self.opcode)
+
+    # ------------------------------------------------------------------
+    # Register operand views.
+    # ------------------------------------------------------------------
+    @property
+    def dest_reg(self) -> Optional[int]:
+        """Logical integer destination, or None (x0 writes are discarded)."""
+        if self.opcode in (Opcode.SD, Opcode.NOP, Opcode.HALT, Opcode.PRED):
+            return None
+        if self.opcode in COND_BRANCH_OPS:
+            return None
+        if self.rd == 0:
+            return None
+        return self.rd
+
+    @property
+    def src_regs(self) -> List[int]:
+        """Logical integer source registers actually read."""
+        op = self.opcode
+        if op in RR_ALU_OPS or op in COMPLEX_OPS:
+            return [self.rs1, self.rs2]
+        if op in RI_ALU_OPS:
+            return [] if op is Opcode.LI else [self.rs1]
+        if op is Opcode.LD:
+            return [self.rs1]
+        if op is Opcode.SD:
+            return [self.rs1, self.rs2]  # rs1 = base, rs2 = data
+        if op in COND_BRANCH_OPS or op is Opcode.PRED:
+            return [self.rs1, self.rs2]
+        if op is Opcode.JALR:
+            return [self.rs1]
+        if op is Opcode.MOV_LIVEIN:
+            return [self.rs1]
+        return []
+
+    @property
+    def branch_target(self) -> Optional[int]:
+        """Statically-known taken target (None for JALR)."""
+        if self.is_cond_branch or self.opcode is Opcode.JAL:
+            return self.imm
+        return None
+
+    @property
+    def fall_through(self) -> int:
+        return self.pc + 4
+
+    def copy(self, **changes) -> "Instruction":
+        """Shallow copy with field overrides (used by the Phelps slicer)."""
+        return replace(self, **changes)
+
+    def __repr__(self) -> str:
+        parts = [f"{self.opcode.value}"]
+        if self.rd is not None:
+            parts.append(f"rd=x{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"rs1=x{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"rs2=x{self.rs2}")
+        if self.imm is not None:
+            parts.append(f"imm={self.imm:#x}" if self.is_branch else f"imm={self.imm}")
+        if self.pred_rd is not None:
+            parts.append(f"pred_rd=p{self.pred_rd}")
+        if self.pred_rs is not None:
+            direction = "T" if self.pred_dir else "NT"
+            parts.append(f"pred_rs=p{self.pred_rs}@{direction}")
+        return f"<{self.pc:#x}: {' '.join(parts)}>"

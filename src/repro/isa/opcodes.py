@@ -1,0 +1,129 @@
+"""Opcode and execution-lane definitions for the mini ISA."""
+
+import enum
+
+
+class LaneClass(enum.Enum):
+    """Which execution lane class an instruction issues to.
+
+    Mirrors the paper's Table III: 4 simple ALU lanes, 2 load/store lanes,
+    2 FP/complex lanes.
+    """
+
+    SIMPLE = "simple"
+    COMPLEX = "complex"
+    MEM = "mem"
+    NONE = "none"  # NOP/HALT consume no lane
+
+
+class Opcode(enum.Enum):
+    # Register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+    MIN = "min"
+    MAX = "max"
+    # Complex ALU.
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # Register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    LI = "li"  # load immediate (LUI+ADDI folded)
+    # Memory (8-byte words).
+    LD = "ld"
+    SD = "sd"
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    JAL = "jal"
+    JALR = "jalr"
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"
+    # Helper-thread-internal (never in architectural programs):
+    PRED = "pred"  # predicate producer converted from a conditional branch
+    MOV_LIVEIN = "mov_livein"  # live-in copy injected at helper-thread start
+
+
+RR_ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.SLT,
+        Opcode.SLTU,
+        Opcode.MIN,
+        Opcode.MAX,
+    }
+)
+
+COMPLEX_OPS = frozenset({Opcode.MUL, Opcode.DIV, Opcode.REM})
+
+RI_ALU_OPS = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLTI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SRAI,
+        Opcode.LI,
+    }
+)
+
+COND_BRANCH_OPS = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU}
+)
+
+# PRED executes the same comparison as the branch it was converted from.
+PRED_SOURCE_OPS = COND_BRANCH_OPS
+
+
+def lane_class(opcode: Opcode) -> LaneClass:
+    """Map an opcode to its execution lane class."""
+    if opcode in COMPLEX_OPS:
+        return LaneClass.COMPLEX
+    if opcode in (Opcode.LD, Opcode.SD):
+        return LaneClass.MEM
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        return LaneClass.NONE
+    return LaneClass.SIMPLE
+
+
+# Execution latency (cycles in the execute stage) per lane/opcode.
+EXEC_LATENCY = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.REM: 12,
+}
+
+
+def exec_latency(opcode: Opcode) -> int:
+    """Fixed execution latency for non-memory opcodes (loads are variable)."""
+    return EXEC_LATENCY.get(opcode, 1)

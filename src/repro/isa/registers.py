@@ -1,0 +1,26 @@
+"""Logical integer register file naming (x0..x31, x0 hard-wired to zero)."""
+
+NUM_REGS = 32
+
+REG_NAMES = tuple(f"x{i}" for i in range(NUM_REGS))
+
+_NAME_TO_INDEX = {name: i for i, name in enumerate(REG_NAMES)}
+# Accept a few RISC-V ABI aliases for readability in workload kernels.
+_NAME_TO_INDEX.update({"zero": 0, "ra": 1, "sp": 2})
+
+
+def reg_index(reg) -> int:
+    """Resolve a register operand (``'x7'``, ``7``, ``'zero'``) to an index."""
+    if isinstance(reg, int):
+        if not 0 <= reg < NUM_REGS:
+            raise ValueError(f"register index {reg} out of range")
+        return reg
+    try:
+        return _NAME_TO_INDEX[reg]
+    except KeyError:
+        raise ValueError(f"unknown register {reg!r}") from None
+
+
+def reg_name(index: int) -> str:
+    """Canonical name for a register index."""
+    return REG_NAMES[index]

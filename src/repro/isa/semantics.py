@@ -1,0 +1,74 @@
+"""Pure evaluation functions — the single source of truth for instruction
+semantics, shared by the in-order functional executor and the out-of-order
+core's execute stage (execute-at-execute)."""
+
+from repro.isa.opcodes import Opcode
+from repro.utils.bits import to_i64, to_u64
+
+
+def eval_alu(opcode: Opcode, a: int, b: int) -> int:
+    """Evaluate an ALU operation on signed-64 operands; returns signed-64.
+
+    ``b`` is the second register value or the immediate, as appropriate.
+    """
+    if opcode in (Opcode.ADD, Opcode.ADDI):
+        return to_i64(a + b)
+    if opcode is Opcode.SUB:
+        return to_i64(a - b)
+    if opcode in (Opcode.AND, Opcode.ANDI):
+        return to_i64(a & b)
+    if opcode in (Opcode.OR, Opcode.ORI):
+        return to_i64(a | b)
+    if opcode in (Opcode.XOR, Opcode.XORI):
+        return to_i64(a ^ b)
+    if opcode in (Opcode.SLL, Opcode.SLLI):
+        return to_i64(to_u64(a) << (b & 63))
+    if opcode in (Opcode.SRL, Opcode.SRLI):
+        return to_i64(to_u64(a) >> (b & 63))
+    if opcode in (Opcode.SRA, Opcode.SRAI):
+        return to_i64(a >> (b & 63))
+    if opcode in (Opcode.SLT, Opcode.SLTI):
+        return 1 if a < b else 0
+    if opcode is Opcode.SLTU:
+        return 1 if to_u64(a) < to_u64(b) else 0
+    if opcode is Opcode.MIN:
+        return a if a < b else b
+    if opcode is Opcode.MAX:
+        return a if a > b else b
+    if opcode is Opcode.MUL:
+        return to_i64(a * b)
+    if opcode is Opcode.DIV:
+        if b == 0:
+            return -1  # RISC-V semantics
+        q = abs(a) // abs(b)
+        return to_i64(-q if (a < 0) != (b < 0) else q)
+    if opcode is Opcode.REM:
+        if b == 0:
+            return to_i64(a)
+        r = abs(a) % abs(b)
+        return to_i64(-r if a < 0 else r)
+    if opcode is Opcode.LI:
+        return to_i64(b)
+    raise ValueError(f"not an ALU opcode: {opcode}")
+
+
+def eval_branch(opcode: Opcode, a: int, b: int) -> bool:
+    """Evaluate a conditional-branch comparison (also used by PRED)."""
+    if opcode is Opcode.BEQ:
+        return a == b
+    if opcode is Opcode.BNE:
+        return a != b
+    if opcode is Opcode.BLT:
+        return a < b
+    if opcode is Opcode.BGE:
+        return a >= b
+    if opcode is Opcode.BLTU:
+        return to_u64(a) < to_u64(b)
+    if opcode is Opcode.BGEU:
+        return to_u64(a) >= to_u64(b)
+    raise ValueError(f"not a conditional branch opcode: {opcode}")
+
+
+def mem_effective_address(base: int, offset: int) -> int:
+    """Effective address of a load/store, aligned to the 8-byte word size."""
+    return to_u64(base + offset) & ~7

@@ -1,0 +1,22 @@
+"""Memory hierarchy: set-associative caches, MSHRs, prefetchers, DRAM.
+
+Timing-only model (Table III): data values live in the simulator's flat
+committed-memory image; the hierarchy decides *when* a load's value is
+available.  Stores are write-back/write-allocate and commit off the
+critical path at retire.
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.mshr import MSHRFile
+from repro.memory.prefetcher import StridePrefetcher, DeltaPrefetcher
+from repro.memory.hierarchy import MemoryHierarchy, MemoryConfig
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MSHRFile",
+    "StridePrefetcher",
+    "DeltaPrefetcher",
+    "MemoryHierarchy",
+    "MemoryConfig",
+]

@@ -1,0 +1,122 @@
+"""Set-associative, write-back, write-allocate cache tag store with LRU."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "prefetched")
+
+    def __init__(self, tag: int, dirty: bool = False, prefetched: bool = False):
+        self.tag = tag
+        self.dirty = dirty
+        self.prefetched = prefetched
+
+
+class Cache:
+    """A single cache level (tags only; data stays in the flat memory image).
+
+    ``lookup`` probes without side effects; ``access`` performs the
+    hit/miss state change and returns whether it hit plus the writeback
+    block address if a dirty line was evicted.
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64, name: str = "cache"):
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("size must be a multiple of ways*line")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: number of sets ({self.num_sets}) must be a power of two")
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # Per set: list of lines, MRU first.
+        self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def block_addr(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def _set_index(self, block: int) -> int:
+        return block & self._set_mask
+
+    def _tag(self, block: int) -> int:
+        return block >> (self.num_sets.bit_length() - 1)
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> bool:
+        """Probe without updating LRU or stats."""
+        block = self.block_addr(addr)
+        s = self._sets[self._set_index(block)]
+        tag = self._tag(block)
+        return any(line.tag == tag for line in s)
+
+    def access(self, addr: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Demand access.  Returns (hit, writeback_block_addr_or_None).
+
+        On a miss the block is allocated (fill is assumed to complete;
+        timing is the hierarchy's job) and the LRU victim, if dirty, is
+        reported for writeback accounting.
+        """
+        block = self.block_addr(addr)
+        set_idx = self._set_index(block)
+        s = self._sets[set_idx]
+        tag = self._tag(block)
+        for i, line in enumerate(s):
+            if line.tag == tag:
+                self.stats.hits += 1
+                if is_write:
+                    line.dirty = True
+                if i:
+                    s.insert(0, s.pop(i))
+                return True, None
+        self.stats.misses += 1
+        writeback = self._fill(set_idx, tag, dirty=is_write, prefetched=False)
+        return False, writeback
+
+    def fill(self, addr: int, prefetched: bool = False) -> Optional[int]:
+        """Install a block (e.g. a prefetch fill); returns writeback block."""
+        block = self.block_addr(addr)
+        set_idx = self._set_index(block)
+        tag = self._tag(block)
+        s = self._sets[set_idx]
+        for i, line in enumerate(s):
+            if line.tag == tag:
+                return None  # already present
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return self._fill(set_idx, tag, dirty=False, prefetched=prefetched)
+
+    def _fill(self, set_idx: int, tag: int, dirty: bool, prefetched: bool) -> Optional[int]:
+        s = self._sets[set_idx]
+        s.insert(0, _Line(tag, dirty=dirty, prefetched=prefetched))
+        if len(s) > self.ways:
+            victim = s.pop()
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                return (victim.tag << (self.num_sets.bit_length() - 1)) | set_idx
+        return None
+
+    def invalidate_all(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]

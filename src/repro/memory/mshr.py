@@ -1,0 +1,54 @@
+"""Miss Status Holding Registers.
+
+Tracks outstanding cache misses by block address.  Secondary misses to an
+outstanding block merge (they inherit the primary miss's ready cycle); when
+all MSHRs are busy, a new miss must wait for the earliest one to free.
+
+The paper notes that Phelps' decoupled outer thread "increas[es] utilization
+of miss status holding registers" — modelling a finite MSHR file is what
+makes that observable.
+"""
+
+from typing import Dict
+
+
+class MSHRFile:
+    def __init__(self, entries: int = 16):
+        self.entries = entries
+        self._outstanding: Dict[int, int] = {}  # block -> ready cycle
+        self.merges = 0
+        self.full_stalls = 0
+        self.allocations = 0
+
+    def _expire(self, now: int) -> None:
+        if self._outstanding:
+            done = [b for b, t in self._outstanding.items() if t <= now]
+            for b in done:
+                del self._outstanding[b]
+
+    def occupancy(self, now: int) -> int:
+        self._expire(now)
+        return len(self._outstanding)
+
+    def request(self, block: int, now: int, latency: int) -> int:
+        """Register a miss for ``block``; returns the cycle its data arrives.
+
+        Merging and full-file stalls are handled internally.
+        """
+        self._expire(now)
+        if block in self._outstanding:
+            self.merges += 1
+            return self._outstanding[block]
+        start = now
+        if len(self._outstanding) >= self.entries:
+            self.full_stalls += 1
+            start = min(self._outstanding.values())
+            self._expire(start)
+            if len(self._outstanding) >= self.entries:
+                # Defensive: several entries share the min; drop the oldest.
+                victim = min(self._outstanding, key=self._outstanding.get)
+                del self._outstanding[victim]
+        ready = start + latency
+        self._outstanding[block] = ready
+        self.allocations += 1
+        return ready

@@ -1,0 +1,105 @@
+"""Hardware prefetchers.
+
+The paper's core uses IPCP at L1D and VLDP at L2 (Table III).  We implement
+structurally-similar stand-ins (see DESIGN.md §3):
+
+* :class:`StridePrefetcher` ("IPCP-lite") — per-instruction-pointer stride
+  classification with confidence and degree, trained on demand accesses.
+* :class:`DeltaPrefetcher` ("VLDP-lite") — per-page delta-history matching,
+  predicting the next deltas from recently observed delta sequences.
+"""
+
+from typing import Dict, List, Tuple
+
+
+class StridePrefetcher:
+    """Per-PC stride prefetcher with confidence and configurable degree."""
+
+    def __init__(self, entries: int = 256, degree: int = 4, line_bytes: int = 64):
+        self._entries = entries
+        self.degree = degree
+        self._line = line_bytes
+        # pc -> [last_addr, stride, confidence]
+        self._table: Dict[int, List[int]] = {}
+        self.issued = 0
+
+    def train_and_predict(self, pc: int, addr: int) -> List[int]:
+        """Observe a demand access; return block-aligned prefetch addresses."""
+        entry = self._table.get(pc)
+        prefetches: List[int] = []
+        if entry is None:
+            if len(self._table) >= self._entries:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = [addr, 0, 0]
+            return prefetches
+        last_addr, stride, conf = entry
+        new_stride = addr - last_addr
+        if new_stride == stride and stride != 0:
+            conf = min(conf + 1, 3)
+        else:
+            conf = max(conf - 1, 0)
+            if conf == 0:
+                stride = new_stride
+        entry[0], entry[1], entry[2] = addr, stride, conf
+        if conf >= 2 and stride != 0:
+            for d in range(1, self.degree + 1):
+                prefetches.append((addr + d * stride) & ~(self._line - 1))
+            self.issued += len(prefetches)
+        return prefetches
+
+
+class DeltaPrefetcher:
+    """Per-page delta-history prefetcher (VLDP-lite).
+
+    Keeps the last few block deltas per 4 KB page; when the most recent
+    delta pair has been seen before, prefetches the block the recorded
+    successor delta points at.
+    """
+
+    def __init__(self, pages: int = 64, line_bytes: int = 64, degree: int = 2):
+        self._pages = pages
+        self._line = line_bytes
+        self.degree = degree
+        # page -> (last_block, last_delta)
+        self._page_state: Dict[int, Tuple[int, int]] = {}
+        # (page-agnostic) delta -> next delta, with 2-bit confidence
+        self._delta_table: Dict[int, List[int]] = {}
+        self.issued = 0
+
+    def train_and_predict(self, addr: int) -> List[int]:
+        block = addr // self._line
+        page = addr >> 12
+        prefetches: List[int] = []
+        state = self._page_state.get(page)
+        if state is not None:
+            last_block, last_delta = state
+            delta = block - last_block
+            if delta != 0:
+                if last_delta != 0:
+                    entry = self._delta_table.get(last_delta)
+                    if entry is None:
+                        if len(self._delta_table) >= 256:
+                            self._delta_table.pop(next(iter(self._delta_table)))
+                        self._delta_table[last_delta] = [delta, 1]
+                    elif entry[0] == delta:
+                        entry[1] = min(entry[1] + 1, 3)
+                    else:
+                        entry[1] -= 1
+                        if entry[1] <= 0:
+                            self._delta_table[last_delta] = [delta, 1]
+                self._page_state[page] = (block, delta)
+                # Predict forward using the chained deltas.
+                cur_block, cur_delta = block, delta
+                for _ in range(self.degree):
+                    nxt = self._delta_table.get(cur_delta)
+                    if nxt is None or nxt[1] < 2:
+                        break
+                    cur_block += nxt[0]
+                    prefetches.append(cur_block * self._line)
+                    cur_delta = nxt[0]
+                self.issued += len(prefetches)
+        else:
+            if len(self._page_state) >= self._pages:
+                self._page_state.pop(next(iter(self._page_state)))
+            self._page_state[page] = (block, 0)
+        return prefetches

@@ -1,0 +1,43 @@
+"""Phelps: predicated helper threads (the paper's contribution).
+
+Training structures (Section V-B..V-D), the Helper Thread Cache (V-E),
+loop-iteration-driven prediction queues (IV-B), the Visit Queue for dual
+decoupled helper threads (V-F), the speculative helper-store cache (IV-A),
+and the epoch-based controller that wires it all into the core (V-A..V-J).
+"""
+
+from repro.phelps.config import PhelpsConfig
+from repro.phelps.dbt import DelinquentBranchTable, DBTEntry, DBTMax
+from repro.phelps.loop_table import LoopTable, LoopTableEntry
+from repro.phelps.lpt import LastProducerTable
+from repro.phelps.store_detect import RetiredStoreQueue
+from repro.phelps.cdfsm import CDFSMMatrix, CDState
+from repro.phelps.prediction_queues import PredictionQueueFile
+from repro.phelps.visit_queue import VisitQueue
+from repro.phelps.spec_cache import SpeculativeCache
+from repro.phelps.htc import HelperThreadCache, HelperThreadRow
+from repro.phelps.slicer import HelperThreadBuilder
+from repro.phelps.controller import PhelpsEngine
+from repro.phelps.budget import component_costs, total_cost_bytes
+
+__all__ = [
+    "PhelpsConfig",
+    "DelinquentBranchTable",
+    "DBTEntry",
+    "DBTMax",
+    "LoopTable",
+    "LoopTableEntry",
+    "LastProducerTable",
+    "RetiredStoreQueue",
+    "CDFSMMatrix",
+    "CDState",
+    "PredictionQueueFile",
+    "VisitQueue",
+    "SpeculativeCache",
+    "HelperThreadCache",
+    "HelperThreadRow",
+    "HelperThreadBuilder",
+    "PhelpsEngine",
+    "component_costs",
+    "total_cost_bytes",
+]

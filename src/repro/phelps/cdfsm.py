@@ -1,0 +1,145 @@
+"""Control-Dependency FSM matrix (paper Section V-D, Figures 7 and 8).
+
+Learns the *immediate guarding branch* of every delinquent branch and
+included store.  Each matrix element is a 2-bit FSM:
+
+* ``INIT`` — pair not yet observed;
+* ``CD_T`` / ``CD_NT`` — the row instruction has so far always seen the
+  column branch immediately prior with this direction (control-dependent);
+* ``CI`` — both directions of the column branch have been observed
+  immediately prior: the row instruction is control-independent of it, and
+  subsequent training looks *past* it in the branch list.
+
+Training is driven by a per-iteration *branch list* of retired delinquent
+branches and their directions, cleared when the loop branch retires.
+"""
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+
+class CDState(enum.Enum):
+    INIT = 0
+    CD_T = 1
+    CD_NT = 2
+    CI = 3
+
+
+class CDFSMMatrix:
+    def __init__(self, max_rows: int = 32, max_cols: int = 16):
+        self.max_rows = max_rows
+        self.max_cols = max_cols
+        self.rows: List[int] = []  # row instruction PCs (branches + stores)
+        self.cols: List[int] = []  # delinquent branch PCs
+        # (row_pc, col_pc) -> CDState; INIT entries are implicit.
+        self._state: Dict[Tuple[int, int], CDState] = {}
+        self.branch_list: List[Tuple[int, bool]] = []  # (pc, taken) this iteration
+        self.overflowed = False
+
+    # ------------------------------------------------------------------
+    # Row/column allocation.
+    # ------------------------------------------------------------------
+    def add_col(self, pc: int) -> None:
+        if pc in self.cols:
+            return
+        if len(self.cols) >= self.max_cols:
+            self.overflowed = True
+            return
+        self.cols.append(pc)
+
+    def add_row(self, pc: int) -> None:
+        if pc in self.rows:
+            return
+        if len(self.rows) >= self.max_rows:
+            self.overflowed = True
+            return
+        self.rows.append(pc)
+
+    def state(self, row_pc: int, col_pc: int) -> CDState:
+        return self._state.get((row_pc, col_pc), CDState.INIT)
+
+    # ------------------------------------------------------------------
+    # Training (at retire).
+    # ------------------------------------------------------------------
+    def note_retired(self, pc: int, taken: Optional[bool] = None) -> None:
+        """Train the row of ``pc`` (if it has one), then append to the
+        branch list (if ``pc`` is a column branch)."""
+        if pc in self.rows:
+            self._train_row(pc)
+        if taken is not None and pc in self.cols:
+            self.branch_list.append((pc, taken))
+
+    def _train_row(self, row_pc: int) -> None:
+        # Walk the branch list from most recent, skipping CI columns
+        # (the row instruction "looks past" branches it is independent of).
+        for col_pc, taken in reversed(self.branch_list):
+            if col_pc == row_pc:
+                continue  # a prior dynamic instance of itself ends the walk
+            state = self.state(row_pc, col_pc)
+            if state is CDState.CI:
+                continue
+            if state is CDState.INIT:
+                new = CDState.CD_T if taken else CDState.CD_NT
+            elif state is CDState.CD_T:
+                new = CDState.CD_T if taken else CDState.CI
+            else:  # CD_NT
+                new = CDState.CI if taken else CDState.CD_NT
+            self._state[(row_pc, col_pc)] = new
+            if new is CDState.CI:
+                continue  # independence discovered: look further back now
+            return
+        # Empty (or fully-CI) branch list: nothing to train.
+
+    def end_iteration(self) -> None:
+        """Loop branch retired: clear the branch list (Section V-D)."""
+        self.branch_list.clear()
+
+    # ------------------------------------------------------------------
+    # Result extraction (at helper-thread finalization).
+    # ------------------------------------------------------------------
+    def immediate_guard(self, row_pc: int) -> Optional[Tuple[int, bool]]:
+        """(guard_pc, enabling_direction) of the row's immediate guarding
+        branch, or None if unguarded (all FSMs INIT or CI).
+
+        ``enabling_direction`` is the column direction that *enables* the
+        row instruction (CD_NT -> enabled when the guard is not-taken).
+        """
+        guards = []
+        for col_pc in self.cols:
+            state = self.state(row_pc, col_pc)
+            if state is CDState.CD_T:
+                guards.append((col_pc, True))
+            elif state is CDState.CD_NT:
+                guards.append((col_pc, False))
+        if not guards:
+            return None
+        # Multiple CD states indicate OR-guarding (Section V-K, out of the
+        # evaluated design's scope); fall back to the most recent guard in
+        # program order, which is the innermost one for structured code.
+        return max(guards, key=lambda g: g[0])
+
+    def all_guards(self, row_pc: int) -> List[Tuple[int, bool]]:
+        """Every (guard_pc, enabling_direction) in CD state for this row —
+        more than one indicates OR-guarding (Section V-K)."""
+        guards = []
+        for col_pc in self.cols:
+            state = self.state(row_pc, col_pc)
+            if state is CDState.CD_T:
+                guards.append((col_pc, True))
+            elif state is CDState.CD_NT:
+                guards.append((col_pc, False))
+        return guards
+
+    def has_multiple_guards(self, row_pc: int) -> bool:
+        count = sum(
+            1 for col_pc in self.cols
+            if self.state(row_pc, col_pc) in (CDState.CD_T, CDState.CD_NT)
+        )
+        return count > 1
+
+    def reset(self) -> None:
+        self.rows.clear()
+        self.cols.clear()
+        self._state.clear()
+        self.branch_list.clear()
+        self.overflowed = False

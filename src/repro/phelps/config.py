@@ -1,0 +1,81 @@
+"""Phelps configuration.
+
+``PhelpsConfig()`` gives the paper's parameters (Table II, Section V) with
+one exception: the epoch length defaults to a scaled value because our
+cycle-level substrate runs short regions (see DESIGN.md §3).  Use
+:meth:`PhelpsConfig.paper` for the verbatim 4 M-instruction epochs.
+
+The three ``include_*`` flags reproduce the Fig. 11 ablations:
+
+=====================  =======================  ===============  ====================
+configuration          include_guarded_branches include_stores   include_guarded_stores
+=====================  =======================  ===============  ====================
+Phelps (full)          True                     True             True
+Phelps:b1->b2          True                     True             False
+Phelps:b1              False                    True             False
+Phelps:b1->s1          False                    True             True
+Phelps w/o stores      --                       False            --
+=====================  =======================  ===============  ====================
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class PhelpsConfig:
+    # Epoch machinery (Section V-A).
+    epoch_length: int = 20_000
+    # Delinquency threshold: 0.5 mispredictions per kilo-instruction of the
+    # epoch (paper: 2,000 mispredictions per 4 M-instruction epoch).
+    delinquency_mpki: float = 0.5
+    # Structure capacities (Table II).
+    dbt_entries: int = 256
+    dbt_max_entries: int = 32
+    loop_table_entries: int = 8
+    htcb_capacity: int = 256
+    store_detect_entries: int = 16
+    cdfsm_rows: int = 32
+    cdfsm_cols: int = 16
+    htc_rows: int = 4
+    htc_row_capacity: int = 128
+    queue_count: int = 16
+    queue_depth: int = 32
+    spec_cache_sets: int = 16
+    spec_cache_ways: int = 2
+    visit_queue_depth: int = 16
+    visit_live_ins: int = 4
+    mt_livein_limit: int = 16
+    # Eligibility (Section V-J).
+    ht_size_fraction: float = 0.75
+    min_iterations_per_visit: int = 16
+    # Ablation flags (Fig. 11 / Fig. 12b).
+    include_guarded_branches: bool = True
+    include_stores: bool = True
+    include_guarded_stores: bool = True
+    # Section V-K extension (off in the paper's evaluated design): support
+    # OR-guarded instructions with two predicate source operands.
+    enable_or_predicates: bool = False
+    # Safety net for the simulator (not a hardware structure): terminate
+    # helper threads if the main thread makes no progress for this long.
+    watchdog_cycles: int = 20_000
+
+    @property
+    def delinquency_threshold(self) -> int:
+        """Misprediction count a branch needs within one epoch to qualify."""
+        return max(1, int(self.delinquency_mpki * self.epoch_length / 1000))
+
+    @classmethod
+    def paper(cls) -> "PhelpsConfig":
+        return cls(epoch_length=4_000_000)
+
+    def without_stores(self) -> "PhelpsConfig":
+        return replace(self, include_stores=False)
+
+    def ablation_b1_b2(self) -> "PhelpsConfig":
+        return replace(self, include_guarded_stores=False)
+
+    def ablation_b1(self) -> "PhelpsConfig":
+        return replace(self, include_guarded_branches=False, include_guarded_stores=False)
+
+    def ablation_b1_s1(self) -> "PhelpsConfig":
+        return replace(self, include_guarded_branches=False, include_guarded_stores=True)

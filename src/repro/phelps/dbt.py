@@ -1,0 +1,140 @@
+"""Delinquent Branch Table and DBT-Max (paper Section V-B, Figure 6).
+
+The DBT tracks misprediction counts of conditional branches and trains the
+PC bounds of the two tightest enclosing loops using the most recently
+retired backward branch.  DBT-Max incrementally maintains the top-K ranking
+so the epoch-end pass does not need to scan the whole DBT.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+
+class DBTEntry:
+    __slots__ = ("pc", "mispredicts",
+                 "inner_valid", "inner_branch", "inner_target",
+                 "outer_valid", "outer_branch", "outer_target")
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        self.mispredicts = 0
+        self.inner_valid = False
+        self.inner_branch = 0
+        self.inner_target = 0
+        self.outer_valid = False
+        self.outer_branch = 0
+        self.outer_target = 0
+
+    # ------------------------------------------------------------------
+    def observe_loop(self, loop_branch: int, loop_target: int) -> None:
+        """Train the inner/outer loop fields with an enclosing backward
+        branch.  Keeps the two tightest distinct loops, sorted inner-first."""
+        if not (loop_target <= self.pc <= loop_branch):
+            return
+        candidates: List[Tuple[int, int]] = [(loop_branch, loop_target)]
+        if self.inner_valid:
+            candidates.append((self.inner_branch, self.inner_target))
+        if self.outer_valid:
+            candidates.append((self.outer_branch, self.outer_target))
+        # Deduplicate, sort by tightness (span).
+        unique = sorted(set(candidates), key=lambda bt: bt[0] - bt[1])
+        self.inner_branch, self.inner_target = unique[0]
+        self.inner_valid = True
+        if len(unique) > 1:
+            self.outer_branch, self.outer_target = unique[1]
+            self.outer_valid = True
+
+    @property
+    def in_loop(self) -> bool:
+        return self.inner_valid
+
+    @property
+    def is_nested(self) -> bool:
+        return self.inner_valid and self.outer_valid
+
+    def outermost(self) -> Tuple[int, int]:
+        """(loop_branch, loop_target) of the outermost known enclosing loop."""
+        if self.outer_valid:
+            return self.outer_branch, self.outer_target
+        return self.inner_branch, self.inner_target
+
+
+class DBTMax:
+    """Top-K ranking of DBT entries by misprediction count."""
+
+    def __init__(self, entries: int = 32):
+        self.capacity = entries
+        self._counts: Dict[int, int] = {}  # branch pc -> count
+
+    def update(self, pc: int, count: int) -> None:
+        if pc in self._counts:
+            self._counts[pc] = count
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[pc] = count
+            return
+        victim = min(self._counts, key=self._counts.get)
+        if count > self._counts[victim]:
+            del self._counts[victim]
+            self._counts[pc] = count
+
+    def ranked(self) -> List[Tuple[int, int]]:
+        """(pc, count) pairs, most delinquent first."""
+        return sorted(self._counts.items(), key=lambda kv: -kv[1])
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class DelinquentBranchTable:
+    def __init__(self, entries: int = 256, max_entries: int = 32):
+        self.capacity = entries
+        self.entries: Dict[int, DBTEntry] = {}
+        self.dbt_max = DBTMax(max_entries)
+        self.evictions = 0
+        # Most recently retired backward branch (pc, target).
+        self._last_backward: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    def note_retired(self, pc: int, taken: bool, target: Optional[int],
+                     mispredicted: bool) -> None:
+        """Retirement-unit hook for every retired conditional branch."""
+        if taken and target is not None and target <= pc:
+            self._last_backward = (pc, target)
+        if mispredicted:
+            entry = self._lookup_or_allocate(pc)
+            entry.mispredicts += 1
+            self.dbt_max.update(pc, entry.mispredicts)
+        entry = self.entries.get(pc)
+        if entry is not None and self._last_backward is not None:
+            # A backward branch observes itself as its own (inner) loop —
+            # a delinquent loop branch (e.g. a short inner loop's brC) is
+            # inside the loop it closes.
+            bpc, btgt = self._last_backward
+            entry.observe_loop(bpc, btgt)
+
+    def _lookup_or_allocate(self, pc: int) -> DBTEntry:
+        entry = self.entries.get(pc)
+        if entry is not None:
+            return entry
+        if len(self.entries) >= self.capacity:
+            victim = min(self.entries.values(), key=lambda e: e.mispredicts)
+            del self.entries[victim.pc]
+            self.evictions += 1
+        entry = DBTEntry(pc)
+        self.entries[pc] = entry
+        return entry
+
+    def get(self, pc: int) -> Optional[DBTEntry]:
+        return self.entries.get(pc)
+
+    def reset_counts(self) -> None:
+        """Epoch boundary: reset misprediction counters (loop bounds persist)."""
+        for entry in self.entries.values():
+            entry.mispredicts = 0
+        self.dbt_max.reset()

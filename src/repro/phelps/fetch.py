@@ -1,0 +1,93 @@
+"""Helper-thread fetch unit (paper Section V-E/V-F).
+
+Fetching is purely sequential through an HTC row region, wrapping back to
+the first instruction when the loop branch (the last instruction) is
+fetched.  Injected live-in move instructions are served before the row.
+The inner thread starts idle and is started per inner-loop visit.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.core.thread import FetchUnit
+
+
+def make_livein_move(logical_reg: int, value: Optional[int] = None) -> Instruction:
+    """An annotated move copying a live-in into the helper thread.
+
+    With ``value`` None the move reads the main thread's rename map at
+    dispatch (MT live-ins); otherwise the value comes from a Visit Queue
+    slot and travels with the instruction.
+    """
+    return Instruction(opcode=Opcode.MOV_LIVEIN, rd=logical_reg,
+                       rs1=logical_reg, pc=0)
+
+
+class HelperFetchUnit(FetchUnit):
+    def __init__(self, insts: List[Instruction], wait_for_visit: bool = False):
+        if not insts:
+            raise ValueError("empty helper thread")
+        self.insts = insts
+        self.idx = 0
+        self.waiting = wait_for_visit
+        self.halted = False
+        # (instruction, live-in value or None) pairs, served FIFO.
+        self._pending: List[Tuple[Instruction, Optional[int]]] = []
+        self._last_was_move = False
+
+    # ------------------------------------------------------------------
+    def inject_moves(self, regs: List[int], values: Optional[List[int]] = None) -> int:
+        """Queue live-in moves; returns how many were injected."""
+        for i, reg in enumerate(regs):
+            value = values[i] if values is not None else None
+            self._pending.append((make_livein_move(reg, value), value))
+        return len(regs)
+
+    def start_visit(self, regs: List[int], values: List[int]) -> None:
+        """Inner thread: begin processing the next inner-loop visit."""
+        self.inject_moves(regs, values)
+        self.idx = 0
+        self.waiting = False
+        self.halted = False
+
+    def stop(self) -> None:
+        self.halted = True
+
+    def wait(self) -> None:
+        self.waiting = True
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[Instruction]:
+        if self._pending:
+            return self._pending[0][0]
+        if self.halted or self.waiting:
+            return None
+        return self.insts[self.idx]
+
+    def annotate_uop(self, uop) -> None:
+        if self._pending and uop.inst is self._pending[0][0]:
+            uop.livein_value = self._pending[0][1]
+
+    def advance(self, taken: bool, target: Optional[int]) -> None:
+        if self._pending:
+            self._pending.pop(0)
+            return
+        inst = self.insts[self.idx]
+        if inst.is_cond_branch:
+            # The loop branch: fetch always wraps (predicted taken).
+            self.idx = 0
+        else:
+            self.idx += 1
+            if self.idx >= len(self.insts):  # defensive; loop branch is last
+                self.idx = 0
+
+    def redirect(self, pc: int) -> None:
+        """Load-violation recovery: refetch from the violating load's row
+        position (PCs are unique within a row)."""
+        self._pending.clear()
+        for i, inst in enumerate(self.insts):
+            if inst.pc == pc:
+                self.idx = i
+                return
+        self.idx = 0

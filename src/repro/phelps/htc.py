@@ -1,0 +1,100 @@
+"""Helper Thread Cache (paper Section V-E).
+
+Holds finalized helper threads for up to four loops.  Each row is tagged
+with the loop's start PC (the outermost loop branch's target); a nested
+row packs the outer thread into the first half and the inner thread into
+the second half.  Fetching is purely sequential, wrapping at the loop
+branch.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+
+
+@dataclass
+class HelperThreadRow:
+    """One HTC row: a finalized helper thread (or dual helper threads)."""
+
+    start_pc: int                 # trigger tag: target of outermost loop branch
+    loop_branch: int              # outermost backward branch PC
+    loop_target: int
+    is_nested: bool = False
+    inner_branch: int = 0
+    inner_target: int = 0
+    # Packed instructions.  For nested rows ``outer_insts`` is the first
+    # half and ``inner_insts`` the second; otherwise only ``inner_insts``
+    # is used (inner-thread-only).
+    outer_insts: List[Instruction] = field(default_factory=list)
+    inner_insts: List[Instruction] = field(default_factory=list)
+    header_pc: Optional[int] = None  # inner loop's header branch (outer thread)
+    # Live-in register sets (logical register numbers, ordered).
+    mt_liveins_outer: List[int] = field(default_factory=list)  # OT or ITO <- MT
+    mt_liveins_inner: List[int] = field(default_factory=list)  # IT <- MT
+    ot_liveins_inner: List[int] = field(default_factory=list)  # IT <- OT (visit slots)
+    # Prediction queue assignment: branch PC -> pointer set (0=OT/ITO, 1=IT).
+    queue_assignment: Dict[int, int] = field(default_factory=dict)
+    # Immediate-guard relation learned by the CDFSM: child PC -> parent PC.
+    # Phelps uses it for predicate linking; Branch Runahead derives chain
+    # groups from it (Fig. 10).
+    guard_map: Dict[int, int] = field(default_factory=dict)
+
+    def chain_group(self, pc: int) -> set:
+        """All branches sharing ``pc``'s top-level (root) chain."""
+        def root(p):
+            seen = set()
+            while p in self.guard_map and p not in seen:
+                seen.add(p)
+                p = self.guard_map[p]
+            return p
+
+        mine = root(pc)
+        return {p for p in set(self.guard_map) | set(self.guard_map.values())
+                | {pc} if root(p) == mine}
+
+    @property
+    def size(self) -> int:
+        return len(self.outer_insts) + len(self.inner_insts)
+
+    def contains(self, pc: int) -> bool:
+        return self.loop_target <= pc <= self.loop_branch
+
+    def loop_branch_pcs(self) -> List[int]:
+        pcs = [self.loop_branch]
+        if self.is_nested:
+            pcs.append(self.inner_branch)
+        return pcs
+
+
+class HelperThreadCache:
+    def __init__(self, rows: int = 4, row_capacity: int = 128):
+        self.capacity = rows
+        self.row_capacity = row_capacity
+        self.rows: Dict[int, HelperThreadRow] = {}  # start_pc -> row
+
+    def full(self) -> bool:
+        return len(self.rows) >= self.capacity
+
+    def has_loop(self, start_pc: int) -> bool:
+        return start_pc in self.rows
+
+    def install(self, row: HelperThreadRow) -> bool:
+        """Install a finalized helper thread; False if it does not fit."""
+        half = self.row_capacity // 2
+        if row.is_nested:
+            if len(row.outer_insts) > half or len(row.inner_insts) > half:
+                return False
+        elif row.size > self.row_capacity:
+            return False
+        if self.full() and row.start_pc not in self.rows:
+            return False
+        self.rows[row.start_pc] = row
+        return True
+
+    def lookup_trigger(self, retired_pc: int) -> Optional[HelperThreadRow]:
+        """Paper Section V-F: retired PCs are compared against start PCs."""
+        return self.rows.get(retired_pc)
+
+    def known_starts(self):
+        return set(self.rows)

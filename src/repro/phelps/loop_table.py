@@ -1,0 +1,89 @@
+"""Loop Table (paper Section V-B, Figure 6 bottom).
+
+Populated at the end of each epoch by a pass through DBT-Max: each branch
+clearing the delinquency threshold creates/updates the entry of its
+*outermost* enclosing loop, aggregating misprediction counts and collecting
+the loop's delinquent branch list plus nested-inner-loop bounds.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.phelps.dbt import DelinquentBranchTable
+
+
+class LoopTableEntry:
+    __slots__ = ("loop_branch", "loop_target", "is_nested",
+                 "inner_branch", "inner_target",
+                 "delinquent_branches", "mispredicts", "not_in_loop")
+
+    def __init__(self, loop_branch: int, loop_target: int):
+        self.loop_branch = loop_branch
+        self.loop_target = loop_target
+        self.is_nested = False
+        self.inner_branch = 0
+        self.inner_target = 0
+        self.delinquent_branches: List[int] = []
+        self.mispredicts = 0
+        self.not_in_loop = False
+
+    @property
+    def start_pc(self) -> int:
+        """Trigger PC: the target of the outermost loop branch."""
+        return self.loop_target
+
+    @property
+    def span_instructions(self) -> int:
+        return (self.loop_branch - self.loop_target) // 4 + 1
+
+    def contains(self, pc: int) -> bool:
+        return self.loop_target <= pc <= self.loop_branch
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "nested" if self.is_nested else "simple"
+        return (f"<LT {kind} loop {self.loop_target:#x}..{self.loop_branch:#x} "
+                f"misp={self.mispredicts} branches={len(self.delinquent_branches)}>")
+
+
+class LoopTable:
+    def __init__(self, entries: int = 8):
+        self.capacity = entries
+        self.entries: Dict[Tuple[int, int], LoopTableEntry] = {}
+        # Delinquent branches with no known loop ("del. but not in loop").
+        self.loopless_mispredicts = 0
+
+    def populate(self, dbt: DelinquentBranchTable, threshold: int) -> None:
+        """Epoch-end pass through DBT-Max (paper Section V-B)."""
+        self.entries.clear()
+        self.loopless_mispredicts = 0
+        for pc, count in dbt.dbt_max.ranked():
+            if count < threshold:
+                continue
+            dentry = dbt.get(pc)
+            if dentry is None:
+                continue
+            if not dentry.in_loop:
+                self.loopless_mispredicts += count
+                continue
+            key = dentry.outermost()
+            entry = self.entries.get(key)
+            if entry is None:
+                if len(self.entries) >= self.capacity:
+                    continue  # LT full; lower-ranked loops wait an epoch
+                entry = LoopTableEntry(*key)
+                self.entries[key] = entry
+            entry.mispredicts += count
+            entry.delinquent_branches.append(pc)
+            if dentry.is_nested:
+                entry.is_nested = True
+                entry.inner_branch = dentry.inner_branch
+                entry.inner_target = dentry.inner_target
+
+    def ranked(self) -> List[LoopTableEntry]:
+        return sorted(self.entries.values(), key=lambda e: -e.mispredicts)
+
+    def most_delinquent(self, exclude_starts=()) -> Optional[LoopTableEntry]:
+        """Best loop not already holding a helper thread (Section V-C)."""
+        for entry in self.ranked():
+            if entry.start_pc not in exclude_starts:
+                return entry
+        return None

@@ -1,0 +1,25 @@
+"""Last Producer Table (paper Section V-C).
+
+One entry per logical integer register holding the PC of the most recently
+retired instruction that produced it.  Drives IBDA backward-slice growth.
+"""
+
+from typing import List, Optional
+
+from repro.isa.registers import NUM_REGS
+
+
+class LastProducerTable:
+    def __init__(self, num_regs: int = NUM_REGS):
+        self._producer: List[Optional[int]] = [None] * num_regs
+
+    def producer_of(self, logical: int) -> Optional[int]:
+        return self._producer[logical]
+
+    def note_retired(self, pc: int, dest_reg: Optional[int]) -> None:
+        """Call at retire for every instruction (after slice lookups)."""
+        if dest_reg is not None and dest_reg != 0:
+            self._producer[dest_reg] = pc
+
+    def clear(self) -> None:
+        self._producer = [None] * len(self._producer)

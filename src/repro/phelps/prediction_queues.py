@@ -1,0 +1,138 @@
+"""Per-branch prediction queues managed in lockstep by loop iteration
+(paper Section IV-B, Figure 4).
+
+Every delinquent branch (and the loop branch itself) gets one queue; a
+column corresponds to one loop iteration.  Three pointers per *pointer set*
+(one set per helper thread):
+
+* ``tail``      — advanced when the helper thread retires the loop branch
+                  (all predicate producers of that iteration have deposited);
+* ``spec_head`` — the column the main thread consumes from; advanced when
+                  the main thread *fetches* the loop branch; rolled back on
+                  main-thread squashes (checkpointed per instruction);
+* ``head``      — advanced (column freed) when the main thread *retires*
+                  the loop branch.
+
+Indices grow monotonically; storage is a ring of ``depth`` columns.
+``spec_head`` may run ahead of ``tail`` (helper thread behind): consuming
+then returns None and the fetch unit falls back to the default predictor.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+
+class _Queue:
+    __slots__ = ("pc", "pointer_set", "slots")
+
+    def __init__(self, pc: int, pointer_set: int, depth: int):
+        self.pc = pc
+        self.pointer_set = pointer_set
+        self.slots: List[Optional[bool]] = [None] * depth
+
+
+class PredictionQueueFile:
+    def __init__(self, queue_count: int = 16, depth: int = 32):
+        self.queue_count = queue_count
+        self.depth = depth
+        self._queues: Dict[int, _Queue] = {}
+        # Pointer sets: [head, spec_head, tail] per set (two sets max).
+        self.head = [0, 0]
+        self.spec_head = [0, 0]
+        self.tail = [0, 0]
+        self.active = False
+        # Stats.
+        self.deposits = 0
+        self.consumed = 0
+        self.not_timely = 0
+
+    # ------------------------------------------------------------------
+    # Configuration.
+    # ------------------------------------------------------------------
+    def configure(self, assignments: Dict[int, int]) -> bool:
+        """Assign queues: branch pc -> pointer set (0 or 1).
+
+        Returns False (and stays unconfigured) on queue-count overflow.
+        """
+        if len(assignments) > self.queue_count:
+            return False
+        self._queues = {pc: _Queue(pc, s, self.depth) for pc, s in assignments.items()}
+        self.head = [0, 0]
+        self.spec_head = [0, 0]
+        self.tail = [0, 0]
+        self.active = True
+        return True
+
+    def deactivate(self) -> None:
+        self.active = False
+        self._queues.clear()
+
+    def has_queue(self, pc: int) -> bool:
+        return self.active and pc in self._queues
+
+    # ------------------------------------------------------------------
+    # Helper-thread side.
+    # ------------------------------------------------------------------
+    def deposit(self, pc: int, outcome: bool) -> None:
+        """Write a pre-executed outcome at the tail column of pc's queue."""
+        q = self._queues[pc]
+        q.slots[self.tail[q.pointer_set] % self.depth] = bool(outcome)
+        self.deposits += 1
+
+    def can_advance_tail(self, pointer_set: int) -> bool:
+        """Backpressure: the tail column must not wrap onto a live column."""
+        return self.tail[pointer_set] - self.head[pointer_set] < self.depth - 1
+
+    def advance_tail(self, pointer_set: int) -> None:
+        self.tail[pointer_set] += 1
+        # Invalidate the new tail column (stale ring data must not be read).
+        idx = self.tail[pointer_set] % self.depth
+        for q in self._queues.values():
+            if q.pointer_set == pointer_set:
+                q.slots[idx] = None
+
+    # ------------------------------------------------------------------
+    # Main-thread side.
+    # ------------------------------------------------------------------
+    def consume(self, pc: int) -> Optional[Tuple[bool, Tuple[int, int, bool]]]:
+        """Prediction for the branch at ``pc`` from the spec_head column.
+
+        Returns (outcome, token) or None when the column is not yet filled
+        (helper thread behind -> "not timely").
+        """
+        q = self._queues.get(pc)
+        if q is None:
+            return None
+        s = q.pointer_set
+        if self.spec_head[s] >= self.tail[s]:
+            self.not_timely += 1
+            return None
+        outcome = q.slots[self.spec_head[s] % self.depth]
+        if outcome is None:
+            self.not_timely += 1
+            return None
+        self.consumed += 1
+        return outcome, (pc, self.spec_head[s], outcome)
+
+    def advance_spec_head(self, pointer_set: int) -> None:
+        """Main thread fetched the pointer set's loop branch."""
+        self.spec_head[pointer_set] += 1
+
+    def advance_head(self, pointer_set: int) -> None:
+        """Main thread retired the pointer set's loop branch: free a column."""
+        self.head[pointer_set] += 1
+
+    # ------------------------------------------------------------------
+    # Squash recovery (paper: spec_head rollback enables replay).
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Tuple[int, int]:
+        return (self.spec_head[0], self.spec_head[1])
+
+    def restore(self, state: Tuple[int, int]) -> None:
+        self.spec_head[0], self.spec_head[1] = state
+
+    def stats(self) -> dict:
+        return {
+            "deposits": self.deposits,
+            "consumed": self.consumed,
+            "not_timely": self.not_timely,
+        }

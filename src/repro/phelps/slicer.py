@@ -1,0 +1,434 @@
+"""Helper-thread construction (paper Sections V-C and V-D).
+
+A :class:`HelperThreadBuilder` is created when the epoch controller picks a
+delinquent loop.  During the construction epoch it observes main-thread
+fetch (HTCB collection) and retire (IBDA slice growth via the LPT,
+store-load dependence detection, CDFSM training, visit/iteration counting).
+``finalize`` applies the eligibility rules (Section V-J), converts
+delinquent branches to predicate producers, links predicate operands, and
+emits a :class:`HelperThreadRow`.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.phelps.cdfsm import CDFSMMatrix
+from repro.phelps.config import PhelpsConfig
+from repro.phelps.htc import HelperThreadRow
+from repro.phelps.loop_table import LoopTableEntry
+from repro.phelps.lpt import LastProducerTable
+from repro.phelps.store_detect import RetiredStoreQueue
+
+OUTER = "outer"
+INNER = "inner"
+
+
+class _OrderedSet:
+    """Insertion-ordered set of register numbers (live-in sets)."""
+
+    def __init__(self):
+        self._items: List[int] = []
+        self._seen: Set[int] = set()
+
+    def add(self, item: int) -> None:
+        if item not in self._seen:
+            self._seen.add(item)
+            self._items.append(item)
+
+    def __contains__(self, item) -> bool:
+        return item in self._seen
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> List[int]:
+        return list(self._items)
+
+
+class HelperThreadBuilder:
+    def __init__(self, config: PhelpsConfig, loop: LoopTableEntry,
+                 keep_branches: bool = False):
+        """``keep_branches=True`` builds a Branch-Runahead-style helper:
+        delinquent branches stay real control flow (no predicate
+        conversion); the Branch Runahead engine predicts them with its
+        bimodal trigger predictor."""
+        self.cfg = config
+        self.loop = loop
+        self.keep_branches = keep_branches
+        self.nested = loop.is_nested
+        self.delinquent: Set[int] = set(loop.delinquent_branches)
+
+        # HTCB: loop instructions collected at fetch.
+        self.htcb: Dict[int, Instruction] = {}
+        self.htcb_overflow = False
+
+        self.lpt = LastProducerTable()
+        self.store_q = RetiredStoreQueue(config.store_detect_entries)
+
+        self.included: Dict[str, Set[int]] = {OUTER: set(), INNER: set()}
+        self.included_stores: Dict[str, Set[int]] = {OUTER: set(), INNER: set()}
+        self.mt_liveins: Dict[str, _OrderedSet] = {OUTER: _OrderedSet(), INNER: _OrderedSet()}
+        self.ot_liveins_inner = _OrderedSet()
+
+        self.cdfsm: Dict[str, CDFSMMatrix] = {
+            OUTER: CDFSMMatrix(config.cdfsm_rows, config.cdfsm_cols),
+            INNER: CDFSMMatrix(config.cdfsm_rows, config.cdfsm_cols),
+        }
+
+        self.header_pc: Optional[int] = None
+        self.ot_depends_on_it = False
+        self.visits = 0
+        self.iterations = 0  # outermost-loop-branch taken retires
+        self.inner_visits = 0
+        self.inner_iterations = 0
+        self._prev_in_loop = False
+        self._prev_in_inner = False
+
+        # Plant seeds (Section V-C).
+        for pc in self.delinquent:
+            region = self._region(pc)
+            self.included[region].add(pc)
+            self.cdfsm[region].add_col(pc)
+            self.cdfsm[region].add_row(pc)
+        self.included[self._region(loop.loop_branch)].add(loop.loop_branch)
+        if self.nested:
+            self.included[INNER].add(loop.inner_branch)
+
+    # ------------------------------------------------------------------
+    def _in_inner(self, pc: int) -> bool:
+        return (self.nested
+                and self.loop.inner_target <= pc <= self.loop.inner_branch)
+
+    def _region(self, pc: int) -> str:
+        if self.nested and not self._in_inner(pc):
+            return OUTER
+        return INNER
+
+    # ------------------------------------------------------------------
+    # Fetch-side: HTCB collection (Section V-C footnote 1).
+    # ------------------------------------------------------------------
+    def note_fetched(self, inst: Instruction) -> None:
+        if not self.loop.contains(inst.pc) or inst.pc in self.htcb:
+            return
+        if len(self.htcb) >= self.cfg.htcb_capacity:
+            self.htcb_overflow = True
+            return
+        self.htcb[inst.pc] = inst
+
+    # ------------------------------------------------------------------
+    # Retire-side training.
+    # ------------------------------------------------------------------
+    def note_retired(self, inst: Instruction, taken: Optional[bool],
+                     mem_addr: Optional[int]) -> None:
+        pc = inst.pc
+        in_loop = self.loop.contains(pc)
+
+        if in_loop and not self._prev_in_loop:
+            self.visits += 1
+        self._prev_in_loop = in_loop
+        if self.nested:
+            in_inner = self._in_inner(pc)
+            if in_inner and not self._prev_in_inner:
+                self.inner_visits += 1
+            self._prev_in_inner = in_inner
+            if pc == self.loop.inner_branch and taken:
+                self.inner_iterations += 1
+
+        if in_loop:
+            region = self._region(pc)
+            if pc in self.included[region]:
+                self._grow_slice(inst, region)
+            if inst.is_store and mem_addr is not None:
+                self.store_q.note_store(mem_addr, pc)
+            if (self.cfg.include_stores and inst.is_load and mem_addr is not None
+                    and pc in self.included[region]):
+                st_pc = self.store_q.match(mem_addr)
+                if st_pc is not None and self.loop.contains(st_pc):
+                    st_region = self._region(st_pc)
+                    if st_pc not in self.included[st_region]:
+                        self.included[st_region].add(st_pc)
+                    self.included_stores[st_region].add(st_pc)
+                    self.cdfsm[st_region].add_row(st_pc)
+            # Header-branch discovery (nested, Section V-C).
+            if (self.nested and self.header_pc is None and inst.is_cond_branch
+                    and not self._in_inner(pc) and pc < self.loop.inner_target
+                    and inst.imm is not None and inst.imm > self.loop.inner_branch):
+                self.header_pc = pc
+                self.included[OUTER].add(pc)
+                self.cdfsm[OUTER].add_col(pc)
+                self.cdfsm[OUTER].add_row(pc)
+            # CDFSM training.
+            cd = self.cdfsm[region]
+            cd.note_retired(pc, taken if inst.is_cond_branch else None)
+            if self.nested and pc == self.loop.inner_branch:
+                self.cdfsm[INNER].end_iteration()
+            if pc == self.loop.loop_branch:
+                self.cdfsm[OUTER if self.nested else INNER].end_iteration()
+                if not self.nested:
+                    pass
+                if taken:
+                    self.iterations += 1
+
+        # LPT updates are global (producers may live outside the loop).
+        self.lpt.note_retired(pc, inst.dest_reg)
+
+    def _grow_slice(self, inst: Instruction, region: str) -> None:
+        """IBDA: add this included instruction's producers (Section V-C)."""
+        for src in inst.src_regs:
+            if src == 0:
+                continue
+            producer = self.lpt.producer_of(src)
+            if producer is None or not self.loop.contains(producer):
+                self.mt_liveins[region].add(src)
+                continue
+            p_region = self._region(producer)
+            if p_region == region:
+                self.included[region].add(producer)
+            elif region == OUTER and p_region == INNER:
+                # Outer thread data-dependent on inner thread: ineligible.
+                self.ot_depends_on_it = True
+            else:  # inner consumes an outer-region value
+                self.included[OUTER].add(producer)
+                self.ot_liveins_inner.add(src)
+
+    # ------------------------------------------------------------------
+    # Finalization (Sections V-D/V-E/V-J).
+    # ------------------------------------------------------------------
+    def finalize(self) -> Tuple[Optional[HelperThreadRow], Optional[str]]:
+        cfg = self.cfg
+        loop = self.loop
+        if self.htcb_overflow:
+            return None, "param_overflow"
+        if any(cd.overflowed for cd in self.cdfsm.values()):
+            return None, "param_overflow"
+        if self.nested and self.header_pc is None:
+            # A nested loop whose inner loop is visited unconditionally has
+            # no header branch to drive the Visit Queue (the paper's idiom
+            # assumes one, Fig. 2).  Fall back to targeting the inner loop
+            # alone: with a long-running inner loop the per-visit start/stop
+            # overhead amortizes anyway (Section V-J condition 2 guards it).
+            return self._finalize_inner_only()
+        if self.ot_depends_on_it:
+            return None, "ot_depends_on_it"
+        if self.visits == 0 or self.iterations / max(self.visits, 1) < cfg.min_iterations_per_visit:
+            return None, "not_iterating"
+
+        total_included = len(self.included[OUTER]) + len(self.included[INNER])
+        if total_included > cfg.ht_size_fraction * loop.span_instructions:
+            return None, "too_big"
+        if len(self.ot_liveins_inner) > cfg.visit_live_ins:
+            return None, "param_overflow"
+
+        row = HelperThreadRow(
+            start_pc=loop.start_pc,
+            loop_branch=loop.loop_branch,
+            loop_target=loop.loop_target,
+            is_nested=self.nested,
+            inner_branch=loop.inner_branch,
+            inner_target=loop.inner_target,
+            header_pc=self.header_pc,
+            ot_liveins_inner=self.ot_liveins_inner.items(),
+        )
+
+        dropped: Set[int] = set()
+        regions = [(OUTER, loop.loop_branch), (INNER, loop.inner_branch)] if self.nested \
+            else [(INNER, loop.loop_branch)]
+        queue_assignment: Dict[int, int] = {}
+        for set_index, (region, loop_branch_pc) in enumerate(regions):
+            insts, queues, error = self._build_region(region, loop_branch_pc, dropped)
+            if error:
+                return None, error
+            for pc in queues:
+                queue_assignment[pc] = set_index if self.nested else 0
+            # Live-ins = the region's upward-exposed registers: read by an
+            # included instruction before any included producer of the same
+            # register.  (The finalize-time pass over the finished helper
+            # thread; the dynamic LPT classification alone misses induction
+            # registers when construction begins mid-loop.)
+            exposed = self._upward_exposed(insts)
+            if self.nested and region == OUTER:
+                row.outer_insts = insts
+                row.mt_liveins_outer = exposed
+            elif self.nested:
+                row.inner_insts = insts
+                # OT supplies the registers learned via the LPT; the rest
+                # come from the main thread at trigger time.
+                row.mt_liveins_inner = [r for r in exposed
+                                        if r not in self.ot_liveins_inner]
+            else:
+                row.inner_insts = insts
+                row.mt_liveins_outer = exposed
+
+        if len(queue_assignment) > cfg.queue_count:
+            return None, "param_overflow"
+        for pc in list(queue_assignment):
+            cd = self.cdfsm[self._region(pc)]
+            guard = cd.immediate_guard(pc)
+            if guard is not None:
+                row.guard_map[pc] = guard[0]
+        if (len(row.mt_liveins_outer) > cfg.mt_livein_limit
+                or len(row.mt_liveins_inner) > cfg.mt_livein_limit):
+            return None, "param_overflow"
+        row.queue_assignment = queue_assignment
+
+        half = cfg.htc_row_capacity // 2
+        if self.nested:
+            if len(row.outer_insts) > half or len(row.inner_insts) > half:
+                return None, "too_big"
+        elif row.size > cfg.htc_row_capacity:
+            return None, "too_big"
+        return row, None
+
+    def _finalize_inner_only(self) -> Tuple[Optional[HelperThreadRow], Optional[str]]:
+        """Headerless nested loop: emit an inner-thread-only helper for the
+        inner loop; it retriggers on each visit (outer iteration)."""
+        cfg = self.cfg
+        loop = self.loop
+        if self.inner_visits == 0 or (self.inner_iterations / max(self.inner_visits, 1)
+                                      < cfg.min_iterations_per_visit):
+            return None, "not_iterating"
+        inner_span = (loop.inner_branch - loop.inner_target) // 4 + 1
+        if len(self.included[INNER]) > cfg.ht_size_fraction * inner_span:
+            return None, "too_big"
+        insts, queues, error = self._build_region(INNER, loop.inner_branch, set())
+        if error:
+            return None, error
+        if len(queues) > cfg.queue_count:
+            return None, "param_overflow"
+        row = HelperThreadRow(
+            start_pc=loop.inner_target,
+            loop_branch=loop.inner_branch,
+            loop_target=loop.inner_target,
+            is_nested=False,
+            inner_insts=insts,
+            mt_liveins_outer=self._upward_exposed(insts),
+            queue_assignment={pc: 0 for pc in queues},
+        )
+        cd = self.cdfsm[INNER]
+        for pc in queues:
+            guard = cd.immediate_guard(pc)
+            if guard is not None:
+                row.guard_map[pc] = guard[0]
+        if len(row.mt_liveins_outer) > cfg.mt_livein_limit:
+            return None, "param_overflow"
+        if row.size > cfg.htc_row_capacity:
+            return None, "too_big"
+        return row, None
+
+    @staticmethod
+    def _upward_exposed(insts) -> List[int]:
+        """Registers read before any in-thread definition (need live-in copies)."""
+        defined: Set[int] = set()
+        exposed: List[int] = []
+        for inst in insts:
+            for src in inst.src_regs:
+                if src and src not in defined and src not in exposed:
+                    exposed.append(src)
+            dest = inst.dest_reg
+            if dest is not None:
+                defined.add(dest)
+        return exposed
+
+    def _build_region(self, region: str, loop_branch_pc: int,
+                      dropped: Set[int]) -> Tuple[List[Instruction], List[int], Optional[str]]:
+        """Emit the region's helper-thread instructions in program order."""
+        cfg = self.cfg
+        cd = self.cdfsm[region]
+        pcs = sorted(self.included[region])
+        if not pcs or pcs[-1] != loop_branch_pc:
+            if loop_branch_pc not in self.included[region]:
+                return [], [], "param_overflow"
+            # The loop branch is the backward branch: always the highest PC.
+            pcs = sorted(set(pcs) | {loop_branch_pc})
+
+        # First pass: decide drops and assign predicate destination registers.
+        pred_reg_of: Dict[int, int] = {}
+        next_pred = 1
+        for pc in pcs:
+            if pc == loop_branch_pc:
+                continue
+            is_branch_seed = pc in self.delinquent or pc == self.header_pc
+            if is_branch_seed:
+                if (not cfg.include_guarded_branches
+                        and cd.immediate_guard(pc) is not None
+                        and pc != self.header_pc):
+                    dropped.add(pc)
+                    continue
+                pred_reg_of[pc] = next_pred
+                next_pred += 1
+            elif pc in self.included_stores[region]:
+                if not cfg.include_guarded_stores and cd.immediate_guard(pc) is not None:
+                    dropped.add(pc)
+        if next_pred > 31:
+            return [], [], "param_overflow"
+
+        def resolve_guard(pc: int) -> Optional[Tuple[int, bool]]:
+            guard = cd.immediate_guard(pc)
+            while guard is not None and guard[0] in dropped:
+                guard = cd.immediate_guard(guard[0])
+            return guard
+
+        def resolve_guard_list(pc: int) -> List[Tuple[int, bool]]:
+            """With OR-predicates enabled, keep up to two CD guards
+            (Section V-K); otherwise the single innermost guard."""
+            if not cfg.enable_or_predicates:
+                g = resolve_guard(pc)
+                return [g] if g is not None else []
+            resolved = []
+            for g in cd.all_guards(pc):
+                while g is not None and g[0] in dropped:
+                    g = cd.immediate_guard(g[0])
+                if g is not None and g not in resolved:
+                    resolved.append(g)
+            return sorted(resolved, key=lambda g: -g[0])[:2]
+
+        def pred_operands(pc: int) -> dict:
+            guards = resolve_guard_list(pc)
+            ops = {"pred_rs": 0, "pred_dir": False}
+            if guards:
+                ops["pred_rs"] = pred_reg_of.get(guards[0][0], 0)
+                ops["pred_dir"] = guards[0][1]
+            if len(guards) > 1:
+                ops["pred_rs2"] = pred_reg_of.get(guards[1][0], 0)
+                ops["pred_dir2"] = guards[1][1]
+            return ops
+
+        insts: List[Instruction] = []
+        queues: List[int] = []
+        for pc in pcs:
+            if pc in dropped:
+                continue
+            src = self.htcb.get(pc)
+            if src is None:
+                return [], [], "param_overflow"  # never captured in the HTCB
+            if pc == loop_branch_pc:
+                insts.append(src.copy())
+                # The loop branch only needs a queue when it is itself
+                # delinquent (e.g. a short inner loop's brC); a predictable
+                # loop branch is left to the core's default predictor.
+                if pc in self.delinquent:
+                    queues.append(pc)
+                continue
+            if pc in pred_reg_of and self.keep_branches:
+                insts.append(src.copy())
+                queues.append(pc)
+                continue
+            if pc in pred_reg_of:
+                insts.append(src.copy(
+                    opcode=Opcode.PRED,
+                    pred_rd=pred_reg_of[pc],
+                    origin_pc=pc,
+                    origin_opcode=src.opcode,
+                    imm=None,
+                    capture_regs=tuple(self.ot_liveins_inner.items())
+                    if pc == self.header_pc else (),
+                    **pred_operands(pc),
+                ))
+                if pc in self.delinquent or pc != self.header_pc:
+                    queues.append(pc)
+            elif pc in self.included_stores[region]:
+                insts.append(src.copy(**pred_operands(pc)))
+            else:
+                insts.append(src.copy())
+        return insts, queues, None

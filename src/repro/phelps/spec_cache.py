@@ -1,0 +1,57 @@
+"""Speculative data cache for helper-thread stores (paper Section IV-A).
+
+32 doublewords: 16 sets, 2-way set-associative, 8-byte blocks.  Helper
+stores commit here (never to architectural memory); evicted data is simply
+lost — which is exactly the mechanism behind the paper's "rare incorrect
+b1 outcome" discussion, reproduced by our failure-injection tests.
+"""
+
+from typing import List, Optional
+
+
+class SpeculativeCache:
+    def __init__(self, sets: int = 16, ways: int = 2, block_bytes: int = 8):
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        self.sets = sets
+        self.ways = ways
+        self.block_bytes = block_bytes
+        self._offset_bits = block_bytes.bit_length() - 1
+        # Per set: list of [tag, value], MRU first.
+        self._sets: List[List[List[int]]] = [[] for _ in range(sets)]
+        self.writes = 0
+        self.hits = 0
+        self.losses = 0  # evicted dirty doublewords (data lost)
+
+    def _index_tag(self, addr: int):
+        block = addr >> self._offset_bits
+        return block & (self.sets - 1), block >> (self.sets.bit_length() - 1)
+
+    def read(self, addr: int) -> Optional[int]:
+        idx, tag = self._index_tag(addr)
+        s = self._sets[idx]
+        for i, entry in enumerate(s):
+            if entry[0] == tag:
+                if i:
+                    s.insert(0, s.pop(i))
+                self.hits += 1
+                return entry[1]
+        return None
+
+    def write(self, addr: int, value: int) -> None:
+        idx, tag = self._index_tag(addr)
+        s = self._sets[idx]
+        self.writes += 1
+        for i, entry in enumerate(s):
+            if entry[0] == tag:
+                entry[1] = value
+                if i:
+                    s.insert(0, s.pop(i))
+                return
+        s.insert(0, [tag, value])
+        if len(s) > self.ways:
+            s.pop()
+            self.losses += 1
+
+    def clear(self) -> None:
+        self._sets = [[] for _ in range(self.sets)]

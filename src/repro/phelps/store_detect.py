@@ -1,0 +1,32 @@
+"""Retired-store queue for detecting store-load dependences (Section V-C).
+
+A 16-entry FIFO of recently retired stores (address + PC) whose PCs fall
+within the loop being constructed.  When a load already included in the
+helper thread retires, it searches this queue; a match includes the store
+(and subsequently its backward slice) in the helper thread.
+"""
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class RetiredStoreQueue:
+    def __init__(self, entries: int = 16):
+        self.capacity = entries
+        self._q: Deque[Tuple[int, int]] = deque(maxlen=entries)  # (addr, pc)
+
+    def note_store(self, addr: int, pc: int) -> None:
+        self._q.append((addr, pc))
+
+    def match(self, addr: int) -> Optional[int]:
+        """PC of the most recent store to ``addr``, if any."""
+        for st_addr, st_pc in reversed(self._q):
+            if st_addr == addr:
+                return st_pc
+        return None
+
+    def clear(self) -> None:
+        self._q.clear()
+
+    def __len__(self) -> int:
+        return len(self._q)

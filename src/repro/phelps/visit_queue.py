@@ -1,0 +1,46 @@
+"""Visit Queue (paper Section V-F, Figure 9).
+
+The outer thread queues inner-loop visits — each with the live-in values
+the inner thread needs — when it retires a not-taken instance of the inner
+loop's header branch.  The inner thread dequeues one visit at a time, in
+program order.
+"""
+
+from collections import deque
+from typing import Deque, List, Optional
+
+
+class VisitQueue:
+    def __init__(self, depth: int = 16, live_ins_per_visit: int = 4):
+        self.depth = depth
+        self.live_ins_per_visit = live_ins_per_visit
+        self._q: Deque[List[int]] = deque()
+        self.enqueued = 0
+        self.dequeued = 0
+
+    def full(self) -> bool:
+        return len(self._q) >= self.depth
+
+    def empty(self) -> bool:
+        return not self._q
+
+    def enqueue(self, live_ins: List[int]) -> None:
+        if self.full():
+            raise RuntimeError("visit queue overflow (outer thread must stall)")
+        if len(live_ins) > self.live_ins_per_visit:
+            raise ValueError(
+                f"{len(live_ins)} live-ins exceed the {self.live_ins_per_visit}-slot entry")
+        self._q.append(list(live_ins))
+        self.enqueued += 1
+
+    def dequeue(self) -> Optional[List[int]]:
+        if not self._q:
+            return None
+        self.dequeued += 1
+        return self._q.popleft()
+
+    def clear(self) -> None:
+        self._q.clear()
+
+    def __len__(self) -> int:
+        return len(self._q)

@@ -1,0 +1,21 @@
+"""Branch Runahead comparator (Pruett & Patt, MICRO'21 — paper Section VI).
+
+Implemented on the shared slicing/helper-engine machinery but following the
+BR paradigm rather than Phelps':
+
+* chains keep *real control flow*: a guarded delinquent branch is fetched
+  in the helper engine under a bimodal trigger prediction (BR-spec) or
+  stalls until its parent resolves (BR-non-spec);
+* outcomes stream through *per-branch-PC FIFO queues* (no loop-iteration
+  lockstep); a consumed-wrong outcome forces a chain-group-style rollback,
+  modelled as a queue flush plus helper restart at the top-level chain
+  (Fig. 10b);
+* stores are excluded (as the paper does, to help BR).
+"""
+
+from repro.runahead.config import BRConfig
+from repro.runahead.queues import BRQueueFile
+from repro.runahead.fetch import BRFetchUnit
+from repro.runahead.controller import BranchRunaheadEngine
+
+__all__ = ["BRConfig", "BRQueueFile", "BRFetchUnit", "BranchRunaheadEngine"]

@@ -1,0 +1,25 @@
+"""Branch Runahead configuration."""
+
+from dataclasses import dataclass, field
+
+from repro.phelps.config import PhelpsConfig
+
+
+@dataclass
+class BRConfig:
+    """BR-spec vs BR-non-spec (paper Fig. 11), plus shared training knobs.
+
+    BR reuses the Phelps training pipeline (DBT/LT/HTCB/LPT/CDFSM) to find
+    delinquent loops and slice chains; ``construction`` carries those
+    parameters.  Stores are always excluded (the paper's choice for BR).
+    """
+
+    speculative_triggering: bool = True
+    bimodal_entries: int = 4096
+    queue_depth: int = 32
+    construction: PhelpsConfig = field(default_factory=lambda: PhelpsConfig(
+        include_stores=False))
+
+    def __post_init__(self):
+        if self.construction.include_stores:
+            raise ValueError("Branch Runahead chains exclude stores (Section VI)")

@@ -1,0 +1,91 @@
+"""Branch Runahead chain-engine fetch unit.
+
+The chain row keeps real control flow: non-loop conditional branches are
+predicted by the engine's bimodal trigger predictor (BR-spec) or stall the
+engine until resolution (BR-non-spec).  Taken branches skip to the first
+row instruction at/after the target PC; the loop branch (last instruction)
+wraps.
+"""
+
+from typing import List, Optional
+
+from repro.frontend import BimodalPredictor
+from repro.isa.instruction import Instruction
+from repro.phelps.fetch import HelperFetchUnit
+
+
+class BRFetchUnit(HelperFetchUnit):
+    def __init__(self, insts: List[Instruction], bimodal: BimodalPredictor,
+                 speculative: bool = True):
+        super().__init__(insts)
+        self.bimodal = bimodal
+        self.speculative = speculative
+        self.loop_branch_pc = insts[-1].pc
+        self._stalled_on: Optional[Instruction] = None
+        # pc -> row index of the first instruction with inst.pc >= pc.
+        self._resume_index = {}
+        for i, inst in enumerate(insts):
+            self._resume_index[inst.pc] = i
+
+    def _index_at_or_after(self, pc: int) -> int:
+        for i, inst in enumerate(self.insts):
+            if inst.pc >= pc:
+                return i
+        return 0  # past the end: only the loop branch is there; wrap
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[Instruction]:
+        if self._stalled_on is not None:
+            return None  # BR-non-spec: waiting for the parent to resolve
+        return super().peek()
+
+    def predict_branch(self, inst: Instruction) -> bool:
+        if inst.pc == self.loop_branch_pc:
+            return True  # loop wrap, as in Phelps
+        if self.speculative:
+            return self.bimodal.predict(inst.pc).taken
+        # Non-speculative triggering: fetch stalls at the parent branch;
+        # the predicted direction is provisional (not-taken) and the stall
+        # is released by resolution (``resume``).
+        self._stalled_on = inst
+        return False
+
+    def advance(self, taken: bool, target: Optional[int]) -> None:
+        if self._pending:
+            self._pending.pop(0)
+            return
+        inst = self.insts[self.idx]
+        if inst.is_cond_branch:
+            if inst.pc == self.loop_branch_pc:
+                self.idx = 0
+            elif taken:
+                self.idx = self._index_at_or_after(target)
+            else:
+                self.idx += 1
+                if self.idx >= len(self.insts):
+                    self.idx = 0
+        else:
+            self.idx += 1
+            if self.idx >= len(self.insts):
+                self.idx = 0
+
+    # ------------------------------------------------------------------
+    def resume(self, branch_pc: int, taken: bool, target: int) -> None:
+        """Non-spec: the stalled-on parent resolved; continue fetching."""
+        if self._stalled_on is not None and self._stalled_on.pc == branch_pc:
+            self._stalled_on = None
+            if taken:
+                self.idx = self._index_at_or_after(target)
+            # (not-taken: fetch already advanced past the branch)
+
+    def redirect_after_branch(self, uop) -> None:
+        """Spec mispredict repair: refetch from the resolved direction."""
+        self._pending.clear()
+        self._stalled_on = None
+        if uop.pc == self.loop_branch_pc:
+            self.idx = 0 if uop.taken else self.idx  # exit handled by engine
+            return
+        if uop.taken:
+            self.idx = self._index_at_or_after(uop.actual_target)
+        else:
+            self.idx = (self._resume_index.get(uop.pc, 0) + 1) % len(self.insts)

@@ -1,0 +1,99 @@
+"""Per-branch-PC outcome queues for Branch Runahead.
+
+Unlike Phelps' iteration-lockstep columns, each queue is an independent
+FIFO: the helper engine pushes resolved outcomes at its tail, the main
+thread consumes at a speculative head (rolled back on squash, like a real
+branch queue), and retirement frees entries.  There is no cross-queue
+alignment — which is exactly why a wrong outcome desynchronizes guarded
+queues and forces a chain-group rollback (modelled as ``flush``).
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+
+class _PCQueue:
+    __slots__ = ("slots", "head", "spec_head", "tail")
+
+    def __init__(self, depth: int):
+        self.slots: List[bool] = [False] * depth
+        self.head = 0
+        self.spec_head = 0
+        self.tail = 0
+
+
+class BRQueueFile:
+    def __init__(self, depth: int = 32):
+        self.depth = depth
+        self._queues: Dict[int, _PCQueue] = {}
+        self.active = False
+        self.deposits = 0
+        self.consumed = 0
+        self.not_timely = 0
+        self.flushes = 0
+
+    def configure(self, pcs) -> None:
+        self._queues = {pc: _PCQueue(self.depth) for pc in pcs}
+        self.active = True
+
+    def deactivate(self) -> None:
+        self.active = False
+        self._queues.clear()
+
+    def has_queue(self, pc: int) -> bool:
+        return self.active and pc in self._queues
+
+    def deposit(self, pc: int, outcome: bool) -> None:
+        q = self._queues[pc]
+        if q.tail - q.head >= self.depth:
+            return  # queue full: the outcome is dropped (stale anyway)
+        q.slots[q.tail % self.depth] = bool(outcome)
+        q.tail += 1
+        self.deposits += 1
+
+    def consume(self, pc: int) -> Optional[Tuple[bool, Tuple[int, int, bool]]]:
+        q = self._queues.get(pc)
+        if q is None:
+            return None
+        if q.spec_head >= q.tail:
+            self.not_timely += 1
+            return None
+        outcome = q.slots[q.spec_head % self.depth]
+        token = (pc, q.spec_head, outcome)
+        q.spec_head += 1
+        self.consumed += 1
+        return outcome, token
+
+    def retire_consumed(self, pc: int) -> None:
+        q = self._queues.get(pc)
+        if q is not None and q.head < q.spec_head:
+            q.head += 1
+
+    def flush(self, pcs=None) -> None:
+        """Chain-group rollback: discard queued outcomes.
+
+        ``pcs`` limits the flush to one chain group (BR's selective
+        rollback, Fig. 10b); None flushes everything.
+        """
+        self.flushes += 1
+        for pc, q in self._queues.items():
+            if pcs is None or pc in pcs:
+                q.head = q.spec_head = q.tail = 0
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Tuple:
+        return tuple((pc, q.spec_head) for pc, q in self._queues.items())
+
+    def restore(self, state: Tuple) -> None:
+        for pc, spec_head in state:
+            q = self._queues.get(pc)
+            if q is not None:
+                # Never roll back before head (those entries retired).
+                q.spec_head = max(spec_head, q.head)
+
+    def stats(self) -> dict:
+        return {
+            "deposits": self.deposits,
+            "consumed": self.consumed,
+            "not_timely": self.not_timely,
+            "flushes": self.flushes,
+        }

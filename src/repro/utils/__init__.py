@@ -1,0 +1,6 @@
+"""Small shared utilities: saturating counters, 64-bit integer helpers."""
+
+from repro.utils.bits import to_i64, to_u64, fold_bits
+from repro.utils.counters import SaturatingCounter
+
+__all__ = ["to_i64", "to_u64", "fold_bits", "SaturatingCounter"]

@@ -1,0 +1,39 @@
+"""Fixed-width integer helpers.
+
+The ISA is 64-bit; Python integers are unbounded, so every arithmetic
+result is normalized through :func:`to_i64` (two's-complement signed) or
+:func:`to_u64` (unsigned) before being written back to a register.
+"""
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def to_u64(value: int) -> int:
+    """Truncate ``value`` to an unsigned 64-bit integer."""
+    return value & _MASK64
+
+
+def to_i64(value: int) -> int:
+    """Truncate ``value`` to a signed (two's complement) 64-bit integer."""
+    value &= _MASK64
+    if value & _SIGN64:
+        value -= 1 << 64
+    return value
+
+
+def fold_bits(value: int, out_bits: int) -> int:
+    """XOR-fold an arbitrary-width non-negative integer down to ``out_bits``.
+
+    Used by predictors and cache index functions to hash PCs and history
+    registers into table indices without biasing low bits.
+    """
+    if out_bits <= 0:
+        raise ValueError("out_bits must be positive")
+    mask = (1 << out_bits) - 1
+    folded = 0
+    value &= _MASK64
+    while value:
+        folded ^= value & mask
+        value >>= out_bits
+    return folded

@@ -1,0 +1,54 @@
+"""Saturating counters used throughout predictors and training tables."""
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter.
+
+    The counter ranges over ``[0, 2**bits - 1]``.  ``taken`` is true in the
+    upper half of the range, which makes a freshly ``weakly_taken``
+    initialized counter behave like the hardware idiom.
+    """
+
+    __slots__ = ("bits", "value", "_max")
+
+    def __init__(self, bits: int = 2, value: int = None):
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        if value is None:
+            value = 1 << (bits - 1)  # weakly taken
+        if not 0 <= value <= self._max:
+            raise ValueError(f"value {value} out of range for {bits}-bit counter")
+        self.value = value
+
+    @property
+    def taken(self) -> bool:
+        """Predicted direction: true in the upper half of the range."""
+        return self.value >= (1 << (self.bits - 1))
+
+    @property
+    def max(self) -> int:
+        return self._max
+
+    def increment(self) -> None:
+        if self.value < self._max:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def update(self, taken: bool) -> None:
+        """Train toward ``taken``."""
+        if taken:
+            self.increment()
+        else:
+            self.decrement()
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.value == 0 or self.value == self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"

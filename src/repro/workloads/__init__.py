@@ -1,0 +1,23 @@
+"""Synthetic workloads reproducing the paper's benchmarks.
+
+All workloads are written in the mini ISA via the assembler DSL.  They are
+synthetic equivalents of the paper's SPEC/GAP inputs (see DESIGN.md §3):
+each preserves the branch/memory behaviour Phelps targets — delinquent
+data-dependent branches, dependent-branch pairs with guarded influential
+stores (astar), and the nested-loop idiom of graph kernels (Fig. 2).
+"""
+
+from repro.workloads.astar import build_astar
+from repro.workloads.graphs import road_network, web_graph, uniform_graph, to_csr
+from repro.workloads.registry import WORKLOADS, build_workload, workload_names
+
+__all__ = [
+    "build_astar",
+    "road_network",
+    "web_graph",
+    "uniform_graph",
+    "to_csr",
+    "WORKLOADS",
+    "build_workload",
+    "workload_names",
+]

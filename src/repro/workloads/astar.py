@@ -1,0 +1,151 @@
+"""The astar ``makebound2()`` kernel (paper Figure 3).
+
+A grid wavefront expansion: for every cell on the current boundary
+(worklist), test its 8 neighbours; an unfilled (b1) and passable (b2)
+neighbour is filled (s1 — the influential, doubly-guarded store) and
+appended to the next boundary.
+
+This is a faithful transliteration of the paper's code fragment:
+
+* 8 neighbour blocks, each with a dependent delinquent branch pair
+  (b1: ``waymap[index1].fillnum != fillnum``, b2: ``maparp[index1]``
+  passability) and a store ``s1`` to ``waymap[index1].fillnum`` that is
+  control-dependent on both and feeds *future* b1 instances of any
+  neighbour block (loop-carried store-load dependence through ``waymap``).
+* pointer-like index arithmetic so branch outcomes depend on arbitrary
+  data, defeating history-based prediction.
+
+The grid wraps (power-of-two masking) so no bounds checks are needed,
+keeping the loop body free of non-delinquent control flow apart from the
+eight ``skip`` joins — exactly the shape Phelps targets.
+"""
+
+import random
+from typing import List, Optional
+
+from repro.isa import Assembler, Program
+
+# Register allocation (fixed, documented for the tests):
+#   x1  bound1l base        x2  bound1length    x3  i (induction)
+#   x4  waymap base         x5  maparp base     x6  fillnum
+#   x7  bound2l base        x8  bound2length    x9  index
+#   x10..x15 scratch
+NEIGHBOR_DELTAS_2D = [1, -1, None, None, None, None, None, None]  # filled per dim
+
+
+def neighbor_deltas(dim: int) -> List[int]:
+    return [1, -1, dim, -dim, dim + 1, dim - 1, -dim + 1, -dim - 1]
+
+
+def build_astar(
+    worklist_len: int = 768,
+    grid_dim: int = 64,
+    passable_frac: float = 0.5,
+    fill_frac: float = 0.15,
+    seed: int = 42,
+    waves: int = 1,
+) -> Program:
+    """Assemble the makebound2 kernel.
+
+    ``waves > 1`` wraps the boundary loop in an outer wave loop (fillnum
+    increments each wave), exercising the nested-loop classification path.
+    """
+    if grid_dim & (grid_dim - 1):
+        raise ValueError("grid_dim must be a power of two")
+    rng = random.Random(seed)
+    cells = grid_dim * grid_dim
+    mask = cells - 1
+
+    a = Assembler("astar")
+    waymap_init = [1 if rng.random() < fill_frac else 0 for _ in range(cells)]
+    maparp_init = [0 if rng.random() < passable_frac else 1 for _ in range(cells)]
+    # The boundary worklist is a connected wavefront, not random cells:
+    # consecutive entries are spatially adjacent, so neighbourhoods overlap
+    # and a store s1 in iteration j influences b1 loads a few iterations
+    # later (the loop-carried store-load dependence of Section III).
+    walk_steps = [1, -1, grid_dim, -grid_dim, grid_dim + 1, -grid_dim - 1]
+    cell = rng.randrange(cells)
+    worklist = []
+    for i in range(worklist_len):
+        worklist.append(cell)
+        if i % 97 == 96:  # occasionally jump to a new front
+            cell = rng.randrange(cells)
+        else:
+            cell = (cell + rng.choice(walk_steps)) & mask
+
+    waymap = a.data("waymap", waymap_init)
+    maparp = a.data("maparp", maparp_init)
+    bound1l = a.data("bound1l", worklist)
+    bound2l = a.alloc("bound2l", worklist_len * 8 + 8)
+    waynum = a.alloc("waynum", cells)    # waymap[].num field (paper line 14)
+    waycost = a.alloc("waycost", cells)  # per-cell cost bookkeeping
+
+    a.li("x1", bound1l)
+    a.li("x2", worklist_len)
+    a.li("x4", waymap)
+    a.li("x5", maparp)
+    a.li("x6", 1)            # fillnum
+    a.li("x7", bound2l)
+    a.li("x18", waynum)
+    a.li("x19", waycost)
+    a.li("x16", waves)
+    a.li("x17", 0)           # wave counter
+    if waves > 1:
+        a.label("wave_loop")
+    a.li("x3", 0)            # i
+    a.li("x8", 0)            # bound2length
+
+    a.label("boundary_loop")
+    a.slli("x10", "x3", 3)
+    a.add("x10", "x10", "x1")
+    a.ld("x9", "x10", 0)     # index = bound1l[i]
+
+    for m, delta in enumerate(neighbor_deltas(grid_dim)):
+        skip = f"skip{m}"
+        a.addi("x10", "x9", delta)      # index1 = index + movementdelta[m]
+        a.andi("x10", "x10", mask)      # wrap (power-of-two grid)
+        a.slli("x11", "x10", 3)
+        a.add("x11", "x11", "x4")
+        a.ld("x12", "x11", 0)           # waymap[index1].fillnum
+        a.beq("x12", "x6", skip)        # b{2m+1}: already filled this wave?
+        a.slli("x13", "x10", 3)
+        a.add("x13", "x13", "x5")
+        a.ld("x14", "x13", 0)           # maparp[index1]
+        a.bne("x14", "x0", skip)        # b{2m+2}: impassable?
+        a.sd("x6", "x11", 0)            # s{m+1}: waymap[index1].fillnum = fillnum
+        # "Other statements" of the guarded region (paper Fig. 1/Fig. 3
+        # lines 14-20): step/cost bookkeeping that pre-execution prunes.
+        a.slli("x15", "x10", 3)
+        a.add("x15", "x15", "x18")
+        a.sd("x6", "x15", 0)            # waymap[index1].num = step
+        a.mul("x15", "x10", "x6")
+        a.xori("x15", "x15", 0x55)
+        a.addi("x15", "x15", 3 + m)
+        a.slli("x21", "x10", 3)
+        a.add("x21", "x21", "x19")
+        a.sd("x15", "x21", 0)           # waycost[index1] = heuristic cost
+        a.slli("x15", "x8", 3)
+        a.add("x15", "x15", "x7")
+        a.sd("x10", "x15", 0)           # bound2l[bound2length] = index1
+        a.addi("x8", "x8", 1)
+        a.addi("x22", "x22", 1)         # fills-this-wave counter
+        a.label(skip)
+
+    a.addi("x3", "x3", 1)
+    a.blt("x3", "x2", "boundary_loop")
+
+    if waves > 1:
+        a.addi("x6", "x6", 1)           # fillnum++ (next wave refills)
+        a.addi("x17", "x17", 1)
+        a.blt("x17", "x16", "wave_loop")
+    a.halt()
+    return a.build()
+
+
+def reference_bound2_length(program: Program, worklist_len: int = 768,
+                            grid_dim: int = 64) -> int:
+    """Architectural result via the functional executor (for tests)."""
+    from repro.isa import run_program
+
+    state = run_program(program, max_steps=5_000_000)
+    return state.regs[8]

@@ -1,0 +1,3 @@
+"""GAP-suite-like graph kernels (registered into the workload registry)."""
+
+from repro.workloads.gap import bfs, pr, cc, cc_sv, bc, sssp  # noqa: F401

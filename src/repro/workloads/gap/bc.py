@@ -1,0 +1,90 @@
+"""Betweenness-centrality forward pass (GAP ``bc``, Brandes).
+
+The BFS-like forward sweep with shortest-path counting: the distance test
+is delinquent; the ``sigma[v] += sigma[u]`` update is an influential store
+that is control-dependent on the delinquent distance comparison and feeds
+future sigma reads — the combination that makes predicated stores critical
+for bc (paper Fig. 12b).
+"""
+
+import random
+from typing import List, Optional
+
+from repro.isa import Assembler, Program
+from repro.workloads.gap.common import (
+    embed_graph,
+    init_prunable,
+    make_walk_worklist,
+    outer_loop_header,
+    outer_loop_footer,
+    prunable_block,
+)
+from repro.workloads.graphs import road_network
+from repro.workloads.registry import register
+
+
+def build_bc(adj: Optional[List[List[int]]] = None, worklist_len: int = 4096,
+             seed: int = 31) -> Program:
+    if adj is None:
+        adj = road_network(8192, seed=seed)
+    rng = random.Random(seed + 1)
+    n = len(adj)
+
+    a = Assembler("bc")
+    off_base, nbr_base = embed_graph(a, adj)
+    # Distances from a few BFS levels (small integers); 7 marks nodes the
+    # sweep has not discovered yet.  Sigmas arbitrary.
+    dist_init = [rng.randrange(0, 6) if rng.random() < 0.6 else 7
+                 for _ in range(n)]
+    sigma_init = [rng.randrange(1, 50) for _ in range(n)]
+    dist = a.data("dist", dist_init)
+    sigma = a.data("sigma", sigma_init)
+    worklist = a.data("worklist", make_walk_worklist(adj, worklist_len, seed + 2))
+
+    a.li("x6", dist)
+    a.li("x7", sigma)
+    a.li("x17", 7)                      # "undiscovered" sentinel
+    init_prunable(a)
+    outer_loop_header(a, worklist, worklist_len, off_base, nbr_base)
+    a.bge("x10", "x11", "outer_inc")    # header
+    a.slli("x12", "x9", 3)
+    a.add("x13", "x12", "x6")
+    a.ld("x8", "x13", 0)                # d_u = dist[u]
+    a.add("x13", "x12", "x7")
+    a.ld("x16", "x13", 0)               # sigma_u
+    a.addi("x8", "x8", 1)               # d_u + 1
+    prunable_block(a, "bc", 0, "x9", n_alu=5)
+
+    a.label("inner")
+    a.slli("x12", "x10", 3)
+    a.add("x12", "x12", "x5")
+    a.ld("x13", "x12", 0)               # v
+    a.slli("x14", "x13", 3)
+    a.add("x15", "x14", "x6")
+    a.ld("x15", "x15", 0)               # dist[v]
+    a.bne("x15", "x8", "skip_sigma")    # delinquent: on a shortest path?
+    a.add("x14", "x14", "x7")           # &sigma[v]
+    a.ld("x15", "x14", 0)
+    a.add("x15", "x15", "x16")
+    a.sd("x15", "x14", 0)               # sigma[v] += sigma_u (guarded)
+    prunable_block(a, "bc_in", 0, "x13", n_alu=2)
+    a.label("skip_sigma")
+    # Discovery (Brandes' enqueue): the dist[v] store both influences the
+    # delinquent distance tests of later iterations and is guarded by one.
+    a.slli("x14", "x13", 3)
+    a.add("x14", "x14", "x6")
+    a.ld("x15", "x14", 0)               # dist[v] again
+    a.bne("x15", "x17", "skip_disc")    # delinquent: undiscovered?
+    a.sd("x8", "x14", 0)                # influential guarded store dist[v]
+    a.label("skip_disc")
+    a.addi("x10", "x10", 1)
+    a.blt("x10", "x11", "inner")
+
+    outer_loop_footer(a)
+    a.halt()
+    return a.build()
+
+
+@register("bc")
+def _bc() -> Program:
+    return build_bc()

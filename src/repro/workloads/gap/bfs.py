@@ -1,0 +1,85 @@
+"""BFS frontier expansion (GAP ``bfs``) — the paper's Figure 2 idiom.
+
+Outer loop over the current frontier; short, unpredictable inner loop over
+each node's neighbours (brC); delinquent visited-test (brB) guarding the
+influential ``visited[v] = 1`` store; header branch brA skipping nodes with
+empty adjacency.
+"""
+
+import random
+from typing import List, Optional
+
+from repro.isa import Assembler, Program
+from repro.workloads.gap.common import (
+    embed_graph,
+    init_prunable,
+    make_worklist,
+    outer_loop_header,
+    outer_loop_footer,
+    prunable_block,
+)
+from repro.workloads.graphs import road_network
+from repro.workloads.registry import register
+
+
+def build_bfs(adj: Optional[List[List[int]]] = None, frontier_len: int = 4096,
+              visited_frac: float = 0.4, seed: int = 7) -> Program:
+    if adj is None:
+        adj = road_network(8192, seed=seed)
+    rng = random.Random(seed + 1)
+    n = len(adj)
+
+    a = Assembler("bfs")
+    off_base, nbr_base = embed_graph(a, adj)
+    visited_init = [1 if rng.random() < visited_frac else 0 for _ in range(n)]
+    visited = a.data("visited", visited_init)
+    frontier = a.data("frontier", make_worklist(n, frontier_len, seed + 2))
+    next_frontier = a.alloc("next_frontier", frontier_len * 4 + 8)
+
+    a.li("x6", visited)
+    a.li("x7", next_frontier)
+    a.li("x8", 0)               # next frontier length
+    a.li("x20", 1)              # the mark value
+    init_prunable(a)
+    outer_loop_header(a, frontier, frontier_len, off_base, nbr_base)
+    prunable_block(a, "depth", 0, "x9", n_alu=5)  # per-node depth bookkeeping
+    a.bge("x10", "x11", "outer_inc")   # brA: header (empty adjacency)
+
+    a.label("inner")
+    a.slli("x12", "x10", 3)
+    a.add("x12", "x12", "x5")
+    a.ld("x13", "x12", 0)       # v = neighbors[j]
+    a.slli("x14", "x13", 3)
+    a.add("x14", "x14", "x6")
+    a.ld("x15", "x14", 0)       # visited[v]
+    a.bne("x15", "x0", "skip_visit")   # brB: delinquent visited test
+    a.sd("x20", "x14", 0)       # influential store: visited[v] = 1
+    prunable_block(a, "parent", 0, "x13", n_alu=3)  # parent/dist bookkeeping
+    a.slli("x15", "x8", 3)
+    a.add("x15", "x15", "x7")
+    a.sd("x13", "x15", 0)       # next_frontier append
+    a.addi("x8", "x8", 1)
+    a.label("skip_visit")
+    a.addi("x10", "x10", 1)
+    a.blt("x10", "x11", "inner")       # brC: short unpredictable trip count
+
+    outer_loop_footer(a)
+    a.halt()
+    return a.build()
+
+
+@register("bfs")
+def _bfs() -> Program:
+    return build_bfs()
+
+
+@register("bfs_web")
+def _bfs_web() -> Program:
+    from repro.workloads.graphs import web_graph
+    return build_bfs(adj=web_graph(8192), seed=11)
+
+
+@register("bfs_uniform")
+def _bfs_uniform() -> Program:
+    from repro.workloads.graphs import uniform_graph
+    return build_bfs(adj=uniform_graph(8192), seed=13)

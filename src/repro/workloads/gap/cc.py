@@ -1,0 +1,69 @@
+"""Connected components via label propagation (GAP ``cc``).
+
+Nested loops: for each worklist node u, scan neighbours; whenever
+``comp[v] < comp[u]`` (a comparison of two arbitrary labels — delinquent),
+adopt the smaller label (an influential, guarded store to ``comp[u]``).
+"""
+
+import random
+from typing import List, Optional
+
+from repro.isa import Assembler, Program
+from repro.workloads.gap.common import (
+    embed_graph,
+    init_prunable,
+    make_worklist,
+    outer_loop_header,
+    outer_loop_footer,
+    prunable_block,
+)
+from repro.workloads.graphs import road_network
+from repro.workloads.registry import register
+
+
+def build_cc(adj: Optional[List[List[int]]] = None, worklist_len: int = 4096,
+             seed: int = 23) -> Program:
+    if adj is None:
+        adj = road_network(8192, seed=seed)
+    rng = random.Random(seed + 1)
+    n = len(adj)
+
+    a = Assembler("cc")
+    off_base, nbr_base = embed_graph(a, adj)
+    labels = list(range(n))
+    rng.shuffle(labels)
+    comp = a.data("comp", labels)
+    worklist = a.data("worklist", make_worklist(n, worklist_len, seed + 2))
+
+    a.li("x6", comp)
+    init_prunable(a)
+    outer_loop_header(a, worklist, worklist_len, off_base, nbr_base)
+    a.bge("x10", "x11", "outer_inc")    # header
+    a.slli("x7", "x9", 3)
+    a.add("x7", "x7", "x6")             # &comp[u]
+    a.ld("x8", "x7", 0)                 # comp[u]
+    prunable_block(a, "cc", 0, "x9", n_alu=5)
+
+    a.label("inner")
+    a.slli("x12", "x10", 3)
+    a.add("x12", "x12", "x5")
+    a.ld("x13", "x12", 0)               # v
+    a.slli("x14", "x13", 3)
+    a.add("x14", "x14", "x6")
+    a.ld("x15", "x14", 0)               # comp[v]
+    a.bge("x15", "x8", "skip_adopt")    # delinquent label comparison
+    a.mv("x8", "x15")
+    a.sd("x8", "x7", 0)                 # influential guarded store comp[u]
+    prunable_block(a, "cc_in", 0, "x13", n_alu=2)
+    a.label("skip_adopt")
+    a.addi("x10", "x10", 1)
+    a.blt("x10", "x11", "inner")
+
+    outer_loop_footer(a)
+    a.halt()
+    return a.build()
+
+
+@register("cc")
+def _cc() -> Program:
+    return build_cc()

@@ -1,0 +1,100 @@
+"""Shiloach-Vishkin connected components (GAP ``cc_sv``).
+
+Two delinquent loops, mirroring the paper's Fig. 14 discussion: a hooking
+pass over the edge list (dependent branch pair + guarded store) and a
+pointer-jumping pass.  Both loop bodies consist almost entirely of the
+delinquent branches' backward slices, so their helper threads exceed the
+75 % size bound and are rejected as *too big* — reproducing cc_sv's
+"del. but ht too big" / "del. but ht not const." segments.
+"""
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.isa import Assembler, Program
+from repro.workloads.graphs import road_network
+from repro.workloads.registry import register
+
+
+def _edge_list(adj: List[List[int]], seed: int) -> List[Tuple[int, int]]:
+    rng = random.Random(seed)
+    edges = [(u, v) if rng.random() < 0.5 else (v, u)
+             for u, ns in enumerate(adj) for v in ns if u < v]
+    rng.shuffle(edges)
+    return edges
+
+
+def build_cc_sv(adj: Optional[List[List[int]]] = None, rounds: int = 1,
+                seed: int = 29) -> Program:
+    if adj is None:
+        adj = road_network(8192, seed=seed)
+    rng = random.Random(seed + 1)
+    n = len(adj)
+    edges = _edge_list(adj, seed + 2)
+
+    a = Assembler("cc_sv")
+    # Real Shiloach-Vishkin: every node starts as its own root.  Hooking
+    # then creates chains, making the b2 root test genuinely delinquent.
+    comp = a.data("comp", list(range(n)))
+    src = a.data("edge_src", [e[0] for e in edges])
+    dst = a.data("edge_dst", [e[1] for e in edges])
+
+    a.li("x1", src)
+    a.li("x2", dst)
+    a.li("x4", comp)
+    a.li("x5", len(edges))
+    a.li("x16", rounds)
+    a.li("x17", 0)
+    if rounds > 1:
+        a.label("round")
+
+    # ---- Hook phase: everything feeds the label comparisons. ----
+    a.li("x3", 0)
+    a.label("hook")
+    a.slli("x6", "x3", 3)
+    a.add("x7", "x6", "x1")
+    a.ld("x8", "x7", 0)          # u
+    a.add("x7", "x6", "x2")
+    a.ld("x9", "x7", 0)          # v
+    a.slli("x10", "x8", 3)
+    a.add("x10", "x10", "x4")
+    a.ld("x11", "x10", 0)        # comp[u]
+    a.slli("x12", "x9", 3)
+    a.add("x12", "x12", "x4")
+    a.ld("x13", "x12", 0)        # comp[v]
+    a.bge("x11", "x13", "no_hook")        # b1: comp[u] < comp[v]?
+    a.slli("x14", "x13", 3)
+    a.add("x14", "x14", "x4")
+    a.ld("x15", "x14", 0)        # comp[comp[v]]
+    a.bne("x15", "x13", "no_hook")        # b2 (guarded): v's label is a root?
+    a.sd("x11", "x14", 0)        # s1 (doubly guarded, influential)
+    a.label("no_hook")
+    a.addi("x3", "x3", 1)
+    a.blt("x3", "x5", "hook")
+
+    # ---- Pointer-jumping phase: a second delinquent loop. ----
+    a.li("x3", 0)
+    a.li("x18", n)
+    a.label("jump")
+    a.slli("x6", "x3", 3)
+    a.add("x6", "x6", "x4")
+    a.ld("x7", "x6", 0)          # comp[i]
+    a.slli("x8", "x7", 3)
+    a.add("x8", "x8", "x4")
+    a.ld("x9", "x8", 0)          # comp[comp[i]]
+    a.beq("x9", "x7", "no_jump")          # delinquent: already a root?
+    a.sd("x9", "x6", 0)          # influential guarded store
+    a.label("no_jump")
+    a.addi("x3", "x3", 1)
+    a.blt("x3", "x18", "jump")
+
+    if rounds > 1:
+        a.addi("x17", "x17", 1)
+        a.blt("x17", "x16", "round")
+    a.halt()
+    return a.build()
+
+
+@register("cc_sv")
+def _cc_sv() -> Program:
+    return build_cc_sv()

@@ -1,0 +1,104 @@
+"""Synthetic graph generators and CSR conversion.
+
+Substitutes for the paper's input datasets (DESIGN.md §3):
+
+* :func:`road_network` — perturbed grid: planar-ish, mean degree ≈ 2.8,
+  large diameter (stands in for roadNet-CA);
+* :func:`web_graph` — preferential-attachment power law: heavy-tailed
+  degrees, small diameter (stands in for web-google);
+* :func:`uniform_graph` — Erdős–Rényi-style uniform random graph.
+
+All return adjacency lists; :func:`to_csr` flattens to (offsets, neighbors)
+arrays suitable for embedding in a workload's data segment.
+"""
+
+import random
+from typing import Dict, List, Tuple
+
+
+def _dedup_sorted(neighbors: List[int], self_node: int) -> List[int]:
+    return sorted({n for n in neighbors if n != self_node})
+
+
+def road_network(nodes: int = 1024, seed: int = 1) -> List[List[int]]:
+    """Grid graph with random edge deletions and a few shortcuts.
+
+    Matches road networks' signature properties: low, narrow degree
+    distribution and long shortest paths.
+    """
+    rng = random.Random(seed)
+    side = int(nodes ** 0.5)
+    n = side * side
+    adj: List[List[int]] = [[] for _ in range(n)]
+
+    def add_edge(u, v):
+        adj[u].append(v)
+        adj[v].append(u)
+
+    for r in range(side):
+        for c in range(side):
+            u = r * side + c
+            if c + 1 < side and rng.random() < 0.7:
+                add_edge(u, u + 1)
+            if r + 1 < side and rng.random() < 0.7:
+                add_edge(u, u + side)
+    # A few long-range shortcuts (highways).
+    for _ in range(max(1, n // 100)):
+        add_edge(rng.randrange(n), rng.randrange(n))
+    return [_dedup_sorted(ns, i) for i, ns in enumerate(adj)]
+
+
+def web_graph(nodes: int = 1024, out_degree: int = 4, seed: int = 2) -> List[List[int]]:
+    """Preferential attachment: heavy-tailed degree distribution."""
+    rng = random.Random(seed)
+    adj: List[List[int]] = [[] for _ in range(nodes)]
+    targets: List[int] = [0]
+    for u in range(1, nodes):
+        picks = set()
+        for _ in range(min(out_degree, u)):
+            picks.add(targets[rng.randrange(len(targets))])
+        for v in picks:
+            adj[u].append(v)
+            adj[v].append(u)
+            targets.extend([u, v])
+    return [_dedup_sorted(ns, i) for i, ns in enumerate(adj)]
+
+
+def uniform_graph(nodes: int = 1024, avg_degree: float = 4.0, seed: int = 3) -> List[List[int]]:
+    rng = random.Random(seed)
+    adj: List[List[int]] = [[] for _ in range(nodes)]
+    edges = int(nodes * avg_degree / 2)
+    for _ in range(edges):
+        u, v = rng.randrange(nodes), rng.randrange(nodes)
+        if u != v:
+            adj[u].append(v)
+            adj[v].append(u)
+    return [_dedup_sorted(ns, i) for i, ns in enumerate(adj)]
+
+
+GRAPHS = {
+    "road": road_network,
+    "web": web_graph,
+    "uniform": uniform_graph,
+}
+
+
+def to_csr(adj: List[List[int]]) -> Tuple[List[int], List[int]]:
+    """(offsets, neighbors): offsets has len(adj)+1 entries."""
+    offsets = [0]
+    neighbors: List[int] = []
+    for ns in adj:
+        neighbors.extend(ns)
+        offsets.append(len(neighbors))
+    return offsets, neighbors
+
+
+def graph_stats(adj: List[List[int]]) -> Dict[str, float]:
+    degrees = [len(ns) for ns in adj]
+    n = len(adj)
+    return {
+        "nodes": n,
+        "edges": sum(degrees) // 2,
+        "avg_degree": sum(degrees) / n if n else 0.0,
+        "max_degree": max(degrees) if degrees else 0,
+    }

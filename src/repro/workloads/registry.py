@@ -1,0 +1,55 @@
+"""Workload registry: benchmark name -> program builder.
+
+Sizes are tuned so each region runs a few hundred thousand instructions —
+enough for Phelps' (scaled) epoch machinery to measure, construct, and
+deploy, while staying tractable for a pure-Python cycle-level simulator.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.isa import Program
+from repro.workloads.astar import build_astar
+
+
+def _astar() -> Program:
+    return build_astar(worklist_len=1024, grid_dim=64)
+
+
+def _astar_waves() -> Program:
+    """Nested variant: the boundary loop inside a 3-wave outer loop
+    (exercises nested-loop classification on astar itself)."""
+    return build_astar(worklist_len=512, grid_dim=64, waves=3)
+
+
+# Populated incrementally; GAP and SPEC2017-like entries register below.
+WORKLOADS: Dict[str, Callable[[], Program]] = {
+    "astar": _astar,
+    "astar_waves": _astar_waves,
+}
+
+
+def register(name: str):
+    def deco(fn):
+        WORKLOADS[name] = fn
+        return fn
+    return deco
+
+
+def build_workload(name: str) -> Program:
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+# Side-effect imports: registering GAP and SPEC2017-like kernels.
+def _register_all() -> None:
+    from repro.workloads import gap  # noqa: F401
+    from repro.workloads import spec17  # noqa: F401
+
+
+_register_all()

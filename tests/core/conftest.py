@@ -1,0 +1,23 @@
+import pytest
+
+from repro.core import Core, CoreConfig
+from repro.memory import MemoryConfig
+
+
+def small_core(program, **overrides):
+    """A scaled-down core for fast tests."""
+    cfg = CoreConfig().scaled()
+    for k, v in overrides.items():
+        setattr(cfg, k, v)
+    mem = MemoryConfig(enable_l1_prefetcher=False, enable_l2_prefetcher=False)
+    return Core(program, config=cfg, mem_config=mem)
+
+
+def arch_reg(core, logical):
+    """Committed architectural value of logical register ``logical``."""
+    return core.prf.read(core.main.amt.lookup(logical))
+
+
+@pytest.fixture
+def make_core():
+    return small_core

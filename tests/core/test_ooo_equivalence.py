@@ -1,0 +1,114 @@
+"""The golden property: out-of-order execution with speculation, forwarding,
+violations and recovery must produce exactly the architectural state of
+in-order functional execution."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Assembler, run_program
+from repro.isa.opcodes import Opcode
+from tests.core.conftest import arch_reg, small_core
+
+
+@st.composite
+def random_programs(draw):
+    """Random terminating programs with loops, branches, loads, and stores.
+
+    Structure: a counted outer loop (guaranteed termination) whose body is a
+    random mix of ALU ops, loads/stores into a small scratch array, and
+    forward branches that skip a random number of body instructions.
+    """
+    a = Assembler("rand")
+    scratch = a.data("scratch", [draw(st.integers(-50, 50)) for _ in range(8)])
+    trip = draw(st.integers(1, 12))
+    a.li("x1", scratch)
+    a.li("x2", trip)
+    a.li("x3", 0)  # induction
+    for r in range(4, 10):
+        a.li(r, draw(st.integers(-20, 20)))
+    a.label("loop")
+
+    n_body = draw(st.integers(3, 25))
+    ops = [Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.AND, Opcode.OR,
+           Opcode.MUL, Opcode.SLT, Opcode.MIN, Opcode.MAX]
+    skip_id = 0
+    emitted = 0
+    while emitted < n_body:
+        kind = draw(st.integers(0, 9))
+        rd = draw(st.integers(4, 9))
+        rs1 = draw(st.integers(3, 9))
+        rs2 = draw(st.integers(3, 9))
+        if kind <= 4:
+            a._emit(draw(st.sampled_from(ops)), rd, rs1, rs2)
+        elif kind == 5:
+            a.addi(rd, rs1, draw(st.integers(-10, 10)))
+        elif kind == 6:
+            # load from scratch[(x{rs1} & 7)]
+            a.andi(10, rs1, 7)
+            a.slli(10, 10, 3)
+            a.add(10, 10, 1)
+            a.ld(rd, 10, 0)
+            emitted += 3
+        elif kind == 7:
+            a.andi(10, rs1, 7)
+            a.slli(10, 10, 3)
+            a.add(10, 10, 1)
+            a.sd(rs2, 10, 0)
+            emitted += 3
+        else:
+            # forward branch skipping the next few instructions
+            label = f"skip{skip_id}"
+            skip_id += 1
+            op = draw(st.sampled_from([Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE]))
+            a._branch(op, rs1, rs2, label)
+            for _ in range(draw(st.integers(1, 3))):
+                a._emit(draw(st.sampled_from(ops)),
+                        draw(st.integers(4, 9)),
+                        draw(st.integers(3, 9)),
+                        draw(st.integers(3, 9)))
+                emitted += 1
+            a.label(label)
+        emitted += 1
+
+    a.addi("x3", "x3", 1)
+    a.blt("x3", "x2", "loop")
+    a.halt()
+    return a.build()
+
+
+class TestOOOEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(random_programs())
+    def test_matches_in_order_execution(self, program):
+        ref = run_program(program, max_steps=200_000)
+        core = small_core(program)
+        stats = core.run(max_cycles=2_000_000)
+        assert stats.halted, "OOO core failed to reach HALT"
+        for i in range(1, 16):
+            assert arch_reg(core, i) == ref.regs[i], f"x{i} mismatch"
+        for addr, val in ref.mem.items():
+            assert core.mem.get(addr, 0) == val, f"mem[{addr:#x}] mismatch"
+        assert stats.retired == ref.retired
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_programs())
+    def test_matches_with_perfect_prediction(self, program):
+        ref = run_program(program, max_steps=200_000)
+        core = small_core(program, perfect_branch_prediction=True)
+        stats = core.run(max_cycles=2_000_000)
+        assert stats.halted
+        assert stats.mispredicts == 0
+        for i in range(1, 16):
+            assert arch_reg(core, i) == ref.regs[i]
+        for addr, val in ref.mem.items():
+            assert core.mem.get(addr, 0) == val
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_programs())
+    def test_resource_conservation_at_halt(self, program):
+        """No physical registers leak across a full run."""
+        core = small_core(program)
+        core.run(max_cycles=2_000_000)
+        held = core.pool.held_by(core.main.id)
+        committed = len(set(core.main.rmt.mapped_physical()))
+        in_flight = sum(1 for u in core.main.rob if u.phys_dest is not None)
+        assert held == committed + in_flight

@@ -1,0 +1,81 @@
+"""Runtime partitioning behaviour: Table I applied to a live core."""
+
+import pytest
+
+from repro.core import Core, CoreConfig, ThreadKind
+from repro.core.thread import MainFetchUnit
+from repro.isa import Assembler
+from repro.memory import MemoryConfig
+
+
+def _long_alu_program(n=3000):
+    a = Assembler("alu")
+    for i in range(n):
+        a.li(2 + (i % 8), i)
+    a.halt()
+    return a.build()
+
+
+def _core(program):
+    return Core(program, config=CoreConfig(),
+                mem_config=MemoryConfig(enable_l1_prefetcher=False,
+                                        enable_l2_prefetcher=False))
+
+
+class TestPartitionSwitch:
+    def test_partition_halves_main_resources(self):
+        core = _core(_long_alu_program())
+        assert core.main.share.rob == 632
+        core.set_partition_mode("MT_ITO")
+        assert core.main.share.rob == 316
+        assert core.main.share.fetch_width == 4
+        assert core.main.lq.capacity == 72
+
+    def test_partitioned_run_is_slower(self):
+        program = _long_alu_program()
+        full = _core(program).run()
+        half_core = _core(program)
+        half_core.set_partition_mode("MT_ITO")
+        half = half_core.run()
+        assert half.cycles > full.cycles
+        assert half.retired == full.retired  # correctness unchanged
+
+    def test_add_and_remove_helper_contexts(self):
+        core = _core(_long_alu_program())
+        core.set_partition_mode("MT_OT_IT")
+
+        class IdleFetch(MainFetchUnit):
+            def peek(self):
+                return None
+
+        ot = core.add_helper_thread(ThreadKind.OUTER, IdleFetch(core.program), "OT")
+        it = core.add_helper_thread(ThreadKind.INNER, IdleFetch(core.program), "IT")
+        assert len(core.threads) == 3
+        assert ot.share.fetch_width == 1
+        assert it.share.rob == 237
+        core.remove_helper_threads()
+        core.set_partition_mode("MT_ONLY")
+        assert len(core.threads) == 1
+
+    def test_full_squash_restarts_at_resume_pc(self):
+        program = _long_alu_program(500)
+        core = _core(program)
+        for _ in range(250):  # past the cold instruction-fetch miss
+            core.tick()
+        retired_before = core.main.retired
+        assert retired_before > 0
+        core.full_squash()
+        assert not core.main.rob
+        assert not core.main.frontend_q
+        stats = core.run()
+        assert stats.halted
+        assert stats.retired == 501  # nothing lost, nothing duplicated
+
+    def test_full_squash_releases_inflight_registers(self):
+        core = _core(_long_alu_program(500))
+        for _ in range(250):
+            core.tick()
+        core.full_squash()
+        held = core.pool.held_by(core.main.id)
+        committed = len(set(core.main.rmt.mapped_physical()))
+        assert held == committed

@@ -1,0 +1,283 @@
+"""End-to-end correctness of the out-of-order core on small programs."""
+
+from repro.isa import Assembler, run_program
+from tests.core.conftest import arch_reg, small_core
+
+
+def _build(fn, name="t"):
+    a = Assembler(name)
+    fn(a)
+    return a.build()
+
+
+class TestStraightline:
+    def test_arith_chain(self):
+        def prog(a):
+            a.li("x1", 6)
+            a.li("x2", 7)
+            a.mul("x3", "x1", "x2")
+            a.addi("x3", "x3", 1)
+            a.halt()
+
+        core = small_core(_build(prog))
+        stats = core.run()
+        assert stats.halted
+        assert arch_reg(core, 3) == 43
+        assert stats.retired == 5
+
+    def test_independent_ops_exceed_ipc_1(self):
+        def prog(a):
+            for i in range(1500):
+                a.li(2 + (i % 8), i)
+            a.halt()
+
+        stats = small_core(_build(prog)).run()
+        # 4 simple-ALU lanes; the cold-start I-miss amortizes over 1500 ops.
+        assert stats.ipc > 2.0
+
+    def test_dependent_chain_ipc_near_1(self):
+        def prog(a):
+            a.li("x1", 0)
+            for _ in range(300):
+                a.addi("x1", "x1", 1)
+            a.halt()
+
+        core = small_core(_build(prog))
+        stats = core.run()
+        assert arch_reg(core, 1) == 300
+        assert stats.ipc < 1.4
+
+    def test_x0_never_written(self):
+        def prog(a):
+            a.li("x0", 99)
+            a.add("x2", "x0", "x0")
+            a.halt()
+
+        core = small_core(_build(prog))
+        core.run()
+        assert arch_reg(core, 2) == 0
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip_through_memory(self):
+        def prog(a):
+            buf = a.alloc("buf", 2)
+            a.li("x1", buf)
+            a.li("x2", 1234)
+            a.sd("x2", "x1", 0)
+            a.ld("x3", "x1", 0)
+            a.halt()
+
+        core = small_core(_build(prog))
+        core.run()
+        assert arch_reg(core, 3) == 1234
+
+    def test_committed_memory_updated_at_retire(self):
+        def prog(a):
+            buf = a.alloc("buf", 1)
+            a.li("x1", buf)
+            a.li("x2", 55)
+            a.sd("x2", "x1", 0)
+            a.halt()
+
+        core = small_core(_build(prog))
+        core.run()
+        assert core.mem[core.program.addr_of("buf")] == 55
+
+    def test_store_forwarding_distinct_addresses(self):
+        def prog(a):
+            buf = a.alloc("buf", 4)
+            a.li("x1", buf)
+            for i in range(4):
+                a.li("x2", 100 + i)
+                a.sd("x2", "x1", i * 8)
+            for i in range(4):
+                a.ld(10 + i, "x1", i * 8)
+            a.halt()
+
+        core = small_core(_build(prog))
+        core.run()
+        for i in range(4):
+            assert arch_reg(core, 10 + i) == 100 + i
+
+    def test_load_violation_recovers_correct_value(self):
+        """A store whose address depends on a slow load, followed by a fast
+        load to the same address: the fast load speculates, gets stale data,
+        and must be squashed + re-executed when the store resolves."""
+        def prog(a):
+            buf = a.alloc("buf", 8)
+            ptr = a.data("ptr", [buf])  # pointer loaded from memory (slow)
+            a.li("x1", ptr)
+            a.li("x5", buf)
+            a.li("x2", 777)
+            a.ld("x3", "x1", 0)     # slow: loads &buf
+            a.mul("x3", "x3", "x3")  # delay address further
+            a.li("x4", 1)
+            a.div("x3", "x3", "x3")  # x3 = 1 after long latency
+            a.mul("x6", "x3", "x5")  # x6 = buf, late
+            a.sd("x2", "x6", 0)      # store to buf with late address
+            a.ld("x7", "x5", 0)      # younger load to buf, address ready early
+            a.halt()
+
+        core = small_core(_build(prog))
+        stats = core.run()
+        assert arch_reg(core, 7) == 777
+        assert stats.load_violations >= 1
+
+
+class TestControlFlow:
+    def test_loop_sums_array(self):
+        def prog(a):
+            arr = a.data("arr", [3, 1, 4, 1, 5, 9, 2, 6])
+            a.li("x1", arr)
+            a.li("x2", 8)
+            a.li("x3", 0)
+            a.li("x4", 0)
+            a.label("loop")
+            a.slli("x5", "x3", 3)
+            a.add("x5", "x5", "x1")
+            a.ld("x6", "x5", 0)
+            a.add("x4", "x4", "x6")
+            a.addi("x3", "x3", 1)
+            a.blt("x3", "x2", "loop")
+            a.halt()
+
+        core = small_core(_build(prog))
+        stats = core.run()
+        assert arch_reg(core, 4) == 31
+        assert stats.halted
+
+    def test_forward_branch_skips(self):
+        def prog(a):
+            a.li("x1", 5)
+            a.li("x2", 10)
+            a.blt("x2", "x1", "skip")   # not taken
+            a.li("x3", 1)
+            a.label("skip")
+            a.blt("x1", "x2", "skip2")  # taken
+            a.li("x3", 99)              # skipped
+            a.label("skip2")
+            a.halt()
+
+        core = small_core(_build(prog))
+        core.run()
+        assert arch_reg(core, 3) == 1
+
+    def test_mispredict_recovery_correctness(self):
+        """Data-dependent branch pattern the predictor cannot learn."""
+        def prog(a):
+            vals = [((i * 2654435761) >> 7) & 1 for i in range(64)]
+            arr = a.data("arr", vals)
+            a.li("x1", arr)
+            a.li("x2", 64)
+            a.li("x3", 0)
+            a.li("x4", 0)
+            a.label("loop")
+            a.slli("x5", "x3", 3)
+            a.add("x5", "x5", "x1")
+            a.ld("x6", "x5", 0)
+            a.beq("x6", "x0", "skip")
+            a.addi("x4", "x4", 1)
+            a.label("skip")
+            a.addi("x3", "x3", 1)
+            a.blt("x3", "x2", "loop")
+            a.halt()
+
+        core = small_core(_build(prog))
+        stats = core.run()
+        expected = sum(((i * 2654435761) >> 7) & 1 for i in range(64))
+        assert arch_reg(core, 4) == expected
+        assert stats.mispredicts > 0  # the pattern really is hard
+
+    def test_call_return(self):
+        def prog(a):
+            a.li("x10", 5)
+            a.call("f")
+            a.mv("x11", "x10")
+            a.halt()
+            a.label("f")
+            a.add("x10", "x10", "x10")
+            a.ret()
+
+        core = small_core(_build(prog))
+        core.run()
+        assert arch_reg(core, 11) == 10
+
+    def test_matches_functional_executor_on_loop(self):
+        def prog(a):
+            arr = a.data("arr", list(range(20)))
+            a.li("x1", arr)
+            a.li("x2", 20)
+            a.li("x3", 0)
+            a.li("x4", 0)
+            a.label("loop")
+            a.slli("x5", "x3", 3)
+            a.add("x5", "x5", "x1")
+            a.ld("x6", "x5", 0)
+            a.rem("x7", "x6", 3 if False else "x2")
+            a.add("x4", "x4", "x6")
+            a.sd("x4", "x5", 0)
+            a.addi("x3", "x3", 1)
+            a.blt("x3", "x2", "loop")
+            a.halt()
+
+        p = _build(prog)
+        core = small_core(p)
+        core.run()
+        ref = run_program(p)
+        for i in range(1, 16):
+            assert arch_reg(core, i) == ref.regs[i], f"x{i} mismatch"
+        for addr, val in ref.mem.items():
+            assert core.mem.get(addr, 0) == val
+
+
+class TestPerfectBP:
+    def test_no_mispredicts_with_oracle(self):
+        def prog(a):
+            vals = [((i * 40503) >> 3) & 1 for i in range(100)]
+            arr = a.data("arr", vals)
+            a.li("x1", arr)
+            a.li("x2", 100)
+            a.li("x3", 0)
+            a.li("x4", 0)
+            a.label("loop")
+            a.slli("x5", "x3", 3)
+            a.add("x5", "x5", "x1")
+            a.ld("x6", "x5", 0)
+            a.beq("x6", "x0", "skip")
+            a.addi("x4", "x4", 1)
+            a.label("skip")
+            a.addi("x3", "x3", 1)
+            a.blt("x3", "x2", "loop")
+            a.halt()
+
+        core = small_core(_build(prog), perfect_branch_prediction=True)
+        stats = core.run()
+        assert stats.mispredicts == 0
+        expected = sum(((i * 40503) >> 3) & 1 for i in range(100))
+        assert arch_reg(core, 4) == expected
+
+    def test_oracle_faster_than_tage_on_random_branches(self):
+        def prog(a):
+            vals = [((i * 2654435761) >> 9) & 1 for i in range(128)]
+            arr = a.data("arr", vals)
+            a.li("x1", arr)
+            a.li("x2", 128)
+            a.li("x3", 0)
+            a.li("x4", 0)
+            a.label("loop")
+            a.slli("x5", "x3", 3)
+            a.add("x5", "x5", "x1")
+            a.ld("x6", "x5", 0)
+            a.beq("x6", "x0", "skip")
+            a.addi("x4", "x4", 7)
+            a.mul("x4", "x4", "x6")
+            a.label("skip")
+            a.addi("x3", "x3", 1)
+            a.blt("x3", "x2", "loop")
+            a.halt()
+
+        p = _build(prog)
+        base = small_core(p).run()
+        perf = small_core(p, perfect_branch_prediction=True).run()
+        assert perf.cycles < base.cycles

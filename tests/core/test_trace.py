@@ -1,0 +1,79 @@
+from repro.core import Core, CoreConfig
+from repro.core.trace import PipelineTracer
+from repro.isa import Assembler
+from repro.memory import MemoryConfig
+
+
+def _core_with_tracer(n_insts=50, limit=10_000):
+    a = Assembler("t")
+    a.li("x1", 0)
+    for i in range(n_insts):
+        a.addi("x1", "x1", 1)
+    a.halt()
+    core = Core(a.build(), config=CoreConfig().scaled(),
+                mem_config=MemoryConfig(enable_l1_prefetcher=False,
+                                        enable_l2_prefetcher=False))
+    tracer = PipelineTracer(core, limit=limit)
+    return core, tracer
+
+
+class TestTracer:
+    def test_stage_order_monotone(self):
+        core, tracer = _core_with_tracer()
+        core.run()
+        retired = tracer.retired()
+        assert len(retired) == 52
+        for t in retired:
+            if t.opcode in ("halt", "nop"):  # done at dispatch, never issue
+                assert t.fetch <= t.dispatch <= t.retire
+            else:
+                assert t.fetch <= t.dispatch <= t.issue <= t.writeback <= t.retire
+
+    def test_halts_and_nops_traced(self):
+        core, tracer = _core_with_tracer()
+        core.run()
+        ops = {t.opcode for t in tracer.retired()}
+        assert "halt" in ops
+
+    def test_render_contains_rows(self):
+        core, tracer = _core_with_tracer()
+        core.run()
+        text = tracer.render(last=5)
+        assert "addi" in text
+        assert len(text.splitlines()) == 6
+
+    def test_average_latency_at_least_pipeline_depth(self):
+        core, tracer = _core_with_tracer()
+        core.run()
+        assert tracer.average_latency() >= core.config.pipeline_stages - 2
+
+    def test_limit_bounds_memory(self):
+        core, tracer = _core_with_tracer(n_insts=100, limit=20)
+        core.run()
+        assert len(tracer.traces) <= 20
+
+    def test_squashed_uops_marked(self):
+        a = Assembler("sq")
+        arr = a.data("arr", [(i * 73) % 2 for i in range(64)])
+        a.li("x1", arr)
+        a.li("x2", 64)
+        a.li("x3", 0)
+        a.label("loop")
+        a.slli("x5", "x3", 3)
+        a.add("x5", "x5", "x1")
+        a.ld("x6", "x5", 0)
+        a.beq("x6", "x0", "skip")
+        a.addi("x4", "x4", 1)
+        a.label("skip")
+        a.addi("x3", "x3", 1)
+        a.blt("x3", "x2", "loop")
+        a.halt()
+        core = Core(a.build(), config=CoreConfig().scaled(),
+                    mem_config=MemoryConfig(enable_l1_prefetcher=False,
+                                            enable_l2_prefetcher=False))
+        tracer = PipelineTracer(core)
+        stats = core.run()
+        assert stats.mispredicts > 0
+        assert len(tracer.squashed()) > 0
+        for t in tracer.squashed():
+            assert t.retire == -1

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.frontend import BranchTargetBuffer, IndirectTargetPredictor, ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0x1000) is None
+        btb.insert(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_existing_entry(self):
+        btb = BranchTargetBuffer()
+        btb.insert(0x1000, 0x2000)
+        btb.insert(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.insert(0x1000, 1)
+        btb.insert(0x1004, 2)
+        btb.lookup(0x1000)          # make 0x1000 MRU
+        btb.insert(0x1008, 3)       # evicts 0x1004
+        assert btb.lookup(0x1000) == 1
+        assert btb.lookup(0x1004) is None
+        assert btb.lookup(0x1008) == 3
+
+    def test_different_sets_do_not_conflict(self):
+        btb = BranchTargetBuffer(sets=4, ways=1)
+        btb.insert(0x1000, 1)
+        btb.insert(0x1004, 2)
+        assert btb.lookup(0x1000) == 1
+        assert btb.lookup(0x1004) == 2
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=3)
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack()
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_pop_empty_returns_none(self):
+        assert ReturnAddressStack().pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_checkpoint_restore(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        cp = ras.checkpoint()
+        ras.push(2)
+        ras.restore(cp)
+        assert ras.pop() == 1
+        assert ras.pop() is None
+
+
+class TestIndirect:
+    def test_last_target(self):
+        p = IndirectTargetPredictor()
+        assert p.predict(0x1000) is None
+        p.update(0x1000, 0x5000)
+        assert p.predict(0x1000) == 0x5000
+        p.update(0x1000, 0x6000)
+        assert p.predict(0x1000) == 0x6000

@@ -1,0 +1,41 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "astar"])
+        assert args.engine == "baseline"
+        assert args.instructions == 100_000
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "astar", "--engine", "wat"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "astar" in out and "bfs" in out
+
+    def test_costs(self, capsys):
+        assert main(["costs"]) == 0
+        out = capsys.readouterr().out
+        assert "10.82" in out and "DBT" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "perlbench", "-n", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "MPKI" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "perlbench", "--engines", "baseline",
+                     "perfbp", "-n", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out

@@ -1,0 +1,66 @@
+from repro.harness.plots import grouped_bars, hbar_chart, line_plot, stacked_percent_rows
+
+
+class TestHbarChart:
+    def test_bars_scale_to_max(self):
+        out = hbar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_reference_marker(self):
+        out = hbar_chart({"a": 0.5}, width=10, maximum=2.0, reference=1.0)
+        assert "|" in out
+
+    def test_empty(self):
+        assert hbar_chart({}) == "(no data)"
+
+    def test_values_rendered(self):
+        out = hbar_chart({"bfs": 1.545}, unit="x")
+        assert "1.545x" in out
+
+    def test_labels_aligned(self):
+        out = hbar_chart({"a": 1, "long-name": 1})
+        lines = out.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+
+class TestGroupedBars:
+    def test_groups_share_scale(self):
+        out = grouped_bars({"g1": {"x": 1.0}, "g2": {"x": 2.0}}, width=10)
+        assert "g1:" in out and "g2:" in out
+        lines = [l for l in out.splitlines() if "#" in l]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+
+class TestLinePlot:
+    def test_extremes_plotted(self):
+        out = line_plot([(0, 1.0), (10, 2.0)], width=20, height=5)
+        assert out.count("*") == 2
+        assert "2.00" in out and "1.00" in out
+
+    def test_flat_series(self):
+        out = line_plot([(0, 1.0), (10, 1.0)], width=20, height=5)
+        assert out.count("*") == 2
+
+    def test_empty(self):
+        assert line_plot([]) == "(no data)"
+
+
+class TestStackedRows:
+    def test_shares_fill_width(self):
+        rows = {"w": {"a": 3.0, "b": 1.0}}
+        out = stacked_percent_rows(rows, order=["a", "b"], width=40)
+        bar = out.splitlines()[0]
+        assert bar.count("#") == 30
+        assert bar.count("@") == 10
+
+    def test_legend_present(self):
+        out = stacked_percent_rows({"w": {"a": 1}}, order=["a", "b"])
+        assert "legend:" in out
+        assert "#=a" in out
+
+    def test_zero_total_safe(self):
+        out = stacked_percent_rows({"w": {}}, order=["a"])
+        assert "[" in out

@@ -1,0 +1,58 @@
+import pytest
+
+from repro.harness.regions import (
+    Region,
+    evaluate_regions,
+    regions_for,
+    weighted_harmonic_ipc,
+    weighted_mpki,
+)
+from repro.harness.simulator import SimResult, RunConfig
+from repro.core.stats import SimStats
+
+
+def _result(ipc, mpki, retired=1000):
+    stats = SimStats(cycles=int(retired / ipc), retired=retired,
+                     mispredicts=int(mpki * retired / 1000))
+    return SimResult(config=RunConfig(workload="astar"), stats=stats,
+                     wall_seconds=0.0)
+
+
+class TestWeightedMeans:
+    def test_harmonic_single(self):
+        assert weighted_harmonic_ipc([(_result(2.0, 5), 1.0)]) == pytest.approx(2.0, rel=1e-2)
+
+    def test_harmonic_two_equal_weights(self):
+        # HM(1, 3) = 1.5
+        v = weighted_harmonic_ipc([(_result(1.0, 0), 0.5), (_result(3.0, 0), 0.5)])
+        assert v == pytest.approx(1.5, rel=0.02)
+
+    def test_harmonic_weighting_pulls_toward_heavy(self):
+        light = weighted_harmonic_ipc([(_result(1.0, 0), 0.1), (_result(3.0, 0), 0.9)])
+        heavy = weighted_harmonic_ipc([(_result(1.0, 0), 0.9), (_result(3.0, 0), 0.1)])
+        assert light > heavy
+
+    def test_zero_weight_returns_zero(self):
+        assert weighted_harmonic_ipc([]) == 0.0
+
+    def test_mpki_weighted_mean(self):
+        v = weighted_mpki([(_result(1.0, 10), 0.25), (_result(1.0, 30), 0.75)])
+        assert v == pytest.approx(25.0, rel=0.05)
+
+
+class TestRegionSets:
+    def test_default_region_fallback(self):
+        regions = regions_for("xz")
+        assert len(regions) == 1
+        assert regions[0].weight == 1.0
+
+    def test_astar_has_weighted_regions(self):
+        regions = regions_for("astar")
+        assert len(regions) == 2
+        assert sum(r.weight for r in regions) == pytest.approx(1.0)
+
+    def test_evaluate_regions_runs(self):
+        regions = [Region("perlbench", 10_000, 0.6), Region("perlbench", 5_000, 0.4)]
+        out = evaluate_regions(regions, "baseline")
+        assert out["regions"] == 2
+        assert out["ipc"] > 0

@@ -1,0 +1,151 @@
+import pytest
+
+from repro.isa import Assembler, Opcode
+from repro.isa.program import CODE_BASE, DATA_BASE, WORD
+
+
+class TestLayout:
+    def test_pcs_are_contiguous_from_code_base(self):
+        a = Assembler()
+        a.nop()
+        a.nop()
+        a.halt()
+        p = a.build()
+        assert [i.pc for i in p.instructions] == [CODE_BASE, CODE_BASE + 4, CODE_BASE + 8]
+
+    def test_entry_is_first_instruction(self):
+        a = Assembler()
+        a.li("x1", 7)
+        a.halt()
+        p = a.build()
+        assert p.entry == CODE_BASE
+
+    def test_fetch_by_pc(self):
+        a = Assembler()
+        a.li("x1", 7)
+        a.halt()
+        p = a.build()
+        assert p.fetch(CODE_BASE).opcode is Opcode.LI
+        assert p.fetch(CODE_BASE + 4).opcode is Opcode.HALT
+        assert p.fetch(0xdead) is None
+
+    def test_data_allocation_is_word_pitched(self):
+        a = Assembler()
+        base = a.data("arr", [10, 20, 30])
+        a.halt()
+        p = a.build()
+        assert base == DATA_BASE
+        assert p.data[base] == 10
+        assert p.data[base + WORD] == 20
+        assert p.data[base + 2 * WORD] == 30
+
+    def test_alloc_zero_initializes(self):
+        a = Assembler()
+        base = a.alloc("buf", 4)
+        a.halt()
+        p = a.build()
+        assert all(p.data[base + i * WORD] == 0 for i in range(4))
+
+    def test_two_arrays_do_not_overlap(self):
+        a = Assembler()
+        b1 = a.data("a1", [1] * 5)
+        b2 = a.data("a2", [2] * 5)
+        a.halt()
+        assert b2 >= b1 + 5 * WORD
+
+    def test_duplicate_data_symbol_rejected(self):
+        a = Assembler()
+        a.data("arr", [1])
+        with pytest.raises(ValueError):
+            a.data("arr", [2])
+
+
+class TestLabels:
+    def test_backward_label_resolution(self):
+        a = Assembler()
+        a.label("top")
+        a.nop()
+        a.j("top")
+        a.halt()
+        p = a.build()
+        assert p.instructions[1].imm == CODE_BASE
+
+    def test_forward_label_resolution(self):
+        a = Assembler()
+        a.beq("x0", "x0", "end")
+        a.nop()
+        a.label("end")
+        a.halt()
+        p = a.build()
+        assert p.instructions[0].imm == CODE_BASE + 8
+
+    def test_undefined_label_raises_at_build(self):
+        a = Assembler()
+        a.j("nowhere")
+        with pytest.raises(ValueError, match="nowhere"):
+            a.build()
+
+    def test_duplicate_label_rejected(self):
+        a = Assembler()
+        a.label("x")
+        with pytest.raises(ValueError):
+            a.label("x")
+
+    def test_pc_of_and_addr_of(self):
+        a = Assembler()
+        arr = a.data("arr", [0])
+        a.label("loop")
+        a.halt()
+        p = a.build()
+        assert p.pc_of("loop") == CODE_BASE
+        assert p.addr_of("arr") == arr
+
+
+class TestInstructionProperties:
+    def test_backward_branch_detection(self):
+        a = Assembler()
+        a.label("top")
+        a.nop()
+        a.bne("x1", "x0", "top")
+        a.beq("x1", "x0", "fwd")
+        a.label("fwd")
+        a.halt()
+        p = a.build()
+        assert p.instructions[1].is_backward_branch
+        assert not p.instructions[2].is_backward_branch
+
+    def test_store_has_no_dest(self):
+        a = Assembler()
+        a.sd("x3", "x4", 8)
+        p_inst = a.build().instructions[0]
+        assert p_inst.dest_reg is None
+        assert p_inst.src_regs == [4, 3]  # base, data
+
+    def test_x0_dest_is_discarded(self):
+        a = Assembler()
+        a.add("x0", "x1", "x2")
+        assert a.build().instructions[0].dest_reg is None
+
+    def test_li_has_no_sources(self):
+        a = Assembler()
+        a.li("x5", 99)
+        assert a.build().instructions[0].src_regs == []
+
+    def test_branch_src_regs(self):
+        a = Assembler()
+        a.blt("x3", "x7", 0x1000)
+        assert a.build().instructions[0].src_regs == [3, 7]
+
+    def test_lane_classes(self):
+        from repro.isa.opcodes import LaneClass
+
+        a = Assembler()
+        a.add("x1", "x2", "x3")
+        a.mul("x1", "x2", "x3")
+        a.ld("x1", "x2", 0)
+        a.halt()
+        p = a.build()
+        assert p.instructions[0].lane is LaneClass.SIMPLE
+        assert p.instructions[1].lane is LaneClass.COMPLEX
+        assert p.instructions[2].lane is LaneClass.MEM
+        assert p.instructions[3].lane is LaneClass.NONE

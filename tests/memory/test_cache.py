@@ -1,0 +1,140 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache
+
+
+class TestGeometry:
+    def test_sets_computed_from_size(self):
+        c = Cache(size_bytes=64 * 64, ways=4, line_bytes=64)
+        assert c.num_sets == 16
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, ways=3, line_bytes=64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=3 * 64 * 64, ways=64, line_bytes=64)  # 3 sets
+
+    def test_block_addr(self):
+        c = Cache(size_bytes=4096, ways=1, line_bytes=64)
+        assert c.block_addr(0) == 0
+        assert c.block_addr(63) == 0
+        assert c.block_addr(64) == 1
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        c = Cache(4096, 4)
+        hit, _ = c.access(0x1000)
+        assert not hit
+        hit, _ = c.access(0x1000)
+        assert hit
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_different_words_hit(self):
+        c = Cache(4096, 4)
+        c.access(0x1000)
+        hit, _ = c.access(0x1038)  # same 64B line
+        assert hit
+
+    def test_lru_eviction(self):
+        c = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)  # 1 set, 2 ways
+        c.access(0x0)
+        c.access(0x40)
+        c.access(0x0)        # 0x0 is MRU
+        c.access(0x80)       # evicts 0x40 (LRU), keeps MRU 0x0
+        assert not c.lookup(0x40)
+        assert c.lookup(0x0)
+        assert c.lookup(0x80)
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)
+        c.access(0x0, is_write=True)
+        c.access(0x40)
+        _, wb = c.access(0x80)  # evicts dirty 0x0
+        assert wb == 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)
+        c.access(0x0)
+        c.access(0x40)
+        _, wb = c.access(0x80)
+        assert wb is None
+
+    def test_write_hit_sets_dirty(self):
+        c = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)
+        c.access(0x0)
+        c.access(0x0, is_write=True)
+        c.access(0x40)
+        _, wb = c.access(0x80)
+        assert wb == 0
+
+    def test_lookup_has_no_side_effects(self):
+        c = Cache(4096, 4)
+        assert not c.lookup(0x1000)
+        assert c.stats.accesses == 0
+        c.access(0x1000)
+        assert c.lookup(0x1000)
+        assert c.stats.accesses == 1
+
+    def test_fill_installs_block(self):
+        c = Cache(4096, 4)
+        c.fill(0x2000, prefetched=True)
+        hit, _ = c.access(0x2000)
+        assert hit
+        assert c.stats.prefetch_fills == 1
+
+    def test_fill_existing_block_is_noop(self):
+        c = Cache(4096, 4)
+        c.access(0x2000)
+        assert c.fill(0x2000) is None
+
+    def test_invalidate_all(self):
+        c = Cache(4096, 4)
+        c.access(0x1000)
+        c.invalidate_all()
+        hit, _ = c.access(0x1000)
+        assert not hit
+
+    def test_miss_rate(self):
+        c = Cache(4096, 4)
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x0)
+        assert c.stats.miss_rate == 0.25
+
+
+class TestCacheProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.booleans()), max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        c = Cache(size_bytes=8 * 64 * 4, ways=4, line_bytes=64)
+        for addr, w in accesses:
+            c.access(addr, is_write=w)
+        for s in c._sets:
+            assert len(s) <= c.ways
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2**16), max_size=200))
+    def test_immediate_reaccess_always_hits(self, addrs):
+        c = Cache(size_bytes=8 * 64 * 4, ways=4, line_bytes=64)
+        for addr in addrs:
+            c.access(addr)
+            hit, _ = c.access(addr)
+            assert hit
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2**14), max_size=200))
+    def test_small_footprint_fits(self, addrs):
+        """A footprint smaller than capacity never evicts (with enough ways)."""
+        c = Cache(size_bytes=2**15, ways=8, line_bytes=64)  # 32KB > 16KB footprint
+        for addr in addrs:
+            c.access(addr)
+        # second pass: all hits
+        for addr in addrs:
+            hit, _ = c.access(addr)
+            assert hit

@@ -1,0 +1,65 @@
+"""Instruction-fetch path and next-line prefetch behaviour."""
+
+from repro.memory import MemoryConfig, MemoryHierarchy
+
+
+def _h():
+    return MemoryHierarchy(MemoryConfig(enable_l1_prefetcher=False,
+                                        enable_l2_prefetcher=False))
+
+
+class TestIfetchPrefetch:
+    def test_sequential_code_pays_one_cold_miss(self):
+        h = _h()
+        first = h.ifetch(0x1000, now=0)
+        assert first > 100  # cold miss to DRAM
+        # Next lines were prefetched by the L1I next-line prefetcher.
+        for d in range(1, 4):
+            assert h.ifetch(0x1000 + d * 64, now=first) == first + 1
+
+    def test_far_jump_misses_again(self):
+        h = _h()
+        h.ifetch(0x1000, now=0)
+        assert h.ifetch(0x9000, now=500) > 501
+
+    def test_loop_refetch_hits(self):
+        h = _h()
+        t = h.ifetch(0x1000, now=0)
+        for _ in range(5):
+            t = h.ifetch(0x1000, now=t)
+        assert t <= 150 + 5  # all hits after the first
+
+    def test_prefetch_fills_counted(self):
+        h = _h()
+        h.ifetch(0x1000, now=0)
+        assert h.l1i.stats.prefetch_fills >= 3
+
+
+class TestStoreTiming:
+    def test_store_off_critical_path(self):
+        h = _h()
+        ready = h.store(0x1000, 0x500000, now=0)
+        assert ready == h.config.l1d_latency  # no DRAM wait reported
+
+    def test_write_allocate_brings_line_in(self):
+        h = _h()
+        h.store(0x1000, 0x500000, now=0)
+        assert h.l1d.lookup(0x500000)
+
+
+class TestStatsSurface:
+    def test_stats_keys(self):
+        h = _h()
+        h.load(0x1000, 0x500000, 0)
+        h.ifetch(0x1000, 0)
+        s = h.stats()
+        for key in ("l1i", "l1d", "l2", "l3", "mshr_merges",
+                    "mshr_full_stalls", "l1_prefetches", "l2_prefetches"):
+            assert key in s
+
+    def test_prefetchers_disabled_report_zero(self):
+        h = _h()
+        for i in range(32):
+            h.load(0x1000, 0x500000 + i * 64, i * 10)
+        s = h.stats()
+        assert s["l1_prefetches"] == 0 and s["l2_prefetches"] == 0

@@ -1,0 +1,151 @@
+from repro.memory import (
+    DeltaPrefetcher,
+    MemoryConfig,
+    MemoryHierarchy,
+    MSHRFile,
+    StridePrefetcher,
+)
+
+
+class TestMSHR:
+    def test_primary_miss_latency(self):
+        m = MSHRFile(4)
+        assert m.request(block=1, now=100, latency=50) == 150
+
+    def test_secondary_miss_merges(self):
+        m = MSHRFile(4)
+        r1 = m.request(1, now=100, latency=50)
+        r2 = m.request(1, now=120, latency=50)
+        assert r2 == r1
+        assert m.merges == 1
+
+    def test_entries_free_after_completion(self):
+        m = MSHRFile(1)
+        m.request(1, now=0, latency=10)
+        assert m.occupancy(5) == 1
+        assert m.occupancy(10) == 0
+
+    def test_full_file_delays_new_miss(self):
+        m = MSHRFile(2)
+        m.request(1, now=0, latency=100)
+        m.request(2, now=0, latency=50)
+        # file full until cycle 50; new miss starts then
+        r = m.request(3, now=10, latency=30)
+        assert r == 80
+        assert m.full_stalls == 1
+
+    def test_distinct_blocks_distinct_entries(self):
+        m = MSHRFile(8)
+        m.request(1, 0, 10)
+        m.request(2, 0, 10)
+        assert m.occupancy(0) == 2
+
+
+class TestStridePrefetcher:
+    def test_learns_constant_stride(self):
+        p = StridePrefetcher(degree=2)
+        pc = 0x1000
+        issued = []
+        for i in range(6):
+            issued = p.train_and_predict(pc, 0x100000 + i * 64)
+        assert len(issued) == 2
+        assert issued[0] == 0x100000 + 6 * 64
+
+    def test_no_prefetch_without_confidence(self):
+        p = StridePrefetcher()
+        assert p.train_and_predict(0x1000, 0x100) == []
+        assert p.train_and_predict(0x1000, 0x200) == []
+
+    def test_random_strides_give_no_prefetch(self):
+        p = StridePrefetcher()
+        for addr in [0x100, 0x900, 0x200, 0x5000, 0x40]:
+            out = p.train_and_predict(0x1000, addr)
+        assert out == []
+
+    def test_per_pc_tracking(self):
+        p = StridePrefetcher(degree=1)
+        for i in range(6):
+            p.train_and_predict(0x1000, 0x100000 + i * 64)
+            out2 = p.train_and_predict(0x2000, 0x900000 + i * 128)
+        assert out2 and out2[0] == (0x900000 + 6 * 128) & ~63
+
+
+class TestDeltaPrefetcher:
+    def test_learns_repeating_delta(self):
+        p = DeltaPrefetcher(degree=1)
+        out = []
+        for i in range(8):
+            out = p.train_and_predict(0x100000 + i * 128)  # delta of 2 blocks
+        assert out
+        # Last access was block 4096+14; next predicted block is +2.
+        assert out[0] == 0x100000 + 16 * 64
+
+    def test_cold_page_no_prefetch(self):
+        p = DeltaPrefetcher()
+        assert p.train_and_predict(0x100000) == []
+
+
+class TestHierarchy:
+    def _h(self, **kw):
+        cfg = MemoryConfig(enable_l1_prefetcher=False, enable_l2_prefetcher=False, **kw)
+        return MemoryHierarchy(cfg)
+
+    def test_l1_hit_latency(self):
+        h = self._h()
+        h.load(0x1000, 0x100000, now=0)
+        ready = h.load(0x1000, 0x100000, now=500)
+        assert ready == 500 + h.config.l1d_latency
+
+    def test_cold_miss_goes_to_dram(self):
+        h = self._h()
+        ready = h.load(0x1000, 0x100000, now=0)
+        assert ready == h.config.l1d_latency + h.config.l3_latency + h.config.dram_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self._h()
+        h.load(0x1000, 0x100000, now=0)
+        # Evict from tiny... instead simulate by invalidating L1 only.
+        h.l1d.invalidate_all()
+        ready = h.load(0x1000, 0x100000, now=1000)
+        assert ready == 1000 + h.config.l1d_latency + h.config.l2_latency
+
+    def test_same_block_load_waits_for_inflight_fill(self):
+        h = self._h()
+        r1 = h.load(0x1000, 0x100000, now=0)
+        r2 = h.load(0x1004, 0x100008, now=2)  # same 64B block, fill in flight
+        assert r2 == r1
+
+    def test_ifetch_hit_is_one_cycle(self):
+        h = self._h()
+        h.ifetch(0x1000, now=0)
+        assert h.ifetch(0x1000, now=10) == 11
+
+    def test_store_allocates(self):
+        h = self._h()
+        h.store(0x1000, 0x100000, now=0)
+        ready = h.load(0x1000, 0x100000, now=100)
+        assert ready == 100 + h.config.l1d_latency
+
+    def test_prefetcher_hides_latency_on_streaming(self):
+        cfg = MemoryConfig(enable_l1_prefetcher=True, enable_l2_prefetcher=False)
+        h = MemoryHierarchy(cfg)
+        cold = self._h()
+        now = 0
+        total_pf, total_cold = 0, 0
+        for i in range(64):
+            addr = 0x100000 + i * 64
+            total_pf += h.load(0x1000, addr, now) - now
+            total_cold += cold.load(0x1000, addr, now) - now
+            now += 200
+        assert total_pf < total_cold
+
+    def test_scaled_config_is_smaller(self):
+        cfg = MemoryConfig().scaled()
+        assert cfg.l2_size < MemoryConfig().l2_size
+        MemoryHierarchy(cfg)  # constructible (legal set counts)
+
+    def test_stats_shape(self):
+        h = MemoryHierarchy()
+        h.load(0x1000, 0x100000, 0)
+        s = h.stats()
+        assert s["l1d"].accesses == 1

@@ -1,0 +1,176 @@
+"""CDFSM matrix tests, including an exact reproduction of the paper's
+Figure 8 training example."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.phelps import CDFSMMatrix, CDState
+
+BR1, BR2, BR3, ST = 0x100, 0x104, 0x108, 0x10C
+
+
+def _matrix():
+    m = CDFSMMatrix()
+    for pc in (BR1, BR2, BR3):
+        m.add_col(pc)
+        m.add_row(pc)
+    m.add_row(ST)
+    return m
+
+
+def _run_iteration(m, events):
+    """events: list of (pc, taken-or-None) retired in order."""
+    for pc, taken in events:
+        m.note_retired(pc, taken)
+    m.end_iteration()
+
+
+class TestPaperFigure8:
+    """The five iterations of Figure 8, checked state by state.
+
+    CFG: br1 guards everything (not-taken path); br2 follows br1 and is
+    control-independent of it... no — br2 and br3 both sit on br1's
+    not-taken path; br3 executes on both paths of br2; st sits on br3's
+    not-taken path.
+    """
+
+    def test_iteration_1(self):
+        m = _matrix()
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        assert m.state(BR2, BR1) is CDState.CD_NT
+        assert m.state(BR3, BR2) is CDState.CD_T
+        assert m.state(ST, BR3) is CDState.CD_NT
+        assert m.state(BR1, BR2) is CDState.INIT  # br1's row never trained
+
+    def test_iteration_2_discovers_br3_independent_of_br2(self):
+        m = _matrix()
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, False), (BR3, False), (ST, None)])
+        assert m.state(BR3, BR2) is CDState.CI
+
+    def test_iteration_3_br3_looks_past_br2(self):
+        m = _matrix()
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, False), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        assert m.state(BR3, BR1) is CDState.CD_NT
+
+    def test_iterations_4_and_5_no_further_changes(self):
+        m = _matrix()
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, False), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        # Iteration 4: br3 taken, so st does not retire.
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, True)])
+        # Iteration 5: br1 taken, so nothing else retires.
+        _run_iteration(m, [(BR1, True)])
+        # Final state from the paper:
+        assert m.immediate_guard(BR1) is None
+        assert m.immediate_guard(BR2) == (BR1, False)
+        assert m.immediate_guard(BR3) == (BR1, False)
+        assert m.immediate_guard(ST) == (BR3, False)
+
+    def test_figure8_state_table(self):
+        """Every cell of the final matrix (Figure 8f)."""
+        m = _matrix()
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, False), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, False), (ST, None)])
+        _run_iteration(m, [(BR1, False), (BR2, True), (BR3, True)])
+        _run_iteration(m, [(BR1, True)])
+        assert m.state(BR1, BR1) is CDState.INIT
+        assert m.state(BR1, BR2) is CDState.INIT
+        assert m.state(BR1, BR3) is CDState.INIT
+        assert m.state(BR2, BR1) is CDState.CD_NT
+        assert m.state(BR3, BR1) is CDState.CD_NT
+        assert m.state(BR3, BR2) is CDState.CI
+        assert m.state(ST, BR3) is CDState.CD_NT
+
+
+class TestAstarNesting:
+    """b2 control-dependent on b1 (taken path varies), s1 guarded by b2."""
+
+    def test_b1_guards_b2_guards_s1(self):
+        b1, b2, s1 = 0x200, 0x204, 0x208
+        m = CDFSMMatrix()
+        for pc in (b1, b2):
+            m.add_col(pc)
+            m.add_row(pc)
+        m.add_row(s1)
+        # b1 not-taken -> b2; b2 not-taken -> s1 (like astar lines 7-13).
+        _run_iteration(m, [(b1, False), (b2, False), (s1, None)])
+        _run_iteration(m, [(b1, False), (b2, True)])
+        _run_iteration(m, [(b1, True)])
+        assert m.immediate_guard(b2) == (b1, False)
+        assert m.immediate_guard(s1) == (b2, False)
+        assert m.immediate_guard(b1) is None
+
+
+class TestMechanics:
+    def test_self_instance_terminates_walk(self):
+        """A prior dynamic instance of the row branch ends the backward walk."""
+        m = CDFSMMatrix()
+        m.add_col(0x100)
+        m.add_row(0x100)
+        m.note_retired(0x100, True)   # first instance
+        m.note_retired(0x100, True)   # second instance: walk stops at itself
+        assert m.state(0x100, 0x100) is CDState.INIT
+
+    def test_empty_branch_list_trains_nothing(self):
+        m = CDFSMMatrix()
+        m.add_col(0x100)
+        m.add_row(0x200)
+        m.note_retired(0x200, None)
+        assert m.state(0x200, 0x100) is CDState.INIT
+
+    def test_branch_list_cleared_per_iteration(self):
+        m = CDFSMMatrix()
+        m.add_col(0x100)
+        m.add_row(0x200)
+        m.note_retired(0x100, True)
+        m.end_iteration()
+        m.note_retired(0x200, None)  # branch list empty: no training
+        assert m.state(0x200, 0x100) is CDState.INIT
+
+    def test_overflow_flag(self):
+        m = CDFSMMatrix(max_rows=1, max_cols=1)
+        m.add_col(0x100)
+        m.add_col(0x104)
+        assert m.overflowed
+
+    def test_multiple_guards_detected(self):
+        """OR-guarding (Section V-K): two CD states in one row."""
+        m = CDFSMMatrix()
+        for pc in (0x100, 0x104):
+            m.add_col(pc)
+        m.add_row(0x200)
+        m.note_retired(0x104, True)
+        m.note_retired(0x200, None)   # trains col 0x104 -> CD_T
+        m.end_iteration()
+        m.note_retired(0x104, False)
+        m.note_retired(0x200, None)   # 0x104 -> CI
+        m.end_iteration()
+        m.note_retired(0x100, True)
+        m.note_retired(0x200, None)   # now trains 0x100 -> CD_T
+        m.end_iteration()
+        assert not m.has_multiple_guards(0x200)
+        assert m.immediate_guard(0x200) == (0x100, True)
+
+    def test_reset(self):
+        m = _matrix()
+        _run_iteration(m, [(BR1, False), (BR2, True)])
+        m.reset()
+        assert m.rows == [] and m.cols == []
+        assert m.state(BR2, BR1) is CDState.INIT
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from([BR1, BR2, BR3]), st.booleans()),
+                    max_size=60))
+    def test_never_crashes_and_states_valid(self, events):
+        m = _matrix()
+        for i, (pc, taken) in enumerate(events):
+            m.note_retired(pc, taken)
+            if i % 5 == 4:
+                m.end_iteration()
+        for row in m.rows:
+            for col in m.cols:
+                assert m.state(row, col) in CDState

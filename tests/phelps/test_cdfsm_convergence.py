@@ -1,0 +1,94 @@
+"""CDFSM convergence property: for a randomly generated nest of guarded
+branches (a tree of control dependences), training on enough random
+iterations must recover the exact immediate-guard relation."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.phelps import CDFSMMatrix
+
+
+def _random_guard_tree(rng, n_branches):
+    """guard[i] = (parent index or None, enabling direction)."""
+    guards = {}
+    for i in range(n_branches):
+        if i == 0 or rng.random() < 0.35:
+            guards[i] = None  # top-level branch
+        else:
+            parent = rng.randrange(0, i)
+            guards[i] = (parent, rng.random() < 0.5)
+    return guards
+
+
+def _iteration_events(rng, guards, n_branches):
+    """One loop iteration: branches retire in index order; a branch only
+    retires if its guard chain enables it.  Returns [(pc, taken)]."""
+    outcomes = {}
+    events = []
+    for i in range(n_branches):
+        g = guards[i]
+        if g is not None:
+            parent, direction = g
+            if parent not in outcomes or outcomes[parent] != direction:
+                continue  # skipped: guard path not taken
+        taken = rng.random() < 0.5
+        outcomes[i] = taken
+        events.append((0x100 + 4 * i, taken))
+    return events
+
+
+class TestConvergence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    def test_recovers_ground_truth_guards(self, n_branches, seed):
+        rng = random.Random(seed)
+        guards = _random_guard_tree(rng, n_branches)
+        m = CDFSMMatrix()
+        for i in range(n_branches):
+            m.add_col(0x100 + 4 * i)
+            m.add_row(0x100 + 4 * i)
+
+        # Train over enough iterations to observe (virtually) all paths.
+        for _ in range(400):
+            for pc, taken in _iteration_events(rng, guards, n_branches):
+                m.note_retired(pc, taken)
+            m.end_iteration()
+
+        for i in range(n_branches):
+            learned = m.immediate_guard(0x100 + 4 * i)
+            expected = guards[i]
+            if expected is None:
+                assert learned is None, f"branch {i}: false guard {learned}"
+            else:
+                parent, direction = expected
+                # With 400 random iterations every parent direction is
+                # observed w.h.p.; the learned immediate guard must match.
+                assert learned is not None, f"branch {i}: guard not learned"
+                assert learned == (0x100 + 4 * parent, direction), \
+                    f"branch {i}: {learned} != {(0x100 + 4 * parent, direction)}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_partial_observation_never_invents_nonexistent_branches(self, seed):
+        """Whatever the training history, a learned guard must be a real
+        column that actually appeared before the row in some iteration."""
+        rng = random.Random(seed)
+        guards = _random_guard_tree(rng, 4)
+        m = CDFSMMatrix()
+        for i in range(4):
+            m.add_col(0x100 + 4 * i)
+            m.add_row(0x100 + 4 * i)
+        seen_before = {i: set() for i in range(4)}
+        for _ in range(rng.randrange(1, 10)):  # deliberately few iterations
+            events = _iteration_events(rng, guards, 4)
+            for idx, (pc, taken) in enumerate(events):
+                i = (pc - 0x100) // 4
+                for ppc, _t in events[:idx]:
+                    seen_before[i].add(ppc)
+                m.note_retired(pc, taken)
+            m.end_iteration()
+        for i in range(4):
+            learned = m.immediate_guard(0x100 + 4 * i)
+            if learned is not None:
+                assert learned[0] in seen_before[i]

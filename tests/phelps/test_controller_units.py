@@ -1,0 +1,175 @@
+"""PhelpsEngine unit tests that drive the controller's logic directly,
+without a pipeline: backpressure, misprediction classification, epoch
+bookkeeping."""
+
+import pytest
+
+from repro.core.thread import ThreadKind
+from repro.core.uop import Uop
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.phelps import PhelpsConfig, PhelpsEngine
+from repro.phelps.htc import HelperThreadRow
+
+
+class _FakeThread:
+    def __init__(self, kind):
+        self.kind = kind
+
+
+def _engine(**cfg):
+    return PhelpsEngine(PhelpsConfig(**cfg))
+
+
+def _row(**kw):
+    defaults = dict(start_pc=0x1000, loop_branch=0x1100, loop_target=0x1000)
+    defaults.update(kw)
+    return HelperThreadRow(**defaults)
+
+
+def _branch_uop(pc, taken=True):
+    inst = Instruction(opcode=Opcode.BLT, rs1=1, rs2=2, imm=0x1000, pc=pc)
+    u = Uop(inst, 1, 0, 0)
+    u.taken = taken
+    return u
+
+
+def _pred_uop(origin_pc, taken, enabled=True):
+    inst = Instruction(opcode=Opcode.PRED, rs1=1, rs2=2, pc=origin_pc,
+                       origin_pc=origin_pc, origin_opcode=Opcode.BLT,
+                       pred_rd=1, pred_rs=0)
+    u = Uop(inst, 1, 0, 0)
+    u.taken = taken
+    u.pred_enabled = enabled
+    return u
+
+
+class TestRetireBackpressure:
+    def test_loop_branch_blocked_when_column_ring_full(self):
+        e = _engine(queue_depth=4)
+        e.active_row = _row()
+        e.queues.configure({0x1050: 0})
+        thread = _FakeThread(ThreadKind.INNER_ONLY)
+        uop = _branch_uop(0x1100)
+        for _ in range(3):
+            assert not e.retire_blocked(thread, uop)
+            e.queues.advance_tail(0)
+        assert e.retire_blocked(thread, uop)
+        # Main thread frees a column -> unblocked.
+        e.queues.advance_spec_head(0)
+        e.queues.advance_head(0)
+        assert not e.retire_blocked(thread, uop)
+
+    def test_inner_thread_uses_pointer_set_1(self):
+        e = _engine(queue_depth=4)
+        e.active_row = _row(is_nested=True, inner_branch=0x10c0)
+        e.queues.configure({0x1050: 0, 0x1060: 1})
+        inner = _FakeThread(ThreadKind.INNER)
+        uop = _branch_uop(0x10c0)
+        for _ in range(3):
+            e.queues.advance_tail(1)
+        assert e.retire_blocked(inner, uop)
+        outer = _FakeThread(ThreadKind.OUTER)
+        assert not e.retire_blocked(outer, _branch_uop(0x1100))
+
+    def test_header_pred_blocked_on_full_visit_queue(self):
+        e = _engine(visit_queue_depth=1)
+        e.active_row = _row(is_nested=True, header_pc=0x1040)
+        e.queues.configure({})
+        e.visit_q.enqueue([1, 2])
+        thread = _FakeThread(ThreadKind.OUTER)
+        # Not-taken, enabled header -> would enqueue -> blocked.
+        assert e.retire_blocked(thread, _pred_uop(0x1040, taken=False))
+        # Taken header skips the inner loop: never blocked.
+        assert not e.retire_blocked(thread, _pred_uop(0x1040, taken=True))
+        # Suppressed header: no visit either.
+        assert not e.retire_blocked(
+            thread, _pred_uop(0x1040, taken=False, enabled=False))
+
+    def test_main_thread_never_blocked(self):
+        e = _engine()
+        e.active_row = _row()
+        assert not e.retire_blocked(_FakeThread(ThreadKind.MAIN),
+                                    _branch_uop(0x1100))
+
+
+class TestClassification:
+    def _qualify(self, e, pc, loop=None):
+        e.qualified_pcs.add(pc)
+        for _ in range(3):
+            e.dbt.note_retired(pc, False, pc + 0x40, mispredicted=True)
+        if loop is not None:
+            branch, target = loop
+            e.dbt.note_retired(branch, True, target, mispredicted=False)
+            e.dbt.note_retired(pc, False, pc + 0x40, mispredicted=True)
+
+    def test_not_in_loop(self):
+        e = _engine()
+        self._qualify(e, 0x2000)
+        e._classify_mispredict(0x2000)
+        assert e.misp_classes["not_in_loop"] == 1
+
+    def test_status_buckets(self):
+        e = _engine()
+        cases = {
+            "constructing": "being_constructed",
+            "too_big": "too_big",
+            "not_iterating": "not_iterating",
+            "ot_depends_on_it": "ot_depends_on_it",
+            "param_overflow": "too_big",
+        }
+        for i, (status, bucket) in enumerate(cases.items()):
+            pc = 0x3000 + 0x100 * i
+            loop = (pc + 0x20, pc - 0x20)
+            self._qualify(e, pc, loop=loop)
+            e.loop_status[pc - 0x20] = status
+            e._classify_mispredict(pc)
+            assert e.misp_classes[bucket] >= 1, status
+
+    def test_not_chosen(self):
+        e = _engine()
+        pc = 0x4000
+        self._qualify(e, pc, loop=(pc + 0x20, pc - 0x20))
+        e._classify_mispredict(pc)
+        assert e.misp_classes["not_chosen"] == 1
+
+    def test_gathering_in_epoch_zero(self):
+        e = _engine()
+        e._classify_mispredict(0x5000)
+        assert e.misp_classes["gathering"] == 1
+
+    def test_not_delinquent_after_epoch_zero(self):
+        e = _engine()
+        e.epoch_index = 2
+        e._classify_mispredict(0x5000)
+        assert e.misp_classes["not_delinquent"] == 1
+
+    def test_gathering_under_dbt_thrash(self):
+        e = _engine(dbt_entries=4)
+        e.epoch_index = 2
+        e.dbt.evictions = 100
+        e._classify_mispredict(0x5000)
+        assert e.misp_classes["gathering"] == 1
+
+    def test_deployed_residual_for_queue_covered_branch(self):
+        e = _engine()
+        e.active_row = _row()
+        e.queues.configure({0x1050: 0})
+        e._classify_mispredict(0x1050)
+        assert e.misp_classes["deployed_residual"] == 1
+
+
+class TestEpochBookkeeping:
+    def test_threshold_scales_with_epoch(self):
+        assert PhelpsConfig(epoch_length=4_000_000).delinquency_threshold == 2000
+        assert PhelpsConfig(epoch_length=20_000).delinquency_threshold == 10
+
+    def test_paper_config(self):
+        cfg = PhelpsConfig.paper()
+        assert cfg.epoch_length == 4_000_000
+        assert cfg.delinquency_threshold == 2000
+
+    def test_ablation_constructors(self):
+        assert not PhelpsConfig().ablation_b1().include_guarded_branches
+        assert not PhelpsConfig().without_stores().include_stores
+        assert PhelpsConfig().ablation_b1_s1().include_guarded_stores

@@ -1,0 +1,111 @@
+"""Safety properties: pre-execution engines never corrupt architectural
+state, and failure paths (stale speculative data, desync) are survivable."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Core, CoreConfig
+from repro.isa import Assembler, run_program
+from repro.memory import MemoryConfig
+from repro.phelps import PhelpsConfig, PhelpsEngine
+from repro.runahead import BRConfig, BranchRunaheadEngine
+from tests.core.conftest import arch_reg
+from tests.core.test_ooo_equivalence import random_programs
+
+
+def _engine_core(program, engine):
+    cfg = CoreConfig().scaled()
+    mem = MemoryConfig(enable_l1_prefetcher=False, enable_l2_prefetcher=False)
+    return Core(program, config=cfg, mem_config=mem, engine=engine)
+
+
+class TestEngineTransparency:
+    """Engines are microarchitectural: with an aggressive trigger-happy
+    configuration over random programs, architectural results must still
+    match in-order execution exactly."""
+
+    AGGRESSIVE = PhelpsConfig(epoch_length=500, min_iterations_per_visit=2,
+                              delinquency_mpki=0.2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_programs())
+    def test_phelps_preserves_architecture(self, program):
+        ref = run_program(program, max_steps=200_000)
+        core = _engine_core(program, PhelpsEngine(self.AGGRESSIVE))
+        stats = core.run(max_cycles=2_000_000)
+        assert stats.halted
+        for i in range(1, 16):
+            assert arch_reg(core, i) == ref.regs[i], f"x{i}"
+        for addr, val in ref.mem.items():
+            assert core.mem.get(addr, 0) == val
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_programs())
+    def test_br_preserves_architecture(self, program):
+        ref = run_program(program, max_steps=200_000)
+        br_cfg = BRConfig(construction=PhelpsConfig(
+            epoch_length=500, min_iterations_per_visit=2,
+            delinquency_mpki=0.2, include_stores=False))
+        core = _engine_core(program, BranchRunaheadEngine(br_cfg))
+        stats = core.run(max_cycles=2_000_000)
+        assert stats.halted
+        for i in range(1, 16):
+            assert arch_reg(core, i) == ref.regs[i], f"x{i}"
+        for addr, val in ref.mem.items():
+            assert core.mem.get(addr, 0) == val
+
+
+def _staleness_kernel(n=3000, seed=17):
+    """A loop whose delinquent branch depends on a value stored in the
+    *same* iteration at high frequency: the 32-doubleword speculative
+    cache must evict, so the helper reads stale data (the paper's rare
+    wrong-b1 scenario) and the main thread must recover via replay."""
+    rng = random.Random(seed)
+    a = Assembler("stale")
+    arr = a.data("arr", [rng.randrange(0, 4) for _ in range(512)])
+    a.li("x1", arr)
+    a.li("x2", n)
+    a.li("x3", 0)
+    a.li("x20", 511)
+    a.label("loop")
+    a.mul("x5", "x3", "x3")
+    a.addi("x5", "x5", 13)
+    a.and_("x5", "x5", "x20")
+    a.slli("x5", "x5", 3)
+    a.add("x5", "x5", "x1")
+    a.ld("x6", "x5", 0)
+    a.beq("x6", "x0", "skip")       # delinquent, store-influenced
+    a.addi("x6", "x6", -1)
+    a.sd("x6", "x5", 0)             # influential guarded store
+    a.label("skip")
+    for k in range(6):              # prunable
+        a.xori("x9", "x6", k)
+        a.add("x10", "x10", "x9")
+    a.addi("x3", "x3", 1)
+    a.blt("x3", "x2", "loop")
+    a.halt()
+    return a.build()
+
+
+class TestFailureInjection:
+    def test_speculative_cache_eviction_survivable(self):
+        program = _staleness_kernel()
+        ref = run_program(program, max_steps=2_000_000)
+        engine = PhelpsEngine(PhelpsConfig(epoch_length=6000,
+                                           min_iterations_per_visit=8))
+        core = Core(program, config=CoreConfig(), engine=engine)
+        stats = core.run()
+        assert stats.halted
+        assert engine.activations >= 1
+        # Evictions happened (data lost) ...
+        assert engine.spec_cache.losses > 0
+        # ... possibly producing wrong outcomes, which the main thread's
+        # normal recovery absorbs without architectural damage:
+        base = program.addr_of("arr")
+        for i in range(512):
+            assert core.mem.get(base + 8 * i, 0) == ref.mem.get(base + 8 * i, 0)
+
+    def test_watchdog_config_plumbs(self):
+        cfg = PhelpsConfig(watchdog_cycles=123)
+        assert PhelpsEngine(cfg).cfg.watchdog_cycles == 123

@@ -1,0 +1,119 @@
+"""HelperFetchUnit mechanics."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.phelps.fetch import HelperFetchUnit, make_livein_move
+
+
+def _row():
+    return [
+        Instruction(opcode=Opcode.ADDI, rd=5, rs1=5, imm=1, pc=0x1000),
+        Instruction(opcode=Opcode.ADDI, rd=6, rs1=6, imm=2, pc=0x1004),
+        Instruction(opcode=Opcode.BLT, rs1=5, rs2=8, imm=0x1000, pc=0x1008),
+    ]
+
+
+class TestSequencing:
+    def test_wraps_at_loop_branch(self):
+        u = HelperFetchUnit(_row())
+        pcs = []
+        for _ in range(7):
+            inst = u.peek()
+            pcs.append(inst.pc)
+            u.advance(inst.is_cond_branch, 0x1000 if inst.is_cond_branch else None)
+        assert pcs == [0x1000, 0x1004, 0x1008, 0x1000, 0x1004, 0x1008, 0x1000]
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(ValueError):
+            HelperFetchUnit([])
+
+    def test_stop_halts_fetch(self):
+        u = HelperFetchUnit(_row())
+        u.stop()
+        assert u.peek() is None
+
+    def test_wait_for_visit(self):
+        u = HelperFetchUnit(_row(), wait_for_visit=True)
+        assert u.peek() is None
+        u.start_visit([5, 6], [10, 20])
+        assert u.peek().opcode is Opcode.MOV_LIVEIN
+
+
+class TestLiveInMoves:
+    def test_moves_served_before_row(self):
+        u = HelperFetchUnit(_row())
+        u.inject_moves([3, 4])
+        first = u.peek()
+        assert first.opcode is Opcode.MOV_LIVEIN and first.rd == 3
+        u.advance(False, None)
+        assert u.peek().rd == 4
+        u.advance(False, None)
+        assert u.peek().pc == 0x1000
+
+    def test_moves_served_even_while_waiting(self):
+        u = HelperFetchUnit(_row(), wait_for_visit=True)
+        u.inject_moves([7])
+        assert u.peek().rd == 7
+        u.advance(False, None)
+        assert u.peek() is None  # back to waiting
+
+    def test_annotate_attaches_visit_values(self):
+        class FakeUop:
+            def __init__(self, inst):
+                self.inst = inst
+                self.livein_value = None
+
+        u = HelperFetchUnit(_row(), wait_for_visit=True)
+        u.start_visit([5], [42])
+        uop = FakeUop(u.peek())
+        u.annotate_uop(uop)
+        assert uop.livein_value == 42
+
+    def test_mt_moves_have_no_value(self):
+        class FakeUop:
+            def __init__(self, inst):
+                self.inst = inst
+                self.livein_value = None
+
+        u = HelperFetchUnit(_row())
+        u.inject_moves([5])
+        uop = FakeUop(u.peek())
+        u.annotate_uop(uop)
+        assert uop.livein_value is None
+
+    def test_make_livein_move_shape(self):
+        m = make_livein_move(9)
+        assert m.opcode is Opcode.MOV_LIVEIN
+        assert m.rd == 9 and m.rs1 == 9
+
+
+class TestRecovery:
+    def test_redirect_to_row_pc(self):
+        u = HelperFetchUnit(_row())
+        u.idx = 2
+        u.redirect(0x1004)
+        assert u.peek().pc == 0x1004
+
+    def test_redirect_unknown_pc_restarts(self):
+        u = HelperFetchUnit(_row())
+        u.idx = 2
+        u.redirect(0xdead)
+        assert u.peek().pc == 0x1000
+
+    def test_redirect_clears_pending_moves(self):
+        u = HelperFetchUnit(_row())
+        u.inject_moves([3])
+        u.redirect(0x1000)
+        assert u.peek().pc == 0x1000
+
+    def test_start_visit_resets_position(self):
+        u = HelperFetchUnit(_row(), wait_for_visit=True)
+        u.start_visit([5], [1])
+        u.advance(False, None)  # consume the move
+        u.advance(False, None)  # row[0]
+        u.wait()
+        u.start_visit([5], [2])
+        u.advance(False, None)  # consume the move
+        assert u.peek().pc == 0x1000

@@ -1,0 +1,115 @@
+"""Section V-K extension: OR-guarded stores with two predicate sources.
+
+The kernel below stores through *two* paths (``if (a[i]==0 || b[i]==0)``),
+so the store's CDFSM row learns two CD guards.  With
+``enable_or_predicates`` the helper thread attaches both predicate
+sources (ORed); without it (the paper's evaluated design) only the
+innermost guard is used and the store is wrongly suppressed on the other
+path.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core import Core, CoreConfig
+from repro.isa import Assembler, run_program
+from repro.isa.opcodes import Opcode
+from repro.phelps import PhelpsConfig, PhelpsEngine
+
+BASE = PhelpsConfig(epoch_length=8000, min_iterations_per_visit=8)
+
+
+def _or_kernel(n=4000, seed=3):
+    rng = random.Random(seed)
+    a = Assembler("or_kernel")
+    arr = a.data("arr", [rng.randrange(0, 3) for _ in range(16)])
+    brr = a.data("brr", [rng.randrange(0, 2) for _ in range(2048)])
+    a.li("x1", arr)
+    a.li("x2", n)
+    a.li("x3", 0)
+    a.li("x20", 2654435761)
+    a.li("x21", 2047)
+    a.label("top")
+    a.andi("x5", "x3", 15)
+    a.slli("x5", "x5", 3)
+    a.add("x5", "x5", "x1")
+    a.ld("x6", "x5", 0)              # a[i & 15] (loop-carried via the store)
+    a.beq("x6", "x0", "do")          # br1: first OR term
+    a.mul("x7", "x3", "x20")
+    a.srli("x7", "x7", 6)
+    a.and_("x7", "x7", "x21")
+    a.slli("x7", "x7", 3)
+    a.li("x8", 0x100000 + 16 * 8)    # brr base (second array)
+    a.add("x7", "x7", "x8")
+    a.ld("x8", "x7", 0)              # b[hash(i)]
+    a.bne("x8", "x0", "skip")        # br2: second OR term (inverted)
+    a.label("do")
+    a.addi("x9", "x6", 1)
+    a.andi("x9", "x9", 3)
+    a.sd("x9", "x5", 0)              # influential store, OR-guarded
+    a.label("skip")
+    for k in range(6):               # prunable
+        a.xori("x10", "x9", k)
+        a.add("x11", "x11", "x10")
+    a.addi("x3", "x3", 1)
+    a.blt("x3", "x2", "top")
+    a.halt()
+    return a.build()
+
+
+def _run(cfg):
+    program = _or_kernel()
+    engine = PhelpsEngine(cfg)
+    core = Core(program, config=CoreConfig(), engine=engine)
+    stats = core.run()
+    return program, engine, stats, core
+
+
+class TestOrPredicates:
+    @pytest.fixture(scope="class")
+    def with_or(self):
+        return _run(dataclasses.replace(BASE, enable_or_predicates=True))
+
+    @pytest.fixture(scope="class")
+    def without_or(self):
+        return _run(BASE)
+
+    def test_store_gets_two_predicate_sources(self, with_or):
+        _, engine, _, _ = with_or
+        assert engine.htc.rows, "helper thread must deploy"
+        row = next(iter(engine.htc.rows.values()))
+        stores = [i for i in row.inner_insts if i.opcode is Opcode.SD]
+        assert len(stores) == 1
+        st = stores[0]
+        assert st.pred_rs not in (None, 0)
+        assert st.pred_rs2 not in (None, 0)
+        assert st.pred_rs != st.pred_rs2
+
+    def test_single_source_without_flag(self, without_or):
+        _, engine, _, _ = without_or
+        if not engine.htc.rows:
+            pytest.skip("helper ineligible in this configuration")
+        row = next(iter(engine.htc.rows.values()))
+        stores = [i for i in row.inner_insts if i.opcode is Opcode.SD]
+        assert stores and all(s.pred_rs2 is None for s in stores)
+
+    def test_or_guarding_improves_outcome_accuracy(self, with_or, without_or):
+        """Without OR support the store is suppressed on one of its two
+        enabling paths, so the helper's br1 outcomes go stale more often."""
+        _, eng_or, _, _ = with_or
+        _, eng_no, _, _ = without_or
+        consumed_or = max(eng_or.queues.consumed, 1)
+        consumed_no = max(eng_no.queues.consumed, 1)
+        wrong_rate_or = eng_or.queue_wrong / consumed_or
+        wrong_rate_no = eng_no.queue_wrong / consumed_no
+        assert wrong_rate_or <= wrong_rate_no + 0.02
+
+    def test_architectural_state_correct_with_or(self, with_or):
+        program, _, stats, core = with_or
+        assert stats.halted
+        ref = run_program(program, max_steps=3_000_000)
+        assert stats.retired == ref.retired
+        for addr, val in ref.mem.items():
+            assert core.mem.get(addr, 0) == val

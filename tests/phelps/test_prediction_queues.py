@@ -1,0 +1,183 @@
+"""Prediction-queue lockstep tests, including the Figure 4 scenario."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phelps import PredictionQueueFile
+
+B1, B2, B3, B4, LOOP = 0x100, 0x104, 0x108, 0x10C, 0x1F0
+
+
+def _configured(depth=32):
+    q = PredictionQueueFile(queue_count=16, depth=depth)
+    assert q.configure({B1: 0, B2: 0, B3: 0, B4: 0, LOOP: 0})
+    return q
+
+
+def _deposit_iteration(q, outcomes, pointer_set=0):
+    for pc, outcome in outcomes.items():
+        q.deposit(pc, outcome)
+    q.advance_tail(pointer_set)
+
+
+class TestPaperFigure4:
+    """Queues for b1..b4 managed in lockstep by iteration; the main thread
+    consumes b2's entry only when b1 is not-taken (implicit predication)."""
+
+    def test_guarded_consumption_pattern(self):
+        q = _configured()
+        # Columns from Figure 4 (spec_head iteration): b1=1, b2=(0), b3=0, b4=1.
+        _deposit_iteration(q, {B1: True, B2: False, B3: False, B4: True, LOOP: True})
+        # Main thread fetches b1: taken -> it never fetches b2.
+        out1, _ = q.consume(B1)
+        assert out1 is True
+        out3, _ = q.consume(B3)
+        assert out3 is False
+        out4, _ = q.consume(B4)
+        assert out4 is True
+        # b2's outcome exists but was simply not consumed; the column is
+        # freed wholesale when the loop branch retires.
+        q.advance_spec_head(0)
+        q.advance_head(0)
+        assert q.head[0] == 1 and q.spec_head[0] == 1
+
+    def test_unconsumed_entry_can_be_revisited_after_rollback(self):
+        """The paper's subtle benefit: a wrong 'taken' b1 outcome initially
+        skips b2; after recovery, spec_head rolls back and b2's outcome is
+        consumed the second time around."""
+        q = _configured()
+        _deposit_iteration(q, {B1: True, B2: False, B3: True, B4: True, LOOP: True})
+        cp = q.checkpoint()
+        out1, _ = q.consume(B1)
+        assert out1 is True       # wrong pre-executed outcome (stale store)
+        q.advance_spec_head(0)    # main thread fetched the loop branch
+        # Misprediction recovery: roll spec_head back...
+        q.restore(cp)
+        # ...and replay: this time fetch goes down b1's not-taken path.
+        out2, _ = q.consume(B2)
+        assert out2 is False      # b2's outcome existed all along
+
+    def test_lockstep_over_multiple_iterations(self):
+        q = _configured()
+        script = [
+            {B1: False, B2: True, B3: True, B4: False, LOOP: True},
+            {B1: True, B2: False, B3: False, B4: True, LOOP: True},
+            {B1: False, B2: False, B3: True, B4: False, LOOP: False},
+        ]
+        for outcomes in script:
+            _deposit_iteration(q, outcomes)
+        for expected in script:
+            for pc in (B1, B2, B3, B4, LOOP):
+                out, token = q.consume(pc)
+                assert out == expected[pc]
+            q.advance_spec_head(0)
+
+
+class TestPointerMechanics:
+    def test_consume_before_deposit_is_not_timely(self):
+        q = _configured()
+        assert q.consume(B1) is None
+        assert q.stats()["not_timely"] == 1
+
+    def test_spec_head_may_run_past_tail(self):
+        q = _configured()
+        q.advance_spec_head(0)
+        q.advance_spec_head(0)
+        assert q.consume(B1) is None
+        # Helper thread catches up; columns 0,1 skipped, column 2 consumable.
+        for _ in range(3):
+            _deposit_iteration(q, {B1: True})
+        out, _ = q.consume(B1)
+        assert out is True
+
+    def test_tail_backpressure(self):
+        q = _configured(depth=4)
+        for _ in range(3):
+            assert q.can_advance_tail(0)
+            _deposit_iteration(q, {B1: True})
+        assert not q.can_advance_tail(0)
+        q.advance_spec_head(0)
+        q.advance_head(0)
+        assert q.can_advance_tail(0)
+
+    def test_ring_reuse_after_head_advance(self):
+        q = _configured(depth=4)
+        for i in range(3):
+            _deposit_iteration(q, {B1: bool(i % 2)})
+            q.advance_spec_head(0)
+            q.advance_head(0)
+        for i in range(3):
+            _deposit_iteration(q, {B1: bool((i + 1) % 2)})
+        out, _ = q.consume(B1)
+        assert out is True
+
+    def test_two_pointer_sets_are_independent(self):
+        q = PredictionQueueFile()
+        q.configure({B1: 0, B2: 1})
+        q.deposit(B1, True)
+        q.advance_tail(0)
+        assert q.consume(B2) is None  # set 1 tail untouched
+        out, _ = q.consume(B1)
+        assert out is True
+
+    def test_configure_overflow_rejected(self):
+        q = PredictionQueueFile(queue_count=2)
+        assert not q.configure({B1: 0, B2: 0, B3: 0})
+        assert not q.active
+
+    def test_deactivate(self):
+        q = _configured()
+        q.deactivate()
+        assert not q.has_queue(B1)
+
+    def test_token_records_column_and_outcome(self):
+        q = _configured()
+        _deposit_iteration(q, {B1: True})
+        out, token = q.consume(B1)
+        assert token == (B1, 0, True)
+
+
+class TestQueueProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    def test_fifo_order_preserved(self, outcomes):
+        """Depositing a sequence and consuming it (with backpressure
+        respected) always yields the same sequence."""
+        q = PredictionQueueFile(depth=8)
+        q.configure({B1: 0})
+        consumed = []
+        pending = list(outcomes)
+        while len(consumed) < len(outcomes):
+            if pending and q.can_advance_tail(0):
+                q.deposit(B1, pending.pop(0))
+                q.advance_tail(0)
+            result = q.consume(B1)
+            if result is not None:
+                consumed.append(result[0])
+                q.advance_spec_head(0)
+                q.advance_head(0)
+        assert consumed == outcomes
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_spec_head_rollback_replays_identically(self, data):
+        q = PredictionQueueFile(depth=16)
+        q.configure({B1: 0})
+        outcomes = data.draw(st.lists(st.booleans(), min_size=4, max_size=10))
+        for o in outcomes:
+            q.deposit(B1, o)
+            q.advance_tail(0)
+        k = data.draw(st.integers(0, len(outcomes) - 1))
+        first = []
+        cp = None
+        for i in range(len(outcomes)):
+            if i == k:
+                cp = q.checkpoint()
+            first.append(q.consume(B1)[0])
+            q.advance_spec_head(0)
+        q.restore(cp)
+        replay = []
+        for _ in range(len(outcomes) - k):
+            replay.append(q.consume(B1)[0])
+            q.advance_spec_head(0)
+        assert replay == first[k:]

@@ -1,0 +1,160 @@
+"""Visit queue, speculative cache, HTC, and Table II budget tests."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.phelps import (
+    HelperThreadCache,
+    HelperThreadRow,
+    PhelpsConfig,
+    SpeculativeCache,
+    VisitQueue,
+    component_costs,
+    total_cost_bytes,
+)
+from repro.phelps.budget import total_cost_kb
+
+
+class TestVisitQueue:
+    def test_fifo(self):
+        vq = VisitQueue()
+        vq.enqueue([1, 2])
+        vq.enqueue([3, 4])
+        assert vq.dequeue() == [1, 2]
+        assert vq.dequeue() == [3, 4]
+        assert vq.dequeue() is None
+
+    def test_full_raises(self):
+        vq = VisitQueue(depth=1)
+        vq.enqueue([1])
+        assert vq.full()
+        with pytest.raises(RuntimeError):
+            vq.enqueue([2])
+
+    def test_live_in_limit(self):
+        vq = VisitQueue(live_ins_per_visit=2)
+        with pytest.raises(ValueError):
+            vq.enqueue([1, 2, 3])
+
+    def test_clear(self):
+        vq = VisitQueue()
+        vq.enqueue([1])
+        vq.clear()
+        assert vq.empty()
+
+
+class TestSpeculativeCache:
+    def test_write_read(self):
+        c = SpeculativeCache()
+        c.write(0x100, 42)
+        assert c.read(0x100) == 42
+
+    def test_miss_returns_none(self):
+        assert SpeculativeCache().read(0x100) is None
+
+    def test_overwrite(self):
+        c = SpeculativeCache()
+        c.write(0x100, 1)
+        c.write(0x100, 2)
+        assert c.read(0x100) == 2
+
+    def test_eviction_loses_data(self):
+        """The paper's stale-data mechanism: evicted doublewords are lost."""
+        c = SpeculativeCache(sets=1, ways=2)
+        c.write(0x000, 1)
+        c.write(0x008, 2)
+        c.write(0x010, 3)  # evicts LRU (0x000)
+        assert c.read(0x000) is None
+        assert c.losses == 1
+        assert c.read(0x008) == 2
+
+    def test_lru_within_set(self):
+        c = SpeculativeCache(sets=1, ways=2)
+        c.write(0x000, 1)
+        c.write(0x008, 2)
+        c.read(0x000)      # make MRU
+        c.write(0x010, 3)  # evicts 0x008
+        assert c.read(0x000) == 1
+        assert c.read(0x008) is None
+
+    def test_clear(self):
+        c = SpeculativeCache()
+        c.write(0x100, 1)
+        c.clear()
+        assert c.read(0x100) is None
+
+    def test_distinct_sets(self):
+        c = SpeculativeCache(sets=16, ways=2)
+        for i in range(16):
+            c.write(i * 8, i)
+        assert all(c.read(i * 8) == i for i in range(16))
+
+
+def _row(start=0x100, n_inner=4, nested=False, n_outer=0):
+    mk = lambda pc: Instruction(opcode=Opcode.ADDI, rd=1, rs1=1, imm=0, pc=pc)
+    return HelperThreadRow(
+        start_pc=start, loop_branch=start + 0x100, loop_target=start,
+        is_nested=nested,
+        inner_insts=[mk(start + 4 * i) for i in range(n_inner)],
+        outer_insts=[mk(start + 4 * i) for i in range(n_outer)],
+    )
+
+
+class TestHTC:
+    def test_install_and_trigger_lookup(self):
+        htc = HelperThreadCache()
+        row = _row()
+        assert htc.install(row)
+        assert htc.lookup_trigger(0x100) is row
+        assert htc.lookup_trigger(0x104) is None
+
+    def test_capacity_four_rows(self):
+        htc = HelperThreadCache(rows=4)
+        for i in range(4):
+            assert htc.install(_row(start=0x1000 * (i + 1)))
+        assert htc.full()
+        assert not htc.install(_row(start=0x9000))
+
+    def test_reinstall_same_loop_allowed_when_full(self):
+        htc = HelperThreadCache(rows=1)
+        assert htc.install(_row(start=0x100))
+        assert htc.install(_row(start=0x100, n_inner=2))
+
+    def test_row_capacity_checked(self):
+        htc = HelperThreadCache(row_capacity=8)
+        assert not htc.install(_row(n_inner=9))
+        assert not htc.install(_row(nested=True, n_inner=5, n_outer=2))
+        assert htc.install(_row(nested=True, n_inner=4, n_outer=2))
+
+    def test_loop_branch_pcs(self):
+        row = _row(nested=True)
+        row.inner_branch = 0x180
+        assert row.loop_branch_pcs() == [0x200, 0x180]
+
+
+class TestTable2Budget:
+    def test_total_matches_paper(self):
+        """Table II total: 10.82 KB."""
+        assert abs(total_cost_kb() - 10.82) < 0.01
+
+    def test_headline_rows_match_paper(self):
+        costs = dict(component_costs())
+        assert costs["DBT"] == 5280
+        assert costs["DBT-Max"] == 84
+        assert costs["LT"] == 170
+        assert costs["HTCB"] == 1024
+        assert costs["LPT"] == 120
+        assert costs["store-detect queue"] == 188
+        assert costs["CDFSM matrix"] == 128
+        assert costs["HTC"] == 2432
+        assert costs["Visit Queue"] == 560
+        assert costs["Prediction Queues"] == 64
+        assert costs["speculative D$ data"] == 256
+        assert costs["pred-PRF"] == 32
+        assert abs(costs["pred-FL"] - 85) < 1
+        assert abs(costs["2 pred-RMTs"] - 54) < 1
+
+    def test_costs_scale_with_config(self):
+        small = PhelpsConfig(dbt_entries=128)
+        assert total_cost_bytes(small) < total_cost_bytes()

@@ -1,0 +1,183 @@
+"""HelperThreadBuilder (IBDA slicing + finalization) unit tests driven by
+scripted fetch/retire streams over a synthetic loop."""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.isa.executor import ArchState
+from repro.isa.opcodes import Opcode
+from repro.phelps import PhelpsConfig
+from repro.phelps.loop_table import LoopTableEntry
+from repro.phelps.slicer import HelperThreadBuilder
+
+
+def _simple_loop():
+    """A counted loop with one delinquent data-dependent branch, a guarded
+    influential store, and prunable bookkeeping."""
+    a = Assembler("loop")
+    arr = a.data("arr", [i % 3 for i in range(16)])
+    a.li("x1", arr)
+    a.li("x2", 64)
+    a.li("x3", 0)
+    a.label("top")
+    a.andi("x5", "x3", 15)        # revisit indices: loop-carried store-load
+    a.slli("x5", "x5", 3)
+    a.add("x5", "x5", "x1")
+    a.ld("x6", "x5", 0)
+    a.beq("x6", "x0", "skip")     # delinquent branch
+    a.addi("x6", "x6", -1)
+    a.sd("x6", "x5", 0)           # influential guarded store
+    a.label("skip")
+    a.addi("x9", "x9", 1)         # prunable
+    a.xori("x10", "x9", 5)        # prunable
+    a.add("x11", "x11", "x10")    # prunable
+    a.srli("x12", "x11", 2)       # prunable
+    a.addi("x13", "x13", 3)       # prunable
+    a.xori("x14", "x13", 9)       # prunable
+    a.addi("x3", "x3", 1)
+    a.blt("x3", "x2", "top")
+    a.halt()
+    return a.build()
+
+
+def _train(builder, program, max_steps=4000):
+    """Feed the builder a functional execution (fetch + retire streams)."""
+    state = ArchState(program)
+    while not state.halted and max_steps:
+        max_steps -= 1
+        inst = program.fetch(state.pc)
+        builder.note_fetched(inst)
+        r = state.step()
+        builder.note_retired(inst, r.taken, r.mem_addr)
+    return state
+
+
+@pytest.fixture
+def built():
+    program = _simple_loop()
+    branch_pc = program.pc_of("top") + 4 * 4  # the beq
+    loop_branch = program.pc_of("skip") + 7 * 4  # the blt
+    loop = LoopTableEntry(loop_branch, program.pc_of("top"))
+    loop.delinquent_branches = [branch_pc]
+    cfg = PhelpsConfig(min_iterations_per_visit=8)
+    builder = HelperThreadBuilder(cfg, loop)
+    _train(builder, program)
+    return program, builder, branch_pc, loop_branch
+
+
+class TestSliceGrowth:
+    def test_backward_slice_included(self, built):
+        program, builder, branch_pc, loop_branch = built
+        inc = builder.included["inner"]
+        top = program.pc_of("top")
+        assert top in inc          # andi (index slice)
+        assert top + 4 in inc      # slli
+        assert top + 8 in inc      # add
+        assert top + 12 in inc     # ld
+        assert branch_pc in inc
+        assert loop_branch in inc
+
+    def test_prunable_work_excluded(self, built):
+        program, builder, *_ = built
+        skip = program.pc_of("skip")
+        assert skip not in builder.included["inner"]      # addi x9
+        assert skip + 4 not in builder.included["inner"]  # xori x10
+
+    def test_conflicting_store_included(self, built):
+        program, builder, *_ = built
+        store_pc = program.pc_of("skip") - 4
+        assert store_pc in builder.included["inner"]
+        assert store_pc in builder.included_stores["inner"]
+
+    def test_iterations_and_visits_counted(self, built):
+        _, builder, *_ = built
+        assert builder.visits == 1
+        assert builder.iterations == 63
+
+
+class TestFinalize:
+    def test_row_shape(self, built):
+        program, builder, branch_pc, loop_branch = built
+        row, reason = builder.finalize()
+        assert reason is None
+        preds = [i for i in row.inner_insts if i.opcode is Opcode.PRED]
+        assert [p.origin_pc for p in preds] == [branch_pc]
+        assert row.inner_insts[-1].pc == loop_branch
+        stores = [i for i in row.inner_insts if i.opcode is Opcode.SD]
+        assert len(stores) == 1
+        # Store guarded by the branch's not-taken direction.
+        assert stores[0].pred_rs == preds[0].pred_rd
+        assert stores[0].pred_dir is False
+
+    def test_live_ins_are_upward_exposed(self, built):
+        _, builder, *_ = built
+        row, _ = builder.finalize()
+        # x3 (induction), x1 (base), x2 (limit) must be copied at trigger.
+        for reg in (1, 2, 3):
+            assert reg in row.mt_liveins_outer
+
+    def test_queue_assignment(self, built):
+        _, builder, branch_pc, loop_branch = built
+        row, _ = builder.finalize()
+        assert row.queue_assignment == {branch_pc: 0}  # loop branch predictable
+
+    def test_guard_map_recorded(self, built):
+        _, builder, branch_pc, _ = built
+        row, _ = builder.finalize()
+        assert row.guard_map == {}  # the single branch is unguarded
+
+
+class TestEligibility:
+    def _builder(self, program, loop, **cfg_overrides):
+        cfg = PhelpsConfig(**cfg_overrides)
+        return HelperThreadBuilder(cfg, loop)
+
+    def test_not_iterating_enough(self):
+        program = _simple_loop()
+        loop = LoopTableEntry(program.pc_of("skip") + 28, program.pc_of("top"))
+        loop.delinquent_branches = [program.pc_of("top") + 16]
+        builder = HelperThreadBuilder(
+            PhelpsConfig(min_iterations_per_visit=1000), loop)
+        _train(builder, program)
+        row, reason = builder.finalize()
+        assert row is None and reason == "not_iterating"
+
+    def test_too_big_when_everything_is_slice(self):
+        a = Assembler("dense")
+        arr = a.data("arr", [1] * 64)
+        a.li("x1", arr)
+        a.li("x2", 64)
+        a.li("x3", 0)
+        a.label("top")
+        a.slli("x5", "x3", 3)
+        a.add("x5", "x5", "x1")
+        a.ld("x6", "x5", 0)
+        a.beq("x6", "x0", "skip")
+        a.label("skip")
+        a.addi("x3", "x3", 1)
+        a.blt("x3", "x2", "top")
+        a.halt()
+        program = a.build()
+        loop = LoopTableEntry(program.pc_of("skip") + 4, program.pc_of("top"))
+        loop.delinquent_branches = [program.pc_of("top") + 12]
+        builder = HelperThreadBuilder(PhelpsConfig(min_iterations_per_visit=8), loop)
+        _train(builder, program)
+        row, reason = builder.finalize()
+        assert row is None and reason == "too_big"
+
+    def test_keep_branches_style(self, built):
+        """Branch Runahead chains keep real branch opcodes."""
+        program = _simple_loop()
+        branch_pc = program.pc_of("top") + 16
+        loop = LoopTableEntry(program.pc_of("skip") + 28, program.pc_of("top"))
+        loop.delinquent_branches = [branch_pc]
+        builder = HelperThreadBuilder(
+            PhelpsConfig(min_iterations_per_visit=8, include_stores=False),
+            loop, keep_branches=True)
+        _train(builder, program)
+        row, reason = builder.finalize()
+        assert reason is None
+        assert not any(i.opcode is Opcode.PRED for i in row.inner_insts)
+        branches = [i for i in row.inner_insts if i.is_cond_branch]
+        assert {b.pc for b in branches} == {branch_pc, loop.loop_branch}
+        assert not any(i.is_store for i in row.inner_insts)

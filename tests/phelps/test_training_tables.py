@@ -1,0 +1,202 @@
+"""DBT / DBT-Max / Loop Table / LPT / store-detect queue tests."""
+
+from repro.phelps import (
+    DelinquentBranchTable,
+    DBTMax,
+    LastProducerTable,
+    LoopTable,
+    RetiredStoreQueue,
+)
+
+LOOP_BR, LOOP_TGT = 0x1F0, 0x100
+OUTER_BR, OUTER_TGT = 0x2F0, 0x080
+B_IN_LOOP = 0x120
+
+
+def _retire_loop_iteration(dbt, mispredict=True):
+    """One loop iteration: the delinquent branch then the backward branch."""
+    dbt.note_retired(B_IN_LOOP, taken=False, target=0x130, mispredicted=mispredict)
+    dbt.note_retired(LOOP_BR, taken=True, target=LOOP_TGT, mispredicted=False)
+
+
+class TestDBT:
+    def test_mispredicts_counted(self):
+        dbt = DelinquentBranchTable()
+        for _ in range(5):
+            dbt.note_retired(B_IN_LOOP, False, 0x130, mispredicted=True)
+        assert dbt.get(B_IN_LOOP).mispredicts == 5
+
+    def test_correct_predictions_not_counted(self):
+        dbt = DelinquentBranchTable()
+        dbt.note_retired(B_IN_LOOP, False, 0x130, mispredicted=False)
+        assert dbt.get(B_IN_LOOP) is None
+
+    def test_loop_bounds_trained_from_backward_branch(self):
+        dbt = DelinquentBranchTable()
+        _retire_loop_iteration(dbt)  # creates entry; loop unknown yet
+        _retire_loop_iteration(dbt)  # now the backward branch precedes it
+        e = dbt.get(B_IN_LOOP)
+        assert e.inner_valid
+        assert (e.inner_branch, e.inner_target) == (LOOP_BR, LOOP_TGT)
+
+    def test_nested_loops_sorted_inner_outer(self):
+        dbt = DelinquentBranchTable()
+        _retire_loop_iteration(dbt)
+        _retire_loop_iteration(dbt)
+        # Outer backward branch retires; next iteration sees it as enclosing.
+        dbt.note_retired(OUTER_BR, True, OUTER_TGT, mispredicted=False)
+        dbt.note_retired(B_IN_LOOP, False, 0x130, mispredicted=True)
+        e = dbt.get(B_IN_LOOP)
+        assert e.is_nested
+        assert (e.inner_branch, e.inner_target) == (LOOP_BR, LOOP_TGT)
+        assert (e.outer_branch, e.outer_target) == (OUTER_BR, OUTER_TGT)
+        assert e.outermost() == (OUTER_BR, OUTER_TGT)
+
+    def test_non_enclosing_backward_branch_ignored(self):
+        dbt = DelinquentBranchTable()
+        dbt.note_retired(0x500, True, 0x480, mispredicted=False)  # elsewhere
+        dbt.note_retired(B_IN_LOOP, False, 0x130, mispredicted=True)
+        assert not dbt.get(B_IN_LOOP).in_loop
+
+    def test_eviction_of_least_delinquent(self):
+        dbt = DelinquentBranchTable(entries=2)
+        dbt.note_retired(0x100, False, None, True)
+        dbt.note_retired(0x104, False, None, True)
+        dbt.note_retired(0x104, False, None, True)
+        dbt.note_retired(0x108, False, None, True)  # evicts 0x100
+        assert dbt.get(0x100) is None
+        assert dbt.get(0x104) is not None
+        assert dbt.evictions == 1
+
+    def test_reset_counts_preserves_loop_bounds(self):
+        dbt = DelinquentBranchTable()
+        _retire_loop_iteration(dbt)
+        _retire_loop_iteration(dbt)
+        dbt.reset_counts()
+        e = dbt.get(B_IN_LOOP)
+        assert e.mispredicts == 0
+        assert e.inner_valid
+
+
+class TestDBTMax:
+    def test_ranking(self):
+        m = DBTMax(4)
+        m.update(0x100, 5)
+        m.update(0x104, 9)
+        m.update(0x108, 2)
+        assert m.ranked()[0] == (0x104, 9)
+
+    def test_capacity_replaces_minimum(self):
+        m = DBTMax(2)
+        m.update(0x100, 5)
+        m.update(0x104, 9)
+        m.update(0x108, 7)  # replaces 0x100
+        pcs = [pc for pc, _ in m.ranked()]
+        assert 0x100 not in pcs and 0x108 in pcs
+
+    def test_low_count_does_not_displace(self):
+        m = DBTMax(2)
+        m.update(0x100, 5)
+        m.update(0x104, 9)
+        m.update(0x108, 1)
+        assert 0x108 not in m
+
+    def test_incremental_update_existing(self):
+        m = DBTMax(2)
+        m.update(0x100, 1)
+        m.update(0x100, 10)
+        assert m.ranked()[0] == (0x100, 10)
+
+
+class TestLoopTable:
+    def _dbt_with_two_loops(self):
+        dbt = DelinquentBranchTable()
+        for _ in range(20):
+            _retire_loop_iteration(dbt)
+        # A second, less delinquent loop elsewhere.
+        for _ in range(8):
+            dbt.note_retired(0x320, True, 0x340, mispredicted=True)
+            dbt.note_retired(0x3F0, True, 0x300, mispredicted=False)
+        return dbt
+
+    def test_populate_aggregates_by_outermost_loop(self):
+        dbt = self._dbt_with_two_loops()
+        lt = LoopTable()
+        lt.populate(dbt, threshold=5)
+        ranked = lt.ranked()
+        assert len(ranked) == 2
+        assert ranked[0].loop_branch == LOOP_BR
+        assert ranked[0].mispredicts >= 19
+        assert B_IN_LOOP in ranked[0].delinquent_branches
+
+    def test_threshold_filters(self):
+        dbt = self._dbt_with_two_loops()
+        lt = LoopTable()
+        lt.populate(dbt, threshold=10)
+        assert len(lt.ranked()) == 1
+
+    def test_most_delinquent_with_exclusion(self):
+        dbt = self._dbt_with_two_loops()
+        lt = LoopTable()
+        lt.populate(dbt, threshold=5)
+        top = lt.most_delinquent()
+        second = lt.most_delinquent(exclude_starts={top.start_pc})
+        assert second is not None and second.start_pc != top.start_pc
+
+    def test_loopless_mispredicts_tracked(self):
+        dbt = DelinquentBranchTable()
+        for _ in range(10):
+            dbt.note_retired(0x700, False, 0x710, mispredicted=True)
+        lt = LoopTable()
+        lt.populate(dbt, threshold=5)
+        assert lt.loopless_mispredicts == 10
+        assert not lt.ranked()
+
+    def test_entry_geometry(self):
+        dbt = self._dbt_with_two_loops()
+        lt = LoopTable()
+        lt.populate(dbt, threshold=5)
+        e = lt.ranked()[0]
+        assert e.start_pc == LOOP_TGT
+        assert e.contains(B_IN_LOOP)
+        assert not e.contains(0x500)
+        assert e.span_instructions == (LOOP_BR - LOOP_TGT) // 4 + 1
+
+
+class TestLPT:
+    def test_tracks_last_producer(self):
+        lpt = LastProducerTable()
+        lpt.note_retired(0x100, 5)
+        lpt.note_retired(0x104, 5)
+        assert lpt.producer_of(5) == 0x104
+
+    def test_x0_ignored(self):
+        lpt = LastProducerTable()
+        lpt.note_retired(0x100, 0)
+        assert lpt.producer_of(0) is None
+
+    def test_none_dest_ignored(self):
+        lpt = LastProducerTable()
+        lpt.note_retired(0x100, None)
+        assert all(lpt.producer_of(r) is None for r in range(32))
+
+
+class TestRetiredStoreQueue:
+    def test_match_most_recent(self):
+        q = RetiredStoreQueue(4)
+        q.note_store(0x100, 0x10)
+        q.note_store(0x100, 0x14)
+        assert q.match(0x100) == 0x14
+
+    def test_no_match(self):
+        q = RetiredStoreQueue(4)
+        q.note_store(0x100, 0x10)
+        assert q.match(0x200) is None
+
+    def test_fifo_capacity(self):
+        q = RetiredStoreQueue(2)
+        q.note_store(0x100, 0x10)
+        q.note_store(0x200, 0x14)
+        q.note_store(0x300, 0x18)  # pushes out 0x100
+        assert q.match(0x100) is None
+        assert q.match(0x300) == 0x18

@@ -1,0 +1,189 @@
+"""Branch Runahead comparator tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Core, CoreConfig
+from repro.frontend import BimodalPredictor
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.phelps import PhelpsConfig
+from repro.runahead import BRConfig, BRFetchUnit, BRQueueFile, BranchRunaheadEngine
+from repro.workloads.astar import build_astar
+
+
+class TestBRConfig:
+    def test_stores_always_excluded(self):
+        with pytest.raises(ValueError):
+            BRConfig(construction=PhelpsConfig(include_stores=True))
+
+    def test_default_is_speculative(self):
+        assert BRConfig().speculative_triggering
+
+
+class TestBRQueues:
+    def _q(self):
+        q = BRQueueFile(depth=4)
+        q.configure([0x100, 0x200])
+        return q
+
+    def test_fifo_per_pc(self):
+        q = self._q()
+        q.deposit(0x100, True)
+        q.deposit(0x100, False)
+        assert q.consume(0x100)[0] is True
+        assert q.consume(0x100)[0] is False
+
+    def test_independent_pcs(self):
+        q = self._q()
+        q.deposit(0x100, True)
+        assert q.consume(0x200) is None
+        assert q.consume(0x100)[0] is True
+
+    def test_full_queue_drops(self):
+        q = self._q()
+        for i in range(6):
+            q.deposit(0x100, bool(i % 2))
+        # Only 4 survive.
+        outs = []
+        while True:
+            r = q.consume(0x100)
+            if r is None:
+                break
+            outs.append(r[0])
+        assert len(outs) == 4
+
+    def test_selective_flush(self):
+        q = self._q()
+        q.deposit(0x100, True)
+        q.deposit(0x200, False)
+        q.flush({0x100})
+        assert q.consume(0x100) is None
+        assert q.consume(0x200)[0] is False
+
+    def test_checkpoint_restore_spec_head(self):
+        q = self._q()
+        q.deposit(0x100, True)
+        q.deposit(0x100, False)
+        cp = q.checkpoint()
+        q.consume(0x100)
+        q.consume(0x100)
+        q.restore(cp)
+        assert q.consume(0x100)[0] is True
+
+    def test_restore_never_before_head(self):
+        q = self._q()
+        q.deposit(0x100, True)
+        cp = q.checkpoint()
+        q.consume(0x100)
+        q.retire_consumed(0x100)
+        q.restore(cp)
+        assert q.consume(0x100) is None  # retired entries stay consumed
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    def test_fifo_order_property(self, outcomes):
+        q = BRQueueFile(depth=64)
+        q.configure([0x100])
+        for o in outcomes:
+            q.deposit(0x100, o)
+        got = [q.consume(0x100)[0] for _ in outcomes]
+        assert got == outcomes
+
+
+def _row_insts():
+    """A synthetic chain row: alu, branch over one inst, alu, loop branch."""
+    return [
+        Instruction(opcode=Opcode.ADDI, rd=5, rs1=5, imm=1, pc=0x1000),
+        Instruction(opcode=Opcode.BNE, rs1=5, rs2=6, imm=0x100c, pc=0x1004),
+        Instruction(opcode=Opcode.ADDI, rd=7, rs1=7, imm=1, pc=0x1008),
+        Instruction(opcode=Opcode.BLT, rs1=5, rs2=8, imm=0x1000, pc=0x100c),
+    ]
+
+
+class TestBRFetchUnit:
+    def test_loop_branch_wraps(self):
+        u = BRFetchUnit(_row_insts(), BimodalPredictor())
+        assert u.predict_branch(u.insts[3]) is True
+        u.idx = 3
+        u.advance(True, 0x1000)
+        assert u.idx == 0
+
+    def test_taken_guard_skips_to_target(self):
+        u = BRFetchUnit(_row_insts(), BimodalPredictor())
+        u.idx = 1
+        u.advance(True, 0x100c)
+        assert u.insts[u.idx].pc == 0x100c
+
+    def test_not_taken_guard_falls_through(self):
+        u = BRFetchUnit(_row_insts(), BimodalPredictor())
+        u.idx = 1
+        u.advance(False, None)
+        assert u.insts[u.idx].pc == 0x1008
+
+    def test_nonspec_stalls_until_resume(self):
+        u = BRFetchUnit(_row_insts(), BimodalPredictor(), speculative=False)
+        u.idx = 1
+        assert u.predict_branch(u.insts[1]) is False  # provisional
+        assert u.peek() is None                        # stalled
+        u.resume(0x1004, taken=True, target=0x100c)
+        assert u.peek() is not None
+
+    def test_spec_uses_bimodal(self):
+        bim = BimodalPredictor()
+        for _ in range(4):
+            bim.update(0x1004, False)
+        u = BRFetchUnit(_row_insts(), bim)
+        assert u.predict_branch(u.insts[1]) is False
+
+
+class TestBREndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        prog = build_astar(worklist_len=704, grid_dim=64, seed=5)
+        base = Core(prog, config=CoreConfig()).run()
+        cfg = BRConfig(construction=PhelpsConfig(
+            epoch_length=8000, min_iterations_per_visit=8, include_stores=False))
+        engine = BranchRunaheadEngine(cfg)
+        core = Core(prog, config=CoreConfig(), engine=engine)
+        stats = core.run()
+        return prog, base, core, engine, stats
+
+    def test_chains_deployed(self, runs):
+        _, _, _, engine, _ = runs
+        assert engine.activations >= 1
+        row = next(iter(engine.htc.rows.values()))
+        # Chains keep real control flow and exclude stores.
+        assert any(i.is_cond_branch for i in row.inner_insts[:-1])
+        assert not any(i.is_store for i in row.inner_insts)
+        assert not any(i.is_pred_producer for i in row.inner_insts)
+
+    def test_outcomes_flow(self, runs):
+        _, _, _, engine, _ = runs
+        assert engine.brqueues.deposits > 100
+        assert engine.brqueues.consumed > 100
+
+    def test_rollbacks_occur_without_stores(self, runs):
+        """astar's store-influenced b1 outcomes go stale in BR (no s1):
+        consumed-wrong rollbacks are the expected consequence."""
+        _, _, _, engine, _ = runs
+        assert engine.rollbacks > 0
+
+    def test_architectural_state_correct(self, runs):
+        from repro.isa import run_program
+
+        prog, _, core, _, stats = runs
+        assert stats.halted
+        ref = run_program(prog, max_steps=3_000_000)
+        for addr, val in ref.mem.items():
+            assert core.mem.get(addr, 0) == val
+
+    def test_worse_than_phelps(self, runs):
+        """The paper's headline comparison on astar."""
+        from repro.phelps import PhelpsEngine
+
+        prog, base, _, _, br_stats = runs
+        engine = PhelpsEngine(PhelpsConfig(epoch_length=8000, min_iterations_per_visit=8))
+        phelps = Core(prog, config=CoreConfig(), engine=engine).run()
+        assert phelps.cycles < br_stats.cycles
+        assert phelps.mpki < br_stats.mpki

@@ -1,0 +1,65 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import fold_bits, to_i64, to_u64
+
+
+class TestToI64:
+    def test_identity_in_range(self):
+        assert to_i64(42) == 42
+        assert to_i64(-42) == -42
+
+    def test_wraps_positive_overflow(self):
+        assert to_i64(2**63) == -(2**63)
+
+    def test_wraps_negative_overflow(self):
+        assert to_i64(-(2**63) - 1) == 2**63 - 1
+
+    def test_max_values(self):
+        assert to_i64(2**63 - 1) == 2**63 - 1
+        assert to_i64(-(2**63)) == -(2**63)
+
+    @given(st.integers())
+    def test_always_in_signed_range(self, v):
+        r = to_i64(v)
+        assert -(2**63) <= r < 2**63
+
+    @given(st.integers())
+    def test_idempotent(self, v):
+        assert to_i64(to_i64(v)) == to_i64(v)
+
+    @given(st.integers())
+    def test_congruent_mod_2_64(self, v):
+        assert (to_i64(v) - v) % 2**64 == 0
+
+
+class TestToU64:
+    def test_negative_becomes_complement(self):
+        assert to_u64(-1) == 2**64 - 1
+
+    @given(st.integers())
+    def test_always_in_unsigned_range(self, v):
+        assert 0 <= to_u64(v) < 2**64
+
+    @given(st.integers())
+    def test_roundtrip_with_i64(self, v):
+        assert to_u64(to_i64(v)) == to_u64(v)
+
+
+class TestFoldBits:
+    def test_small_value_unchanged(self):
+        assert fold_bits(0b101, 8) == 0b101
+
+    def test_folds_high_bits(self):
+        assert fold_bits(0x1_00, 8) == 1
+
+    def test_zero(self):
+        assert fold_bits(0, 10) == 0
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            fold_bits(5, 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=1, max_value=20))
+    def test_result_fits_width(self, v, bits):
+        assert 0 <= fold_bits(v, bits) < 2**bits

@@ -1,0 +1,59 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.counters import SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_default_is_weakly_taken(self):
+        c = SaturatingCounter(bits=2)
+        assert c.value == 2
+        assert c.taken
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(bits=2, value=3)
+        c.increment()
+        assert c.value == 3
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(bits=2, value=0)
+        c.decrement()
+        assert c.value == 0
+
+    def test_update_taken_path(self):
+        c = SaturatingCounter(bits=2, value=0)
+        for _ in range(4):
+            c.update(True)
+        assert c.value == 3 and c.taken
+
+    def test_update_not_taken_path(self):
+        c = SaturatingCounter(bits=2, value=3)
+        for _ in range(4):
+            c.update(False)
+        assert c.value == 0 and not c.taken
+
+    def test_taken_threshold_is_half(self):
+        c = SaturatingCounter(bits=3, value=3)
+        assert not c.taken
+        c.increment()
+        assert c.taken
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)
+
+    def test_is_saturated(self):
+        assert SaturatingCounter(bits=2, value=0).is_saturated
+        assert SaturatingCounter(bits=2, value=3).is_saturated
+        assert not SaturatingCounter(bits=2, value=1).is_saturated
+
+    @given(st.integers(min_value=1, max_value=8), st.lists(st.booleans(), max_size=100))
+    def test_value_always_in_range(self, bits, updates):
+        c = SaturatingCounter(bits=bits)
+        for u in updates:
+            c.update(u)
+            assert 0 <= c.value <= c.max

@@ -1,0 +1,154 @@
+"""Algorithmic correctness of the workload kernels: each assembled program
+must compute what its Python reference model computes."""
+
+import random
+
+import pytest
+
+from repro.isa import run_program
+from repro.workloads import build_workload, workload_names
+from repro.workloads.astar import build_astar, neighbor_deltas
+from repro.workloads.gap.bfs import build_bfs
+from repro.workloads.gap.cc import build_cc
+from repro.workloads.gap.sssp import build_sssp
+from repro.workloads.gap.common import make_worklist
+from repro.workloads.graphs import road_network
+
+
+class TestAstarSemantics:
+    def test_matches_python_model(self):
+        wl, dim, seed = 200, 64, 11
+        prog = build_astar(worklist_len=wl, grid_dim=dim, seed=seed)
+        state = run_program(prog, max_steps=2_000_000)
+
+        # Python mirror of makebound2.
+        rng = random.Random(seed)
+        cells = dim * dim
+        mask = cells - 1
+        waymap = [1 if rng.random() < 0.15 else 0 for _ in range(cells)]
+        maparp = [0 if rng.random() < 0.5 else 1 for _ in range(cells)]
+        walk_steps = [1, -1, dim, -dim, dim + 1, -dim - 1]
+        cell = rng.randrange(cells)
+        worklist = []
+        for i in range(wl):
+            worklist.append(cell)
+            if i % 97 == 96:
+                cell = rng.randrange(cells)
+            else:
+                cell = (cell + rng.choice(walk_steps)) & mask
+        fillnum = 1
+        bound2 = []
+        for index in worklist:
+            for delta in neighbor_deltas(dim):
+                index1 = (index + delta) & mask
+                if waymap[index1] != fillnum:          # b1
+                    if maparp[index1] == 0:            # b2
+                        waymap[index1] = fillnum       # s1
+                        bound2.append(index1)
+
+        assert state.regs[8] == len(bound2)
+        base = prog.addr_of("waymap")
+        for i, v in enumerate(waymap):
+            assert state.read_mem(base + 8 * i) == v, f"waymap[{i}]"
+        b2 = prog.addr_of("bound2l")
+        for i, v in enumerate(bound2):
+            assert state.read_mem(b2 + 8 * i) == v
+
+    def test_waves_variant_runs_more_instructions(self):
+        p1 = run_program(build_astar(worklist_len=64, waves=1), max_steps=10**6)
+        p3 = run_program(build_astar(worklist_len=64, waves=3), max_steps=10**6)
+        assert p3.retired > 2 * p1.retired
+
+
+class TestBfsSemantics:
+    def test_matches_python_model(self):
+        adj = road_network(512, seed=3)
+        prog = build_bfs(adj=adj, frontier_len=300, visited_frac=0.4, seed=3)
+        state = run_program(prog, max_steps=2_000_000)
+
+        rng = random.Random(4)  # seed + 1
+        n = len(adj)
+        visited = [1 if rng.random() < 0.4 else 0 for _ in range(n)]
+        frontier = make_worklist(n, 300, 5)  # seed + 2
+        nxt = []
+        for u in frontier:
+            for v in adj[u]:
+                if visited[v] == 0:
+                    visited[v] = 1
+                    nxt.append(v)
+
+        assert state.regs[8] == len(nxt)
+        vbase = prog.addr_of("visited")
+        for i, v in enumerate(visited):
+            assert state.read_mem(vbase + 8 * i) == v
+
+
+class TestCcSemantics:
+    def test_labels_only_decrease(self):
+        adj = road_network(512, seed=23)
+        prog = build_cc(adj=adj, worklist_len=300, seed=23)
+        state = run_program(prog, max_steps=2_000_000)
+        rng = random.Random(24)
+        n = len(adj)
+        labels = list(range(n))
+        rng.shuffle(labels)
+        base = prog.addr_of("comp")
+        for i in range(n):
+            assert state.read_mem(base + 8 * i) <= labels[i]
+
+    def test_matches_python_model(self):
+        adj = road_network(512, seed=23)
+        prog = build_cc(adj=adj, worklist_len=300, seed=23)
+        state = run_program(prog, max_steps=2_000_000)
+        rng = random.Random(24)
+        n = len(adj)
+        comp = list(range(n))
+        rng.shuffle(comp)
+        for u in make_worklist(n, 300, 25):
+            cu = comp[u]
+            for v in adj[u]:
+                if comp[v] < cu:
+                    cu = comp[v]
+                    comp[u] = cu
+        base = prog.addr_of("comp")
+        for i in range(n):
+            assert state.read_mem(base + 8 * i) == comp[i]
+
+
+class TestSsspSemantics:
+    def test_matches_python_model(self):
+        adj = road_network(512, seed=37)
+        prog = build_sssp(adj=adj, worklist_len=300, seed=37)
+        state = run_program(prog, max_steps=2_000_000)
+        rng = random.Random(38)
+        n = len(adj)
+        dist = [rng.randrange(0, 1000) for _ in range(n)]
+        for u in make_worklist(n, 300, 39):
+            cand = dist[u] + 13
+            for v in adj[u]:
+                if cand < dist[v]:
+                    dist[v] = cand
+        base = prog.addr_of("dist")
+        for i in range(n):
+            assert state.read_mem(base + 8 * i) == dist[i]
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        names = workload_names()
+        for expected in ["astar", "bfs", "bc", "pr", "cc", "cc_sv", "sssp",
+                         "mcf", "gcc", "leela", "deepsjeng", "omnetpp",
+                         "exchange2", "perlbench", "xz", "x264", "xalanc",
+                         "bfs_web", "bfs_uniform"]:
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("nope")
+
+    @pytest.mark.parametrize("name", ["astar", "bfs", "cc", "mcf", "xz",
+                                      "exchange2", "perlbench"])
+    def test_kernels_halt(self, name):
+        state = run_program(build_workload(name), max_steps=3_000_000)
+        assert state.halted
+        assert state.retired > 10_000

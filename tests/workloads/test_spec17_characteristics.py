@@ -1,0 +1,123 @@
+"""Each SPEC2017-like kernel is *designed* to land in a specific Fig. 14
+bucket; these tests pin the branch-behaviour properties that put it there,
+via functional execution (no timing simulation)."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.isa import ArchState
+from repro.workloads import build_workload
+
+
+def _branch_profile(name, max_steps=120_000):
+    """pc -> list of outcomes, from in-order execution."""
+    state = ArchState(build_workload(name))
+    prof = defaultdict(list)
+    steps = 0
+    while not state.halted and steps < max_steps:
+        steps += 1
+        r = state.step()
+        if r.inst.is_cond_branch:
+            prof[r.pc].append(r.taken)
+    return prof
+
+
+def _bias(outcomes):
+    t = sum(outcomes)
+    return max(t, len(outcomes) - t) / len(outcomes)
+
+
+class TestMcf:
+    def test_callee_branch_is_unbiased(self):
+        prof = _branch_profile("mcf")
+        # The check_arc branch: executed often, ~50/50.
+        hot = [pcs for pcs, o in prof.items() if len(o) > 1000 and _bias(o) < 0.65]
+        assert hot, "mcf needs an unbiased hot branch (inside the callee)"
+
+    def test_callee_is_outside_loop_bounds(self):
+        from repro.workloads.spec17 import build_mcf
+
+        prog = build_mcf()
+        loop_branch = next(i for i in prog.instructions
+                           if i.is_backward_branch and i.imm == prog.pc_of("loop"))
+        callee = prog.pc_of("check_arc")
+        assert callee > loop_branch.pc  # not within the contiguous loop PCs
+
+
+class TestPredictableKernels:
+    @pytest.mark.parametrize("name", ["exchange2", "perlbench", "x264"])
+    def test_no_hot_unbiased_branch(self, name):
+        """These kernels must have no branch that is both hot and unbiased
+        enough to clear the 0.5-MPKI delinquency bar by itself... except
+        x264's single modest one (see below)."""
+        prof = _branch_profile(name)
+        for pc, outcomes in prof.items():
+            if len(outcomes) > 2000:
+                if name == "x264":
+                    assert _bias(outcomes) > 0.85, hex(pc)
+                else:
+                    assert _bias(outcomes) > 0.93, hex(pc)
+
+    def test_exchange2_trip_count_constant(self):
+        prof = _branch_profile("exchange2")
+        # The inner backward branch: taken exactly 23 of every 24 instances.
+        inner = max(prof.items(), key=lambda kv: len(kv[1]))[1]
+        assert abs(sum(inner) / len(inner) - 23 / 24) < 0.01
+
+
+class TestDiffuseKernels:
+    @pytest.mark.parametrize("name,min_sites", [("leela", 10), ("gcc", 200),
+                                                ("deepsjeng", 6)])
+    def test_many_static_branch_sites(self, name, min_sites):
+        prof = _branch_profile(name)
+        sites = [pc for pc, o in prof.items() if len(o) > 20]
+        assert len(sites) >= min_sites
+
+    def test_leela_sites_individually_weak(self):
+        prof = _branch_profile("leela")
+        # Mispredictable work is spread: no single site dominates.
+        weak = [pc for pc, o in prof.items() if len(o) > 500 and _bias(o) < 0.9]
+        assert len(weak) >= 5
+
+
+class TestXz:
+    def test_inner_trip_counts_short_and_varied(self):
+        from repro.workloads.spec17 import build_xz
+
+        prog = build_xz(blocks=400)
+        state = ArchState(prog)
+        trips = []
+        current = 0
+        inner_branch = None
+        while not state.halted:
+            r = state.step()
+            if r.inst.is_backward_branch and r.inst.imm == prog.pc_of("inner"):
+                current += 1
+                if not r.taken:
+                    trips.append(current)
+                    current = 0
+        assert trips
+        assert max(trips) <= 4
+        assert len(set(trips)) >= 3  # unpredictable visit-to-visit
+
+    def test_match_loop_in_callee(self):
+        from repro.workloads.spec17 import build_xz
+
+        prog = build_xz(blocks=10)
+        outer_branch = next(i for i in prog.instructions
+                            if i.is_backward_branch and i.imm == prog.pc_of("outer"))
+        assert prog.pc_of("match") > outer_branch.pc
+
+
+class TestCcSv:
+    def test_hook_branch_pair_is_dependent_and_delinquent(self):
+        prof = _branch_profile("cc_sv", max_steps=200_000)
+        from repro.workloads.gap.cc_sv import build_cc_sv
+
+        prog = build_cc_sv()
+        b1 = next(i.pc for i in prog.instructions
+                  if i.is_cond_branch and i.imm == prog.pc_of("no_hook"))
+        outcomes_b1 = prof[b1]
+        assert len(outcomes_b1) > 1000
+        assert _bias(outcomes_b1) < 0.75  # genuinely delinquent
