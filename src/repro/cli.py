@@ -4,15 +4,19 @@
 
     python -m repro list
     python -m repro run astar --engine phelps -n 80000
+    python -m repro run astar --engine phelps --metrics-json m.json --trace-out t.json
+    python -m repro stats astar --engine phelps
     python -m repro compare bfs --engines baseline phelps perfbp
     python -m repro costs
     python -m repro inspect astar
 """
 
 import argparse
+import json
 import sys
 
-from repro.harness import RunConfig, ascii_table, simulate
+from repro.harness import RunConfig, ascii_table, epoch_table, metrics_report, simulate
+from repro.obs import ObserveConfig, write_chrome_trace
 from repro.phelps import PhelpsConfig
 from repro.phelps.budget import cost_table
 from repro.workloads import workload_names
@@ -23,9 +27,34 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _metrics_payload(result) -> dict:
+    """The ``--metrics-json`` document: run summary + full counter
+    snapshot + per-epoch timeseries."""
+    s = result.stats
+    return {
+        "workload": result.config.workload,
+        "engine": result.config.engine,
+        "cycles": s.cycles,
+        "retired": s.retired,
+        "ipc": s.ipc,
+        "mpki": s.mpki,
+        "mispredicts": s.mispredicts,
+        "helper_retired": s.helper_retired,
+        "halted": s.halted,
+        "wall_seconds": result.wall_seconds,
+        "counters": s.metrics,
+        "epochs": s.epochs,
+    }
+
+
 def _cmd_run(args) -> int:
+    observe = bool(args.observe or args.metrics_json or args.trace_out
+                   or args.profile)
+    ocfg = ObserveConfig(profile=args.profile,
+                         pipeline_trace=bool(args.trace_out)) if observe else None
     cfg = RunConfig(workload=args.workload, engine=args.engine,
-                    max_instructions=args.instructions)
+                    max_instructions=args.instructions,
+                    observe=observe, observe_config=ocfg)
     result = simulate(cfg)
     s = result.stats
     print(f"{args.workload} [{args.engine}] "
@@ -36,20 +65,54 @@ def _cmd_run(args) -> int:
     if args.verbose and s.engine:
         for k, v in s.engine.items():
             print(f"  {k}: {v}")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(_metrics_payload(result), fh, indent=1, default=str)
+        print(f"  metrics -> {args.metrics_json} "
+              f"({len(s.metrics)} counters, {len(s.epochs)} epoch samples)")
+    if args.trace_out:
+        n = write_chrome_trace(args.trace_out, result.obs.events.events(),
+                               tracer=result.obs.tracer)
+        print(f"  chrome trace -> {args.trace_out} ({n} events; open in "
+              f"Perfetto / chrome://tracing)")
+    if args.profile:
+        print(result.obs.profiler.report())
     return 0
 
 
 def _cmd_compare(args) -> int:
     rows = []
-    base = None
+    base_rate = None
     for engine in args.engines:
         r = simulate(RunConfig(workload=args.workload, engine=engine,
                                max_instructions=args.instructions))
-        if base is None:
-            base = r
-        speedup = (r.stats.retired / r.cycles) / (base.stats.retired / base.cycles)
-        rows.append([engine, r.ipc, r.mpki, speedup])
+        # A run can halt (or wedge) with 0 cycles or 0 retired; report
+        # "n/a" rather than dividing by zero.
+        rate = r.stats.retired / r.cycles if r.cycles else 0.0
+        if base_rate is None:
+            base_rate = rate
+        speedup = rate / base_rate if base_rate else None
+        rows.append([engine, r.ipc, r.mpki,
+                     speedup if speedup is not None else "n/a"])
     print(ascii_table(["engine", "IPC", "MPKI", "speedup"], rows))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    ocfg = ObserveConfig(profile=args.profile)
+    cfg = RunConfig(workload=args.workload, engine=args.engine,
+                    max_instructions=args.instructions, observe_config=ocfg)
+    result = simulate(cfg)
+    s = result.stats
+    print(f"{args.workload} [{args.engine}]  {s.summary()}")
+    print(f"\n== per-epoch timeseries "
+          f"(every {result.obs.sampler.epoch_instructions:,} insts) ==")
+    print(epoch_table(s.epochs))
+    print("\n== counters ==")
+    print(metrics_report(s.metrics, prefix=args.prefix))
+    if args.profile:
+        print("\n== simulator wall-clock by stage ==")
+        print(result.obs.profiler.report())
     return 0
 
 
@@ -108,7 +171,34 @@ def build_parser() -> argparse.ArgumentParser:
                               "br_nonspec", "br12", "partition_only"])
     run.add_argument("-n", "--instructions", type=int, default=100_000)
     run.add_argument("-v", "--verbose", action="store_true")
+    run.add_argument("--observe", action="store_true",
+                     help="enable the observability layer (metrics registry, "
+                          "epoch timeseries, event trace)")
+    run.add_argument("--metrics-json", metavar="PATH",
+                     help="write the metric snapshot + epoch timeseries as "
+                          "JSON (implies --observe)")
+    run.add_argument("--trace-out", metavar="PATH",
+                     help="write a Chrome trace-event JSON (Perfetto-"
+                          "loadable) of engine events + pipeline slices "
+                          "(implies --observe)")
+    run.add_argument("--profile", action="store_true",
+                     help="attribute simulator wall-clock per pipeline "
+                          "stage (implies --observe)")
     run.set_defaults(fn=_cmd_run)
+
+    stats = sub.add_parser(
+        "stats", help="run one workload with full observability and "
+                      "pretty-print counters + per-epoch timeseries")
+    stats.add_argument("workload")
+    stats.add_argument("--engine", default="phelps",
+                       choices=["baseline", "perfbp", "phelps", "br",
+                                "br_nonspec", "br12", "partition_only"])
+    stats.add_argument("-n", "--instructions", type=int, default=100_000)
+    stats.add_argument("--prefix", default="",
+                       help="only show counters under this dotted prefix "
+                            "(e.g. phelps.queues)")
+    stats.add_argument("--profile", action="store_true")
+    stats.set_defaults(fn=_cmd_stats)
 
     cmp_ = sub.add_parser("compare", help="run several engines on one workload")
     cmp_.add_argument("workload")

@@ -17,9 +17,28 @@ from repro.core.thread import ThreadContext
 class PreExecutionEngine:
     """Default no-op engine."""
 
+    # Observability handles; left as the class-level None on
+    # observability-off runs so subclass attributes are never clobbered.
+    obs = None
+    events = None
+
     def attach(self, core) -> None:
-        """Called once when the engine is installed on a core."""
+        """Called once when the engine is installed on a core.
+
+        If the core carries an observability hub, the engine registers its
+        metric providers and keeps a direct events handle (``self.events``
+        is None on observability-off runs — call sites must guard)."""
         self.core = core
+        hub = getattr(core, "obs", None)
+        if hub is not None:
+            self.obs = hub
+            self.events = hub.events
+            self._register_metrics(hub.registry)
+
+    def _register_metrics(self, registry) -> None:
+        """Default wiring: the engine's ``stats()`` dict, flattened under
+        ``engine.*``.  Engines add finer-grained providers on top."""
+        registry.register_provider("engine", self.stats)
 
     # ------------------------------------------------------------ fetch
     def fetch_override(self, thread: ThreadContext, inst) -> Optional[Tuple[bool, Any]]:

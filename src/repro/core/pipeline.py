@@ -50,6 +50,7 @@ class Core:
         mem_config: Optional[MemoryConfig] = None,
         predictor=None,
         engine: Optional[PreExecutionEngine] = None,
+        obs=None,
     ):
         self.program = program
         self.config = config or CoreConfig()
@@ -93,8 +94,16 @@ class Core:
 
         self.stats = SimStats()
 
+        # Observability hub (repro.obs.Observability) or None.  Must be in
+        # place before the engine attaches so engines can register their
+        # metric providers; the hub's own core wrappers (profiler,
+        # pipeline tracer) install after, so they see the final methods.
+        self.obs = obs
+
         self.engine = engine or NullEngine()
         self.engine.attach(self)
+        if obs is not None:
+            obs.attach_core(self)
 
     # ------------------------------------------------------------------
     # Memory plumbing.
@@ -143,6 +152,8 @@ class Core:
         """Squash every unretired instruction in every thread (helper-thread
         trigger/termination, Section V-F/V-G)."""
         self.stats.full_squashes += 1
+        if self.obs is not None:
+            self.obs.events.full_squash(self.cycle)
         # Restore MT speculative state from the oldest squashed MT uop.
         oldest = None
         for _, u in self.main.frontend_q:
@@ -708,6 +719,8 @@ class Core:
         for thread in list(self.threads):
             self._fetch_thread(thread)
         self.engine.on_cycle(self.cycle)
+        if self.obs is not None:
+            self.obs.on_cycle(self)
         self.cycle += 1
 
     def run(self, max_instructions: int = 1_000_000, max_cycles: int = 20_000_000) -> SimStats:
@@ -728,4 +741,13 @@ class Core:
         s.halted = self.halted
         s.memory = self.hierarchy.stats()
         s.engine = self.engine.stats()
+        queue = s.engine.get("br_queue") or s.engine.get("queue")
+        if isinstance(queue, dict):
+            s.queue_consumed = queue.get("consumed", 0)
+            s.queue_consumed_wrong = queue.get("consumed_wrong", 0)
+            s.queue_not_timely = queue.get("not_timely", 0)
+        if self.obs is not None:
+            self.obs.finalize(self)
+            s.metrics = self.obs.registry.snapshot()
+            s.epochs = self.obs.sampler.to_list()
         return s

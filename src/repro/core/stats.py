@@ -1,7 +1,20 @@
-"""Simulation statistics."""
+"""Simulation statistics.
+
+:class:`SimStats` is the stable, backward-compatible façade over one
+run's numbers.  The legacy flat counters and the ``memory`` / ``engine``
+dicts are kept as-is for existing callers; runs with observability
+enabled (``RunConfig(observe=True)``) additionally carry:
+
+* ``metrics`` — the flat dotted-name snapshot of the metric registry
+  (``repro.obs.metrics``), e.g. ``phelps.queues.0x118.consumed_wrong``;
+* ``epochs``  — the per-epoch timeseries samples (``repro.obs.timeseries``),
+  each a dict with ``epoch/cycles/retired/ipc/mpki/...`` keys.
+
+Both are empty on observability-off runs.
+"""
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -26,6 +39,9 @@ class SimStats:
     halted: bool = False
     memory: Dict = field(default_factory=dict)
     engine: Dict = field(default_factory=dict)
+    # Observability (populated only when a run observes; see module doc).
+    metrics: Dict = field(default_factory=dict)
+    epochs: List[Dict] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
@@ -34,6 +50,20 @@ class SimStats:
     @property
     def mpki(self) -> float:
         return 1000.0 * self.mispredicts / self.retired if self.retired else 0.0
+
+    def metric(self, name: str, default=0):
+        """One dotted-name metric from the observability snapshot."""
+        return self.metrics.get(name, default)
+
+    def metrics_with_prefix(self, prefix: str) -> Dict[str, object]:
+        """All metrics under ``prefix.`` (prefix stripped from the keys)."""
+        cut = len(prefix) + 1
+        return {k[cut:]: v for k, v in self.metrics.items()
+                if k.startswith(prefix + ".")}
+
+    def epoch_series(self, key: str) -> List:
+        """One per-epoch column, e.g. ``epoch_series("mpki")``."""
+        return [s.get(key) for s in self.epochs]
 
     def summary(self) -> str:
         return (

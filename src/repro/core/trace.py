@@ -13,8 +13,9 @@ Usage::
     print(tracer.render(last=20))
 """
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.uop import Uop, UopState
 
@@ -45,9 +46,11 @@ class PipelineTracer:
 
     def __init__(self, core, limit: int = 10_000):
         self.core = core
-        self.limit = limit
+        self.limit = max(1, limit)
         self.traces: Dict[tuple, UopTrace] = {}  # (thread, seq) -> trace
-        self.order: List[tuple] = []
+        # FIFO of keys, oldest first; every key in ``order`` has an entry
+        # in ``traces`` and vice versa (eviction drops from both).
+        self.order: Deque[Tuple[int, int]] = deque()
         self._install(core)
 
     # ------------------------------------------------------------------
@@ -112,9 +115,9 @@ class PipelineTracer:
                              opcode=uop.inst.opcode.value)
             self.traces[key] = trace
             self.order.append(key)
-            if len(self.order) > self.limit:
-                old = self.order.pop(0)
-                self.traces.pop(old, None)
+            while len(self.order) > self.limit:
+                old = self.order.popleft()
+                del self.traces[old]
         return trace
 
     # ------------------------------------------------------------------
@@ -128,7 +131,7 @@ class PipelineTracer:
 
     def render(self, last: int = 30) -> str:
         """A fixed-width stage-timestamp table for the most recent uops."""
-        rows = [self.traces[k] for k in self.order[-last:]]
+        rows = [self.traces[k] for k in list(self.order)[-last:]]
         out = [f"{'thr':>3s} {'seq':>6s} {'pc':>8s} {'op':10s} "
                f"{'F':>7s} {'D':>7s} {'X':>7s} {'W':>7s} {'R':>7s}"]
         for t in rows:

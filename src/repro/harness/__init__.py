@@ -2,7 +2,8 @@
 
 from repro.harness.simulator import RunConfig, SimResult, simulate
 from repro.harness.experiment import compare_engines, speedup, sweep
-from repro.harness.reporting import ascii_table, format_series
+from repro.harness.reporting import (ascii_table, epoch_table, format_series,
+                                     metrics_report)
 from repro.harness.plots import grouped_bars, hbar_chart, line_plot, stacked_percent_rows
 from repro.harness.regions import Region, evaluate_regions, regions_for
 
@@ -14,7 +15,9 @@ __all__ = [
     "speedup",
     "sweep",
     "ascii_table",
+    "epoch_table",
     "format_series",
+    "metrics_report",
     "grouped_bars",
     "hbar_chart",
     "line_plot",

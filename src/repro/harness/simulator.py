@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.core import Core, CoreConfig, SimStats
 from repro.memory import MemoryConfig
+from repro.obs import Observability, ObserveConfig
 from repro.phelps import PhelpsConfig, PhelpsEngine
 from repro.workloads import build_workload
 
@@ -38,10 +39,18 @@ class RunConfig:
     core: Optional[CoreConfig] = None
     memory: Optional[MemoryConfig] = None
     phelps_config: Optional[PhelpsConfig] = None
+    # Observability: ``observe=True`` enables the metric registry, epoch
+    # timeseries, and event trace for this run (``repro.obs``); the
+    # optional ``observe_config`` tunes capacities / profiling / pipeline
+    # tracing and implies ``observe=True``.
+    observe: bool = False
+    observe_config: Optional[ObserveConfig] = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; known: {ENGINES}")
+        if self.observe_config is not None:
+            self.observe = True
 
 
 @dataclass
@@ -49,6 +58,9 @@ class SimResult:
     config: RunConfig
     stats: SimStats
     wall_seconds: float
+    # The run's observability hub (None when observe was off): registry,
+    # sampler, events, profiler, and the chrome_trace() exporter.
+    obs: Optional[Observability] = None
 
     @property
     def ipc(self) -> float:
@@ -82,6 +94,20 @@ def _widened_core(core_cfg: CoreConfig) -> CoreConfig:
     )
 
 
+def _build_obs(config: RunConfig) -> Optional[Observability]:
+    if not config.observe:
+        return None
+    ocfg = config.observe_config or ObserveConfig()
+    if ocfg.epoch_instructions is None:
+        # Align sampling epochs with the engine's training epochs so the
+        # timeseries lines up with construct/deploy events.
+        if config.engine in ("phelps", "br", "br12", "br_nonspec"):
+            phelps_cfg = config.phelps_config or PhelpsConfig()
+            ocfg = dataclasses.replace(ocfg,
+                                       epoch_instructions=phelps_cfg.epoch_length)
+    return Observability(ocfg)
+
+
 def simulate(config: RunConfig) -> SimResult:
     program = build_workload(config.workload)
     core_cfg = config.core or CoreConfig()
@@ -99,11 +125,14 @@ def simulate(config: RunConfig) -> SimResult:
         if config.engine == "br12":
             core_cfg = _widened_core(core_cfg)
 
-    core = Core(program, config=core_cfg, mem_config=config.memory, engine=engine)
+    obs = _build_obs(config)
+    core = Core(program, config=core_cfg, mem_config=config.memory,
+                engine=engine, obs=obs)
     if config.engine == "partition_only":
         core.set_partition_mode("MT_ITO")
 
     start = time.time()
     stats = core.run(max_instructions=config.max_instructions,
                      max_cycles=config.max_cycles)
-    return SimResult(config=config, stats=stats, wall_seconds=time.time() - start)
+    return SimResult(config=config, stats=stats,
+                     wall_seconds=time.time() - start, obs=obs)

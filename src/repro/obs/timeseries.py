@@ -1,0 +1,90 @@
+"""Per-epoch timeseries sampling.
+
+End-of-run totals hide *when* a pathology happened: a loop that deploys
+late, a queue that goes not-timely under one input phase, MPKI collapsing
+only after the third epoch.  :class:`EpochSampler` snapshots a small set
+of counters every epoch (a fixed number of retired main-thread
+instructions) so trajectories are inspectable.
+
+Each sample records both cumulative values and per-epoch deltas for the
+core rates (IPC / MPKI), plus the watched registry counters.
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["EpochSampler", "DEFAULT_WATCHES"]
+
+# Registry counters sampled each epoch when present.
+DEFAULT_WATCHES = (
+    "engine.queue.consumed",
+    "engine.queue.consumed_wrong",
+    "engine.queue.not_timely",
+    "engine.activations",
+    "engine.terminations",
+    "core.helper_retired",
+)
+
+
+class EpochSampler:
+    """Samples a registry every ``epoch_instructions`` retired instructions.
+
+    Driven by the observability hub from the core's cycle loop; engines
+    with their own epoch machinery share the same boundary definition by
+    construction (``simulate`` aligns ``epoch_instructions`` with the
+    engine's ``epoch_length``).
+    """
+
+    def __init__(self, registry, epoch_instructions: int = 20_000,
+                 watches: Optional[Sequence[str]] = None):
+        self.registry = registry
+        self.epoch_instructions = max(1, int(epoch_instructions))
+        self.watches: List[str] = list(DEFAULT_WATCHES if watches is None
+                                       else watches)
+        self.samples: List[Dict[str, object]] = []
+        self._next_boundary = self.epoch_instructions
+        self._last = {"cycles": 0, "retired": 0, "mispredicts": 0}
+
+    # ------------------------------------------------------------------
+    def due(self, retired: int) -> bool:
+        return retired >= self._next_boundary
+
+    def sample(self, core, final: bool = False) -> Optional[Dict[str, object]]:
+        """Record one sample from ``core``'s current state.
+
+        ``final`` forces a partial-epoch sample at end of run (skipped when
+        nothing retired since the last boundary).
+        """
+        retired = core.main.retired
+        if final and retired == self._last["retired"]:
+            return None
+        cycles = core.cycle
+        mispredicts = core.main.mispredicts
+        d_retired = retired - self._last["retired"]
+        d_cycles = cycles - self._last["cycles"]
+        d_misp = mispredicts - self._last["mispredicts"]
+        snap = self.registry.snapshot()
+        sample: Dict[str, object] = {
+            "epoch": len(self.samples),
+            "cycles": cycles,
+            "retired": retired,
+            "mispredicts": mispredicts,
+            "ipc": d_retired / d_cycles if d_cycles else 0.0,
+            "mpki": 1000.0 * d_misp / d_retired if d_retired else 0.0,
+            "cum_mpki": 1000.0 * mispredicts / retired if retired else 0.0,
+        }
+        for name in self.watches:
+            if name in snap:
+                sample[name] = snap[name]
+        self.samples.append(sample)
+        self._last = {"cycles": cycles, "retired": retired,
+                      "mispredicts": mispredicts}
+        self._next_boundary = retired + self.epoch_instructions
+        return sample
+
+    # ------------------------------------------------------------------
+    def series(self, key: str) -> List:
+        """One column across all samples (missing values -> None)."""
+        return [s.get(key) for s in self.samples]
+
+    def to_list(self) -> List[Dict[str, object]]:
+        return list(self.samples)

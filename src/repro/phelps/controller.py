@@ -66,6 +66,21 @@ class PhelpsEngine(PreExecutionEngine):
         self._watchdog_since = 0
 
     # ==================================================================
+    # Observability wiring.
+    # ==================================================================
+    def attach(self, core) -> None:
+        super().attach(core)
+        if self.events is not None:
+            events = self.events
+            self.dbt.on_evict = lambda pc: events.dbt_evict(core.cycle, pc)
+
+    def _register_metrics(self, registry) -> None:
+        super()._register_metrics(registry)  # engine.* <- self.stats()
+        # Per-branch-PC queue drill-down: phelps.queues.<pc>.{deposits,
+        # consumed, consumed_wrong, not_timely}.
+        registry.register_provider("phelps.queues", lambda: self.queues.per_pc)
+
+    # ==================================================================
     # Fetch hooks.
     # ==================================================================
     def fetch_override(self, thread: ThreadContext, inst):
@@ -73,7 +88,10 @@ class PhelpsEngine(PreExecutionEngine):
             return None
         result = self.queues.consume(inst.pc)
         if result is None:
-            return None  # not timely: fall back to the default predictor
+            # Not timely: fall back to the default predictor.
+            if self.events is not None:
+                self.events.queue_not_timely(self.core.cycle, inst.pc)
+            return None
         outcome, token = result
         return outcome, token
 
@@ -142,11 +160,14 @@ class PhelpsEngine(PreExecutionEngine):
                 qpc, _col, predicted = uop.queue_token
                 if predicted != bool(uop.taken):
                     self.queue_wrong += 1
+                    self.queues.note_consumed_wrong(qpc)
                     if row is not None and qpc in (row.loop_branch, row.inner_branch,
                                                    row.header_pc):
                         # Iteration/visit desync guard (DESIGN.md §6).
                         self.desync_terminations += 1
-                        self._terminate()
+                        if self.events is not None:
+                            self.events.desync(self.core.cycle, qpc)
+                        self._terminate(reason="desync")
                         row = None
             if row is not None:
                 if inst.pc == row.loop_branch:
@@ -159,7 +180,7 @@ class PhelpsEngine(PreExecutionEngine):
 
         if row is not None and not row.contains(inst.pc):
             # Main thread left the region of interest (Section V-G).
-            self._terminate()
+            self._terminate(reason="region_exit")
             row = None
 
         if row is None and self.active_row is None:
@@ -222,7 +243,7 @@ class PhelpsEngine(PreExecutionEngine):
             if retired == self._watchdog_retired:
                 self._watchdog_since += 1
                 if self._watchdog_since >= self.cfg.watchdog_cycles:
-                    self._terminate()
+                    self._terminate(reason="watchdog")
             else:
                 self._watchdog_retired = retired
                 self._watchdog_since = 0
@@ -264,6 +285,9 @@ class PhelpsEngine(PreExecutionEngine):
                 self.loop_status[start] = "installed"
             else:
                 self.loop_status[start] = reason or "too_big"
+            if self.events is not None:
+                self.events.helper_construct(self.core.cycle, start,
+                                             self.loop_status[start])
             self.builder = None
 
         # Pick the next loop to construct (Section V-C).
@@ -295,6 +319,8 @@ class PhelpsEngine(PreExecutionEngine):
         self.active_row = row
         self.activations += 1
         self.loop_status[row.start_pc] = "deployed"
+        if self.events is not None:
+            self.events.helper_trigger(core.cycle, row.start_pc, row.is_nested)
         self.ht_threads.clear()
         moves = 0
 
@@ -328,8 +354,11 @@ class PhelpsEngine(PreExecutionEngine):
         ctx.read_value = self.core._read_committed
         ctx.commit_store = self.spec_cache.write
 
-    def _terminate(self) -> None:
+    def _terminate(self, reason: str = "exit") -> None:
         core = self.core
+        if self.events is not None and self.active_row is not None:
+            self.events.helper_terminate(core.cycle, self.active_row.start_pc,
+                                         reason)
         core.full_squash()
         core.remove_helper_threads()
         core.set_partition_mode("MT_ONLY")

@@ -97,6 +97,9 @@ class DelinquentBranchTable:
         self.entries: Dict[int, DBTEntry] = {}
         self.dbt_max = DBTMax(max_entries)
         self.evictions = 0
+        # Optional observability hook: called with the victim PC on each
+        # capacity eviction (DBT thrash is the paper's gcc failure mode).
+        self.on_evict = None
         # Most recently retired backward branch (pc, target).
         self._last_backward: Optional[Tuple[int, int]] = None
 
@@ -126,6 +129,8 @@ class DelinquentBranchTable:
             victim = min(self.entries.values(), key=lambda e: e.mispredicts)
             del self.entries[victim.pc]
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim.pc)
         entry = DBTEntry(pc)
         self.entries[pc] = entry
         return entry

@@ -40,10 +40,20 @@ class PredictionQueueFile:
         self.spec_head = [0, 0]
         self.tail = [0, 0]
         self.active = False
-        # Stats.
+        # Stats: aggregates plus a per-branch-PC drill-down that persists
+        # across activations (queues themselves are rebuilt per trigger).
         self.deposits = 0
         self.consumed = 0
         self.not_timely = 0
+        self.consumed_wrong = 0
+        self.per_pc: Dict[int, Dict[str, int]] = {}
+
+    def _pc_stats(self, pc: int) -> Dict[str, int]:
+        d = self.per_pc.get(pc)
+        if d is None:
+            d = self.per_pc[pc] = {"deposits": 0, "consumed": 0,
+                                   "consumed_wrong": 0, "not_timely": 0}
+        return d
 
     # ------------------------------------------------------------------
     # Configuration.
@@ -56,6 +66,8 @@ class PredictionQueueFile:
         if len(assignments) > self.queue_count:
             return False
         self._queues = {pc: _Queue(pc, s, self.depth) for pc, s in assignments.items()}
+        for pc in assignments:
+            self._pc_stats(pc)  # seed drill-down rows for every queue
         self.head = [0, 0]
         self.spec_head = [0, 0]
         self.tail = [0, 0]
@@ -77,6 +89,7 @@ class PredictionQueueFile:
         q = self._queues[pc]
         q.slots[self.tail[q.pointer_set] % self.depth] = bool(outcome)
         self.deposits += 1
+        self._pc_stats(pc)["deposits"] += 1
 
     def can_advance_tail(self, pointer_set: int) -> bool:
         """Backpressure: the tail column must not wrap onto a live column."""
@@ -105,12 +118,15 @@ class PredictionQueueFile:
         s = q.pointer_set
         if self.spec_head[s] >= self.tail[s]:
             self.not_timely += 1
+            self._pc_stats(pc)["not_timely"] += 1
             return None
         outcome = q.slots[self.spec_head[s] % self.depth]
         if outcome is None:
             self.not_timely += 1
+            self._pc_stats(pc)["not_timely"] += 1
             return None
         self.consumed += 1
+        self._pc_stats(pc)["consumed"] += 1
         return outcome, (pc, self.spec_head[s], outcome)
 
     def advance_spec_head(self, pointer_set: int) -> None:
@@ -130,9 +146,16 @@ class PredictionQueueFile:
     def restore(self, state: Tuple[int, int]) -> None:
         self.spec_head[0], self.spec_head[1] = state
 
+    def note_consumed_wrong(self, pc: int) -> None:
+        """The retire unit found a consumed prediction disagreed with the
+        branch's actual outcome (charged to the queue that supplied it)."""
+        self.consumed_wrong += 1
+        self._pc_stats(pc)["consumed_wrong"] += 1
+
     def stats(self) -> dict:
         return {
             "deposits": self.deposits,
             "consumed": self.consumed,
+            "consumed_wrong": self.consumed_wrong,
             "not_timely": self.not_timely,
         }

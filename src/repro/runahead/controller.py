@@ -40,11 +40,19 @@ class BranchRunaheadEngine(PhelpsEngine):
         self.bimodal = BimodalPredictor(self.br_cfg.bimodal_entries)
         self.rollbacks = 0
 
+    # ----------------------------------------------------- observability
+    def _register_metrics(self, registry) -> None:
+        super()._register_metrics(registry)
+        registry.register_provider("br.queues", lambda: self.brqueues.per_pc)
+
     # ------------------------------------------------------------ fetch
     def fetch_override(self, thread: ThreadContext, inst):
         if self.active_row is None or not self.brqueues.has_queue(inst.pc):
             return None
-        return self.brqueues.consume(inst.pc)
+        result = self.brqueues.consume(inst.pc)
+        if result is None and self.events is not None:
+            self.events.queue_not_timely(self.core.cycle, inst.pc)
+        return result
 
     def _spec_head_advance(self, inst) -> None:
         pass  # no loop-iteration lockstep in BR
@@ -84,13 +92,17 @@ class BranchRunaheadEngine(PhelpsEngine):
                     # their outcomes (chain-group-level parallelism).
                     self.queue_wrong += 1
                     self.rollbacks += 1
+                    self.brqueues.note_consumed_wrong(qpc)
+                    if self.events is not None:
+                        self.events.emit(self.core.cycle, "br_rollback",
+                                         "queues", pc=f"{qpc:#x}")
                     self.brqueues.flush(row.chain_group(qpc) if row else None)
 
         if self.builder is not None:
             self.builder.note_retired(inst, uop.taken, uop.mem_addr)
 
         if row is not None and not row.contains(inst.pc):
-            self._terminate()
+            self._terminate(reason="region_exit")
             row = None
 
         if row is None and self.active_row is None:
@@ -141,6 +153,8 @@ class BranchRunaheadEngine(PhelpsEngine):
         self.active_row = row
         self.activations += 1
         self.loop_status[row.start_pc] = "deployed"
+        if self.events is not None:
+            self.events.helper_trigger(core.cycle, row.start_pc, nested=False)
         self.ht_threads.clear()
         unit = BRFetchUnit(row.inner_insts, self.bimodal,
                            speculative=self.br_cfg.speculative_triggering)
@@ -155,8 +169,8 @@ class BranchRunaheadEngine(PhelpsEngine):
         self._watchdog_retired = core.main.retired
         self._watchdog_since = 0
 
-    def _terminate(self) -> None:
-        super()._terminate()
+    def _terminate(self, reason: str = "exit") -> None:
+        super()._terminate(reason)
         self.brqueues.deactivate()
 
     def stats(self) -> dict:

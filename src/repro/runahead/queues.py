@@ -29,10 +29,22 @@ class BRQueueFile:
         self.deposits = 0
         self.consumed = 0
         self.not_timely = 0
+        self.consumed_wrong = 0
         self.flushes = 0
+        # Per-branch-PC drill-down; persists across activations.
+        self.per_pc: Dict[int, Dict[str, int]] = {}
+
+    def _pc_stats(self, pc: int) -> Dict[str, int]:
+        d = self.per_pc.get(pc)
+        if d is None:
+            d = self.per_pc[pc] = {"deposits": 0, "consumed": 0,
+                                   "consumed_wrong": 0, "not_timely": 0}
+        return d
 
     def configure(self, pcs) -> None:
         self._queues = {pc: _PCQueue(self.depth) for pc in pcs}
+        for pc in self._queues:
+            self._pc_stats(pc)
         self.active = True
 
     def deactivate(self) -> None:
@@ -49,6 +61,7 @@ class BRQueueFile:
         q.slots[q.tail % self.depth] = bool(outcome)
         q.tail += 1
         self.deposits += 1
+        self._pc_stats(pc)["deposits"] += 1
 
     def consume(self, pc: int) -> Optional[Tuple[bool, Tuple[int, int, bool]]]:
         q = self._queues.get(pc)
@@ -56,12 +69,18 @@ class BRQueueFile:
             return None
         if q.spec_head >= q.tail:
             self.not_timely += 1
+            self._pc_stats(pc)["not_timely"] += 1
             return None
         outcome = q.slots[q.spec_head % self.depth]
         token = (pc, q.spec_head, outcome)
         q.spec_head += 1
         self.consumed += 1
+        self._pc_stats(pc)["consumed"] += 1
         return outcome, token
+
+    def note_consumed_wrong(self, pc: int) -> None:
+        self.consumed_wrong += 1
+        self._pc_stats(pc)["consumed_wrong"] += 1
 
     def retire_consumed(self, pc: int) -> None:
         q = self._queues.get(pc)
@@ -94,6 +113,7 @@ class BRQueueFile:
         return {
             "deposits": self.deposits,
             "consumed": self.consumed,
+            "consumed_wrong": self.consumed_wrong,
             "not_timely": self.not_timely,
             "flushes": self.flushes,
         }

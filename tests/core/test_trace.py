@@ -77,3 +77,37 @@ class TestTracer:
         assert len(tracer.squashed()) > 0
         for t in tracer.squashed():
             assert t.retire == -1
+
+
+class TestFifoEviction:
+    """Regression tests: the FIFO ``limit`` must evict the oldest
+    (thread, seq) keys from *both* ``traces`` and ``order`` in lockstep."""
+
+    def test_oldest_keys_evicted_from_both_structures(self):
+        core, tracer = _core_with_tracer(n_insts=100, limit=20)
+        core.run()
+        assert len(tracer.traces) <= 20
+        assert len(tracer.order) <= 20
+        # No orphans in either direction.
+        assert set(tracer.order) == set(tracer.traces)
+        # Survivors are the *youngest* sequence numbers, in FIFO order.
+        seqs = [seq for _, seq in tracer.order]
+        assert seqs == sorted(seqs)
+        evicted_max = max(seqs)
+        assert all(seq > evicted_max - 20 for seq in seqs)
+
+    def test_accessors_survive_eviction(self):
+        core, tracer = _core_with_tracer(n_insts=200, limit=10)
+        core.run()
+        # retired()/squashed()/render() index traces via order; after heavy
+        # eviction they must not KeyError.
+        assert all(t.retire >= 0 for t in tracer.retired())
+        tracer.squashed()
+        rendered = tracer.render(last=5)
+        assert len(rendered.splitlines()) <= 2 + 5
+
+    def test_limit_one(self):
+        core, tracer = _core_with_tracer(n_insts=30, limit=1)
+        core.run()
+        assert len(tracer.traces) == 1
+        assert list(tracer.order) == list(tracer.traces)

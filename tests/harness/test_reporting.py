@@ -1,0 +1,95 @@
+"""Edge cases for the plain-text reporting helpers."""
+
+from repro.harness.reporting import (ascii_table, bar, epoch_table, _fmt,
+                                     format_series, metrics_report)
+
+
+class TestAsciiTable:
+    def test_empty_rows(self):
+        out = ascii_table(["a", "bb"], [])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[1].split() == ["-", "--"]
+        assert len(lines) == 2
+
+    def test_ragged_short_row_padded(self):
+        out = ascii_table(["x", "y"], [[1], [2, 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[2].split() == ["1"]
+        assert lines[3].split() == ["2", "3"]
+
+    def test_ragged_long_row_kept(self):
+        out = ascii_table(["x"], [[1, 2, 3]])
+        assert "3" in out.splitlines()[2]
+
+    def test_mixed_cell_types(self):
+        out = ascii_table(["k", "v"], [["f", 1.23456], ["i", 7],
+                                       ["s", "str"], ["b", True], ["n", None]])
+        assert "1.235" in out
+        assert "True" in out
+        assert "None" in out
+
+
+class TestBar:
+    def test_zero_value_is_empty(self):
+        assert bar(0.0) == ""
+
+    def test_negative_value_is_empty(self):
+        assert bar(-3.7) == ""
+
+    def test_zero_maximum_does_not_divide(self):
+        assert bar(1.0, maximum=0.0) == ""
+        assert bar(1.0, maximum=-1.0) == ""
+
+    def test_value_clamped_to_twice_scale(self):
+        assert len(bar(100.0, scale=10.0, maximum=1.0)) == 20
+
+    def test_proportional(self):
+        assert len(bar(1.0, scale=40.0, maximum=2.0)) == 20
+
+
+class TestFmt:
+    def test_float_three_decimals(self):
+        assert _fmt(1.23456) == "1.235"
+
+    def test_int_not_float_formatted(self):
+        assert _fmt(7) == "7"
+
+    def test_bool_is_not_float(self):
+        # bool is an int subclass; it must render as True/False, not 1.000.
+        assert _fmt(True) == "True"
+
+    def test_none_and_str(self):
+        assert _fmt(None) == "None"
+        assert _fmt("x") == "x"
+
+    def test_format_series_mixed(self):
+        assert format_series("s", {"a": 1, "b": 0.5}) == "s: a=1 b=0.500"
+
+
+class TestObservabilityReports:
+    def test_metrics_report_empty(self):
+        assert metrics_report({}) == "(no metrics)"
+
+    def test_metrics_report_prefix_filter(self):
+        flat = {"a.x": 1, "a.y": 2, "ab.z": 3, "b": 4}
+        out = metrics_report(flat, prefix="a")
+        assert "a.x" in out and "a.y" in out
+        assert "ab.z" not in out and "b" not in out
+
+    def test_metrics_report_aligned(self):
+        out = metrics_report({"short": 1, "much.longer.name": 2})
+        lines = out.splitlines()
+        assert len({line.index(line.split()[-1]) for line in lines}) == 1
+
+    def test_epoch_table_empty(self):
+        assert epoch_table([]) == "(no epoch samples)"
+
+    def test_epoch_table_includes_watched_extras(self):
+        samples = [{"epoch": 0, "cycles": 10, "retired": 5, "ipc": 0.5,
+                    "mpki": 1.0, "mispredicts": 0, "cum_mpki": 1.0,
+                    "engine.queue.consumed": 3}]
+        out = epoch_table(samples)
+        assert "engine.queue.consumed" in out
+        assert "mispredicts" not in out  # redundant with mpki, suppressed

@@ -1,0 +1,65 @@
+import json
+
+from repro.obs.events import ENGINE_TID, EventTrace, to_chrome_trace
+
+
+class TestRingBuffer:
+    def test_capacity_drops_oldest(self):
+        t = EventTrace(capacity=3)
+        for i in range(5):
+            t.emit(i, f"e{i}")
+        names = [e.name for e in t.events()]
+        assert names == ["e2", "e3", "e4"]
+        assert t.emitted == 5
+        assert t.dropped == 2
+        assert t.stats() == {"emitted": 5, "dropped": 2, "buffered": 3}
+
+    def test_typed_emitters(self):
+        t = EventTrace()
+        t.helper_construct(10, 0x1030, "installed")
+        t.helper_trigger(20, 0x1030, nested=True)
+        t.desync(30, 0x118)
+        t.helper_terminate(40, 0x1030, "desync")
+        t.dbt_evict(50, 0x200)
+        t.queue_not_timely(60, 0x118)
+        t.full_squash(70)
+        assert [e.phase for e in t.events()] == \
+            ["i", "B", "i", "E", "i", "i", "i"]
+        assert t.by_name("desync")[0].args == {"pc": "0x118"}
+
+    def test_trigger_terminate_pair_shares_name(self):
+        t = EventTrace()
+        t.helper_trigger(1, 0x1030, nested=False)
+        t.helper_terminate(9, 0x1030, "exit")
+        begin, end = t.events()
+        assert begin.name == end.name  # viewer pairs B/E by name+tid
+        assert (begin.tid, end.tid) == (ENGINE_TID, ENGINE_TID)
+
+
+class TestChromeExport:
+    def test_required_keys_on_every_entry(self):
+        t = EventTrace()
+        t.helper_trigger(5, 0x1030, nested=False)
+        t.desync(7, 0x118)
+        entries = to_chrome_trace(t.events())
+        assert len(entries) >= 4  # 2 metadata + 2 events
+        for e in entries:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+
+    def test_instants_thread_scoped(self):
+        t = EventTrace()
+        t.desync(7, 0x118)
+        inst = [e for e in to_chrome_trace(t.events()) if e["ph"] == "i"]
+        assert inst and all(e["s"] == "t" for e in inst)
+
+    def test_json_serializable(self):
+        t = EventTrace()
+        t.helper_construct(1, 0x1030, "too_big")
+        json.dumps(to_chrome_trace(t.events()))
+
+    def test_timestamps_are_cycles(self):
+        t = EventTrace()
+        t.full_squash(1234)
+        entry = [e for e in to_chrome_trace(t.events())
+                 if e["name"] == "full_squash"][0]
+        assert entry["ts"] == 1234

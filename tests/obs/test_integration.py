@@ -1,0 +1,114 @@
+"""End-to-end observability: simulate with RunConfig(observe=...) and
+inspect what lands on SimStats / the hub."""
+
+import json
+
+import pytest
+
+from repro.harness import RunConfig, simulate
+from repro.obs import ObserveConfig, to_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    cfg = ObserveConfig(epoch_instructions=2000, profile=True,
+                        pipeline_trace=True, pipeline_trace_limit=500)
+    return simulate(RunConfig(workload="perlbench", engine="baseline",
+                              max_instructions=6000, observe_config=cfg))
+
+
+@pytest.fixture(scope="module")
+def phelps_result():
+    # Long enough for astar's loop to be measured (epoch 0), constructed
+    # (epoch 1), and deployed (epoch 2+).
+    return simulate(RunConfig(workload="astar", engine="phelps",
+                              max_instructions=45_000, observe=True))
+
+
+class TestDisabledPath:
+    def test_off_by_default(self):
+        r = simulate(RunConfig(workload="perlbench", engine="baseline",
+                               max_instructions=3000))
+        assert r.obs is None
+        assert r.stats.metrics == {}
+        assert r.stats.epochs == []
+
+    def test_observe_config_implies_observe(self):
+        cfg = RunConfig(workload="perlbench", engine="baseline",
+                        max_instructions=1000,
+                        observe_config=ObserveConfig())
+        assert cfg.observe
+
+
+class TestBaselineObserve:
+    def test_core_and_memory_counters(self, baseline_result):
+        m = baseline_result.stats.metrics
+        assert m["core.retired"] == baseline_result.stats.retired
+        assert m["core.cycles"] == baseline_result.stats.cycles
+        assert "memory.l1d.hits" in m
+        assert "obs.events.emitted" in m
+
+    def test_epoch_samples(self, baseline_result):
+        epochs = baseline_result.stats.epochs
+        assert len(epochs) >= 3  # 6000 insts / 2000-inst epochs
+        for s in epochs:
+            assert {"epoch", "cycles", "retired", "ipc", "mpki"} <= set(s)
+        assert baseline_result.stats.epoch_series("epoch") == \
+            list(range(len(epochs)))
+
+    def test_profiler_in_registry(self, baseline_result):
+        m = baseline_result.stats.metrics
+        assert m["profile.fetch.calls"] > 0
+        assert m["profile.retire.seconds"] >= 0.0
+
+    def test_chrome_trace_with_pipeline_slices(self, baseline_result):
+        entries = baseline_result.obs.chrome_trace()
+        assert all({"name", "ph", "ts", "pid", "tid"} <= set(e)
+                   for e in entries)
+        slices = [e for e in entries if e["ph"] == "X"]
+        assert slices, "pipeline_trace should contribute uop slices"
+        json.dumps(entries)
+
+    def test_stats_facade_helpers(self, baseline_result):
+        s = baseline_result.stats
+        assert s.metric("core.retired") == s.retired
+        assert s.metric("no.such.counter", default=-1) == -1
+        core_view = s.metrics_with_prefix("core")
+        assert core_view["retired"] == s.retired
+
+
+class TestPhelpsObserve:
+    def test_helper_deployed(self, phelps_result):
+        assert phelps_result.stats.metric("engine.activations") >= 1
+
+    def test_per_branch_pc_queue_counters(self, phelps_result):
+        queues = phelps_result.stats.metrics_with_prefix("phelps.queues")
+        assert queues, "per-PC queue counters missing"
+        pcs = {name.split(".")[0] for name in queues}
+        assert all(pc.startswith("0x") for pc in pcs)
+        for pc in pcs:
+            for field in ("consumed", "consumed_wrong", "not_timely",
+                          "deposits"):
+                assert f"{pc}.{field}" in queues
+        assert sum(queues[f"{pc}.consumed"] for pc in pcs) == \
+            phelps_result.stats.metric("engine.queue.consumed")
+
+    def test_epochs_align_with_engine(self, phelps_result):
+        # Sampling epochs default to the engine's epoch_length (20k).
+        assert phelps_result.obs.sampler.epoch_instructions == 20_000
+        mpki = phelps_result.stats.epoch_series("mpki")
+        assert len(mpki) >= 2
+        # Phelps deployment shows up as an MPKI drop in the last epoch.
+        assert mpki[-1] < mpki[0]
+
+    def test_lifecycle_events(self, phelps_result):
+        events = phelps_result.obs.events
+        assert events.by_name("helper_construct")
+        triggers = [e for e in events.events() if e.phase == "B"]
+        assert triggers and triggers[0].args["start_pc"].startswith("0x")
+
+    def test_queue_facade_counters(self, phelps_result):
+        s = phelps_result.stats
+        assert s.queue_consumed == s.metric("engine.queue.consumed")
+        assert s.queue_consumed_wrong == s.metric("engine.queue.consumed_wrong")
+        assert s.queue_not_timely == s.metric("engine.queue.not_timely")

@@ -1,0 +1,103 @@
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               NullRegistry, flatten)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.get() == 5
+
+    def test_gauge(self):
+        g = Gauge("x")
+        g.set(7)
+        g.inc()
+        g.dec(3)
+        assert g.get() == 5
+
+    def test_histogram(self):
+        h = Histogram("x")
+        for v in (1, 5, 3):
+            h.observe(v)
+        summary = h.get()
+        assert summary["count"] == 3
+        assert summary["sum"] == 9
+        assert summary["min"] == 1
+        assert summary["max"] == 5
+        assert h.mean == 3
+
+    def test_empty_histogram(self):
+        assert Histogram("x").get() == {"count": 0, "sum": 0.0, "mean": 0.0,
+                                        "min": 0, "max": 0}
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a.b") is r.counter("a.b")
+
+    def test_type_collision_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_snapshot_includes_instruments_and_providers(self):
+        r = MetricsRegistry()
+        r.counter("core.ticks").inc(3)
+        r.register_provider("engine", lambda: {"queue": {"consumed": 9}})
+        snap = r.snapshot()
+        assert snap["core.ticks"] == 3
+        assert snap["engine.queue.consumed"] == 9
+
+    def test_value_lookup(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.register_provider("p", lambda: {"x": 5})
+        assert r.value("a") == 1
+        assert r.value("p.x") == 5
+        assert r.value("missing", default=-1) == -1
+
+    def test_tree_nesting(self):
+        r = MetricsRegistry()
+        r.counter("a.b.c").inc(2)
+        r.counter("a.d").inc()
+        tree = r.tree()
+        assert tree["a"]["b"]["c"] == 2
+        assert tree["a"]["d"] == 1
+
+
+class TestFlatten:
+    def test_int_keys_become_hex(self):
+        assert flatten({"q": {0x118: {"consumed": 1}}}) == \
+            {"q.0x118.consumed": 1}
+
+    def test_scalars_and_lists(self):
+        flat = flatten({"a": 1, "b": [1, 2], "c": None, "d": "s"})
+        assert flat == {"a": 1, "b": [1, 2], "c": None, "d": "s"}
+
+    def test_objects_flatten_public_fields(self):
+        class Stats:
+            def __init__(self):
+                self.hits = 3
+                self._private = 9
+        assert flatten({"l1": Stats()}) == {"l1.hits": 3}
+
+
+class TestNullRegistry:
+    def test_all_instruments_inert(self):
+        r = NullRegistry()
+        c = r.counter("x")
+        c.inc(100)
+        assert c.get() == 0
+        assert r.gauge("y") is c  # shared singleton
+        r.histogram("z").observe(5)
+
+    def test_snapshot_empty_even_with_providers(self):
+        r = NullRegistry()
+        r.register_provider("p", lambda: {"x": 1})
+        assert r.snapshot() == {}
+        assert not r.enabled

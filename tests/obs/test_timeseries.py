@@ -1,0 +1,58 @@
+from types import SimpleNamespace
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import EpochSampler
+
+
+def _core(cycle, retired, mispredicts):
+    return SimpleNamespace(cycle=cycle,
+                           main=SimpleNamespace(retired=retired,
+                                                mispredicts=mispredicts))
+
+
+class TestEpochSampler:
+    def test_boundary_and_deltas(self):
+        r = MetricsRegistry()
+        s = EpochSampler(r, epoch_instructions=100)
+        assert not s.due(99)
+        assert s.due(100)
+        s.sample(_core(200, 100, 10))
+        s.sample(_core(500, 200, 20))
+        e0, e1 = s.samples
+        assert e0["mpki"] == 100.0  # 10 misp / 100 insts
+        assert e1["mpki"] == 100.0  # delta-based: (20-10)/(200-100)
+        assert e1["ipc"] == 100 / 300
+        assert e1["cum_mpki"] == 100.0
+        assert [e0["epoch"], e1["epoch"]] == [0, 1]
+
+    def test_watched_counters_recorded(self):
+        r = MetricsRegistry()
+        r.counter("core.helper_retired").inc(7)
+        s = EpochSampler(r, epoch_instructions=10,
+                         watches=["core.helper_retired", "missing.metric"])
+        s.sample(_core(10, 10, 0))
+        sample = s.samples[0]
+        assert sample["core.helper_retired"] == 7
+        assert "missing.metric" not in sample
+
+    def test_final_sample_skipped_when_no_progress(self):
+        r = MetricsRegistry()
+        s = EpochSampler(r, epoch_instructions=10)
+        s.sample(_core(10, 10, 0))
+        assert s.sample(_core(10, 10, 0), final=True) is None
+        assert len(s.samples) == 1
+
+    def test_final_partial_epoch_recorded(self):
+        r = MetricsRegistry()
+        s = EpochSampler(r, epoch_instructions=100)
+        s.sample(_core(100, 100, 5))
+        s.sample(_core(130, 120, 6), final=True)
+        assert len(s.samples) == 2
+        assert s.samples[1]["mpki"] == 1000.0 * 1 / 20
+
+    def test_series(self):
+        r = MetricsRegistry()
+        s = EpochSampler(r, epoch_instructions=10)
+        s.sample(_core(10, 10, 1))
+        s.sample(_core(20, 20, 2))
+        assert s.series("retired") == [10, 20]
