@@ -1,0 +1,41 @@
+"""Simulator perf smoke: wall-clock / instructions-per-second trajectory.
+
+Runs the fixed measurement points from :mod:`repro.harness.perf`
+(best-of-3 each, cycle-skip on and off) and writes ``BENCH_perf.json`` at
+the repo root so future PRs have a perf baseline to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--rounds N] [--out PATH]
+
+Equivalent to ``python -m repro perf --out BENCH_perf.json``.
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.harness.perf import perf_smoke, write_perf_record  # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).parent.parent / "BENCH_perf.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    record = perf_smoke(rounds=args.rounds)
+    for p in record["points"]:
+        print(f"{p['label']}: {p['instr_per_sec']:,} instr/s "
+              f"(skip speedup {p['cycle_skip_speedup']}x)")
+    write_perf_record(args.out, record)
+    print(f"perf record -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

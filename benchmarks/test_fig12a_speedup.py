@@ -9,12 +9,14 @@ perfBP as the ceiling.
 
 from repro.harness import ascii_table
 
-from benchmarks.common import ALL_WORKLOADS, GAP_WORKLOADS, emit, run, speedup_of
+from benchmarks.common import (ALL_WORKLOADS, GAP_WORKLOADS, emit, prewarm,
+                               run, speedup_of)
 
 ENGINES = ["perfbp", "phelps", "br", "br12"]
 
 
 def _collect():
+    prewarm((w, e) for w in ALL_WORKLOADS for e in ["baseline"] + ENGINES)
     table = {}
     for w in ALL_WORKLOADS:
         base = run(w, "baseline")

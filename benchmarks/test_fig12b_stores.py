@@ -8,12 +8,16 @@ thread usually retires the store first).
 
 from repro.harness import ascii_table
 
-from benchmarks.common import GAP_WORKLOADS, PHELPS, emit, run, speedup_of
+from benchmarks.common import (GAP_WORKLOADS, PHELPS, emit, prewarm, run,
+                               speedup_of)
 
 WORKLOADS = GAP_WORKLOADS + ["astar"]
 
 
 def _collect():
+    prewarm([(w, e) for w in WORKLOADS for e in ("baseline", "phelps")]
+            + [(w, "phelps", {"phelps_config": PHELPS.without_stores()})
+               for w in WORKLOADS])
     table = {}
     for w in WORKLOADS:
         table[w] = {

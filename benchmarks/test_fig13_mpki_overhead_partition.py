@@ -9,12 +9,13 @@ high-ILP kernels (the paper's exchange2: 31%).
 
 from repro.harness import ascii_table
 
-from benchmarks.common import GAP_WORKLOADS, emit, run, speedup_of
+from benchmarks.common import GAP_WORKLOADS, emit, prewarm, run, speedup_of
 
 WORKLOADS = GAP_WORKLOADS + ["astar"]
 
 
 def _collect_a_b():
+    prewarm((w, e) for w in WORKLOADS for e in ("baseline", "phelps"))
     table = {}
     for w in WORKLOADS:
         table[w] = {"baseline": run(w, "baseline"), "phelps": run(w, "phelps")}

@@ -15,7 +15,7 @@ Shape targets (paper):
 
 from repro.harness import ascii_table
 
-from benchmarks.common import ALL_WORKLOADS, emit, run
+from benchmarks.common import ALL_WORKLOADS, emit, prewarm, run
 
 CLASSES = ["eliminated", "gathering", "being_constructed", "not_chosen",
            "too_big", "not_iterating", "ot_depends_on_it", "not_in_loop",
@@ -23,6 +23,7 @@ CLASSES = ["eliminated", "gathering", "being_constructed", "not_chosen",
 
 
 def _collect():
+    prewarm((w, e) for w in ALL_WORKLOADS for e in ("baseline", "phelps"))
     table = {}
     for w in ALL_WORKLOADS:
         base = run(w, "baseline")

@@ -4,9 +4,12 @@
 
     python -m repro list
     python -m repro run astar --engine phelps -n 80000
+    python -m repro run astar bfs sssp --engine phelps --jobs 4
     python -m repro run astar --engine phelps --metrics-json m.json --trace-out t.json
     python -m repro stats astar --engine phelps
     python -m repro compare bfs --engines baseline phelps perfbp
+    python -m repro sweep -w astar bfs -e baseline phelps --jobs 4
+    python -m repro perf --out BENCH_perf.json
     python -m repro costs
     python -m repro inspect astar
 """
@@ -15,11 +18,15 @@ import argparse
 import json
 import sys
 
-from repro.harness import RunConfig, ascii_table, epoch_table, metrics_report, simulate
+from repro.harness import (RunCache, RunConfig, ascii_table, entry_from_result,
+                           epoch_table, metrics_report, simulate, simulate_many)
 from repro.obs import ObserveConfig, write_chrome_trace
 from repro.phelps import PhelpsConfig
 from repro.phelps.budget import cost_table
 from repro.workloads import workload_names
+
+_ENGINE_CHOICES = ["baseline", "perfbp", "phelps", "br", "br_nonspec", "br12",
+                   "partition_only"]
 
 
 def _cmd_list(args) -> int:
@@ -47,24 +54,43 @@ def _metrics_payload(result) -> dict:
     }
 
 
-def _cmd_run(args) -> int:
-    observe = bool(args.observe or args.metrics_json or args.trace_out
-                   or args.profile)
-    ocfg = ObserveConfig(profile=args.profile,
-                         pipeline_trace=bool(args.trace_out)) if observe else None
-    cfg = RunConfig(workload=args.workload, engine=args.engine,
-                    max_instructions=args.instructions,
-                    observe=observe, observe_config=ocfg)
-    result = simulate(cfg)
+def _print_run_summary(result, verbose: bool = False) -> None:
     s = result.stats
-    print(f"{args.workload} [{args.engine}] "
+    cfg = result.config
+    print(f"{cfg.workload} [{cfg.engine}] "
           f"{s.retired:,} insts in {s.cycles:,} cycles "
           f"({result.wall_seconds:.1f}s wall)")
     print(f"  IPC {s.ipc:.3f}  MPKI {s.mpki:.2f}  "
           f"mispredicts {s.mispredicts:,}  helper insts {s.helper_retired:,}")
-    if args.verbose and s.engine:
+    if verbose and s.engine:
         for k, v in s.engine.items():
             print(f"  {k}: {v}")
+
+
+def _cmd_run(args) -> int:
+    if len(args.workloads) > 1:
+        if args.metrics_json or args.trace_out or args.profile:
+            print("run: --metrics-json/--trace-out/--profile need a single "
+                  "workload", file=sys.stderr)
+            return 2
+        configs = [RunConfig(workload=w, engine=args.engine,
+                             max_instructions=args.instructions,
+                             observe=args.observe)
+                   for w in args.workloads]
+        for result in simulate_many(configs, jobs=args.jobs):
+            _print_run_summary(result, verbose=args.verbose)
+        return 0
+    workload = args.workloads[0]
+    observe = bool(args.observe or args.metrics_json or args.trace_out
+                   or args.profile)
+    ocfg = ObserveConfig(profile=args.profile,
+                         pipeline_trace=bool(args.trace_out)) if observe else None
+    cfg = RunConfig(workload=workload, engine=args.engine,
+                    max_instructions=args.instructions,
+                    observe=observe, observe_config=ocfg)
+    result = simulate(cfg)
+    s = result.stats
+    _print_run_summary(result, verbose=args.verbose)
     if args.metrics_json:
         with open(args.metrics_json, "w") as fh:
             json.dump(_metrics_payload(result), fh, indent=1, default=str)
@@ -95,6 +121,79 @@ def _cmd_compare(args) -> int:
         rows.append([engine, r.ipc, r.mpki,
                      speedup if speedup is not None else "n/a"])
     print(ascii_table(["engine", "IPC", "MPKI", "speedup"], rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Cross-product sweep with process-pool fan-out and shard caching."""
+    configs = [RunConfig(workload=w, engine=e,
+                         max_instructions=args.instructions)
+               for w in args.workloads for e in args.engines]
+    cache = RunCache(args.cache_dir) if args.cache_dir else None
+
+    entries = {}
+    misses = []
+    for cfg in configs:
+        entry = cache.get(cfg) if cache is not None else None
+        if entry is not None:
+            entries[cfg.cache_key()] = entry
+        else:
+            misses.append(cfg)
+
+    def _progress(p) -> None:
+        label = f"{p.config.workload}/{p.config.engine}"
+        if p.kind == "done":
+            print(f"  [{p.done_count}/{p.total}] {label} "
+                  f"({p.wall_seconds:.1f}s)")
+        elif p.kind == "retry":
+            print(f"  retry {label}")
+        elif p.kind == "failed":
+            print(f"  FAILED {label}: {p.error}", file=sys.stderr)
+
+    if misses:
+        print(f"sweep: {len(configs)} points, {len(misses)} to simulate "
+              f"(jobs={args.jobs or 'auto'})")
+        results = simulate_many(misses, jobs=args.jobs, timeout=args.timeout,
+                                progress=_progress if not args.quiet else None)
+        for result in results:
+            entry = entry_from_result(result)
+            entries[result.config.cache_key()] = entry
+            if cache is not None:
+                cache.put(result.config, entry)
+    else:
+        print(f"sweep: all {len(configs)} points cached")
+
+    rows = []
+    for w in args.workloads:
+        base = None
+        for e in args.engines:
+            key = RunConfig(workload=w, engine=e,
+                            max_instructions=args.instructions).cache_key()
+            entry = entries[key]
+            rate = entry["retired"] / max(entry["cycles"], 1)
+            if base is None:
+                base = rate
+            rows.append([w, e, entry["ipc"], entry["mpki"], entry["cycles"],
+                         rate / base if base else "n/a"])
+    print(ascii_table(["workload", "engine", "IPC", "MPKI", "cycles",
+                       "speedup"], rows))
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.harness.perf import perf_smoke, write_perf_record
+
+    record = perf_smoke(rounds=args.rounds)
+    for p in record["points"]:
+        print(f"{p['label']} n={p['instructions']:,}: "
+              f"{p['instr_per_sec']:,} instr/s "
+              f"(best of {record['rounds']}: {p['wall_seconds_best']:.2f}s; "
+              f"no-skip {p['wall_seconds_best_no_skip']:.2f}s, "
+              f"skip speedup {p['cycle_skip_speedup']}x, "
+              f"{p['idle_cycles_skipped']:,} idle cycles skipped)")
+    if args.out:
+        write_perf_record(args.out, record)
+        print(f"perf record -> {args.out}")
     return 0
 
 
@@ -164,12 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available workloads").set_defaults(fn=_cmd_list)
 
-    run = sub.add_parser("run", help="simulate one workload/engine pair")
-    run.add_argument("workload")
-    run.add_argument("--engine", default="baseline",
-                     choices=["baseline", "perfbp", "phelps", "br",
-                              "br_nonspec", "br12", "partition_only"])
+    run = sub.add_parser("run", help="simulate one or more workloads on one engine")
+    run.add_argument("workloads", nargs="+", metavar="workload")
+    run.add_argument("--engine", default="baseline", choices=_ENGINE_CHOICES)
     run.add_argument("-n", "--instructions", type=int, default=100_000)
+    run.add_argument("-j", "--jobs", type=int, default=None,
+                     help="worker processes for multi-workload runs "
+                          "(default: CPU count; 1 = serial in-process)")
     run.add_argument("-v", "--verbose", action="store_true")
     run.add_argument("--observe", action="store_true",
                      help="enable the observability layer (metrics registry, "
@@ -206,6 +306,33 @@ def build_parser() -> argparse.ArgumentParser:
                       default=["baseline", "phelps", "perfbp"])
     cmp_.add_argument("-n", "--instructions", type=int, default=100_000)
     cmp_.set_defaults(fn=_cmd_compare)
+
+    sweep = sub.add_parser(
+        "sweep", help="workload x engine cross product with process-pool "
+                      "fan-out and a sharded result cache")
+    sweep.add_argument("-w", "--workloads", nargs="+", required=True)
+    sweep.add_argument("-e", "--engines", nargs="+", required=True,
+                       choices=_ENGINE_CHOICES)
+    sweep.add_argument("-n", "--instructions", type=int, default=100_000)
+    sweep.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes (default: CPU count; "
+                            "1 = serial in-process)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-run timeout in seconds (one retry)")
+    sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="sharded run cache directory (one JSON file per "
+                            "run key, e.g. benchmarks/results/cache)")
+    sweep.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress per-run progress lines")
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    perf = sub.add_parser(
+        "perf", help="best-of-N wall-clock perf smoke; records simulated "
+                     "instructions/second (BENCH_perf.json)")
+    perf.add_argument("--rounds", type=int, default=3)
+    perf.add_argument("--out", metavar="PATH", default=None,
+                      help="write the JSON perf record here")
+    perf.set_defaults(fn=_cmd_perf)
 
     sub.add_parser("costs", help="print Table II").set_defaults(fn=_cmd_costs)
 

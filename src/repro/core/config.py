@@ -33,6 +33,13 @@ class CoreConfig:
     pred_fl_size: int = 97
     # TAGE-SC-L / BTB handled by frontend objects; oracle mode for perfBP.
     perfect_branch_prediction: bool = False
+    # Event-driven idle-cycle skipping in :meth:`Core.run`: when the whole
+    # machine is provably quiescent (no issue/dispatch/retire/fetch work
+    # possible) the clock jumps to the next scheduled writeback/ifetch-ready
+    # event instead of ticking idle cycles one by one.  Cycle-exact with the
+    # naive loop (see docs/simulator-internals.md "Performance"); disable to
+    # cross-check.
+    enable_cycle_skip: bool = True
 
     def __post_init__(self):
         if self.rob_size % 8:

@@ -92,6 +92,21 @@ class PreExecutionEngine:
     def on_cycle(self, cycle: int) -> None:
         """Called once per simulated cycle (engine-internal bookkeeping)."""
 
+    def idle_skip(self, cycle: int, limit: int) -> int:
+        """Fast-path negotiation for the core's event-driven idle skip.
+
+        The core has proven that every tick in ``[cycle, limit)`` would be
+        an architectural no-op apart from ``on_cycle``.  Return how many of
+        those cycles may be skipped (``0 .. limit - cycle``), accounting any
+        per-cycle bookkeeping as if :meth:`on_cycle` had run for each
+        skipped cycle.  Engines that override :meth:`on_cycle` without
+        overriding this hook get the conservative answer (no skip), so
+        cycle-exactness holds for third-party engines by default.
+        """
+        if type(self).on_cycle is not PreExecutionEngine.on_cycle:
+            return 0
+        return limit - cycle
+
     # ------------------------------------------------------------- stats
     def stats(self) -> dict:
         return {}

@@ -86,6 +86,15 @@ class Core:
         self.main.resume_pc = program.entry
         self.threads: List[ThreadContext] = [self.main]
         self._next_thread_id = 1
+        # Stable iteration snapshot + id lookup table.  The thread set only
+        # changes at engine activate/terminate boundaries, so the per-cycle
+        # stage loops iterate this tuple instead of copying ``threads``
+        # every cycle; an in-progress iteration over the old tuple is
+        # unaffected when a rebuild swaps in a new one.
+        self._thread_tuple: Tuple[ThreadContext, ...] = ()
+        self._thread_by_id: Dict[int, ThreadContext] = {}
+        self._rebuild_thread_snapshot()
+        self._tick_work = False
 
         # Shared backend structures.
         self.iq_count = 0
@@ -117,6 +126,10 @@ class Core:
     # ------------------------------------------------------------------
     # Thread/partition management (engine-driven, across full squashes).
     # ------------------------------------------------------------------
+    def _rebuild_thread_snapshot(self) -> None:
+        self._thread_tuple = tuple(self.threads)
+        self._thread_by_id = {t.id: t for t in self.threads}
+
     def set_partition_mode(self, mode: str) -> None:
         """Re-partition frontend width and resources (Table I).
 
@@ -135,6 +148,7 @@ class Core:
         ctx.commit_store = lambda addr, value: None
         ctx.resume_pc = 0
         self.threads.append(ctx)
+        self._rebuild_thread_snapshot()
         return ctx
 
     def remove_helper_threads(self) -> None:
@@ -147,6 +161,7 @@ class Core:
                     pool.release(ctx.id, phys)
                 table.restore([0] * table.num_logical)
         self.threads = [self.main]
+        self._rebuild_thread_snapshot()
 
     def full_squash(self) -> None:
         """Squash every unretired instruction in every thread (helper-thread
@@ -280,6 +295,7 @@ class Core:
             self.engine.note_fetched(thread, uop)
             thread.fetch.advance(taken, target)
             fetched += 1
+            self._tick_work = True
             if inst.opcode is Opcode.HALT:
                 thread.fetch_halted = True
                 break
@@ -372,6 +388,7 @@ class Core:
                 return
 
             thread.frontend_q.popleft()
+            self._tick_work = True
 
             # Source rename.
             if inst.opcode is Opcode.MOV_LIVEIN:
@@ -437,7 +454,7 @@ class Core:
 
         # Retry previously blocked helper loads first (oldest first).
         candidates = []
-        for thread in self.threads:
+        for thread in self._thread_tuple:
             if thread.blocked_loads:
                 candidates.extend(thread.blocked_loads)
                 thread.blocked_loads = []
@@ -467,10 +484,7 @@ class Core:
         self.ready_q.extend(leftover)
 
     def _thread(self, thread_id: int) -> ThreadContext:
-        for t in self.threads:
-            if t.id == thread_id:
-                return t
-        raise KeyError(thread_id)
+        return self._thread_by_id[thread_id]
 
     def _load_may_issue(self, thread: ThreadContext, uop: Uop) -> bool:
         """Loads issue speculatively; memory-order violations are detected
@@ -483,6 +497,7 @@ class Core:
         inst = uop.inst
         op = inst.opcode
         uop.state = UopState.ISSUED
+        self._tick_work = True
         self.iq_count -= 1
         read = self.prf.read
 
@@ -592,6 +607,7 @@ class Core:
         events = self.wb_events.pop(self.cycle, None)
         if not events:
             return
+        self._tick_work = True
         for uop in events:
             if uop.state is not UopState.ISSUED:
                 continue  # squashed after issue
@@ -641,7 +657,7 @@ class Core:
     # Retire.
     # ------------------------------------------------------------------
     def _retire(self) -> None:
-        for thread in list(self.threads):
+        for thread in self._thread_tuple:
             count = 0
             while thread.rob and count < thread.share.retire_width:
                 uop = thread.rob[0]
@@ -656,6 +672,7 @@ class Core:
                     return
 
     def _retire_uop(self, thread: ThreadContext, uop: Uop) -> None:
+        self._tick_work = True
         inst = uop.inst
         uop.state = UopState.RETIRED
         thread.retired += 1
@@ -709,26 +726,126 @@ class Core:
     # Main loop.
     # ------------------------------------------------------------------
     def tick(self) -> None:
+        # ``_tick_work`` gates the idle fast path: stages flip it when they
+        # do real work, so ``run`` only pays for the quiescence walk on
+        # ticks that were architectural no-ops.
+        self._tick_work = False
         self._writeback()
         self._retire()
         if self.halted:
             return
         self._issue()
-        for thread in list(self.threads):
-            self._dispatch_thread(thread)
-        for thread in list(self.threads):
-            self._fetch_thread(thread)
+        # ``_thread_tuple`` is a stable snapshot: engine-driven activate /
+        # terminate swaps in a *new* tuple, leaving this iteration intact
+        # (same semantics as the old per-cycle ``list(self.threads)`` copy
+        # without the two allocations per cycle).
+        dispatch = self._dispatch_thread
+        for thread in self._thread_tuple:
+            dispatch(thread)
+        fetch = self._fetch_thread
+        for thread in self._thread_tuple:
+            fetch(thread)
         self.engine.on_cycle(self.cycle)
         if self.obs is not None:
             self.obs.on_cycle(self)
         self.cycle += 1
 
+    # ------------------------------------------------------------------
+    # Event-driven idle fast path.
+    #
+    # A tick is an architectural no-op when nothing can write back, retire,
+    # issue, dispatch, or fetch this cycle.  All of those only become
+    # possible again at a *scheduled* event: a writeback completing
+    # (``wb_events``), an I-fetch line arriving (``fetch_stalled_until``),
+    # or a frontend-latency expiry (frontend-queue head ready cycle).  When
+    # the whole machine is quiescent, jump the clock to the earliest such
+    # event instead of ticking through idle cycles.  The engine gets a veto
+    # (``idle_skip``) so per-cycle bookkeeping (Phelps watchdog, visit
+    # refill) stays cycle-exact.
+    # ------------------------------------------------------------------
+    def _dispatch_blocked(self, thread: ThreadContext, uop: Uop) -> bool:
+        """Mirror of the resource gates at the top of
+        :meth:`_dispatch_thread`, side-effect free.  Every one of these
+        conditions can only clear at a retire/writeback/squash event, so a
+        True answer is stable across skipped idle cycles."""
+        inst = uop.inst
+        if thread.rob_full():
+            return True
+        needs_iq = inst.opcode not in (Opcode.NOP, Opcode.HALT)
+        if needs_iq and self.iq_count >= self.config.iq_size:
+            return True
+        if inst.is_load and thread.lq.full():
+            return True
+        if inst.is_store and thread.sq.full():
+            return True
+        if inst.dest_reg is not None and not self.pool.can_allocate(
+                thread.id, thread.share.prf_quota):
+            return True
+        if inst.is_pred_producer and not self.pred_pool.can_allocate(
+                thread.id, self.config.pred_fl_size // 2):
+            return True
+        return False
+
+    def _idle_skip_target(self, horizon: int) -> int:
+        """The cycle to jump to when every tick in ``[cycle, target)`` is a
+        no-op, or ``self.cycle`` when the machine is not quiescent."""
+        cycle = self.cycle
+        if self.ready_q or cycle in self.wb_events:
+            return cycle
+        bound = horizon
+        cfg = self.config
+        for thread in self._thread_tuple:
+            if thread.blocked_loads:
+                return cycle
+            rob = thread.rob
+            if rob and rob[0].state is UopState.DONE:
+                return cycle  # a retire is possible right now
+            fq = thread.frontend_q
+            if fq:
+                ready_cycle, head = fq[0]
+                if head.squashed:
+                    return cycle  # dispatch would pop it
+                if ready_cycle > cycle:
+                    if ready_cycle < bound:
+                        bound = ready_cycle
+                elif not self._dispatch_blocked(thread, head):
+                    return cycle
+            if thread.fetch_halted or thread.wait_for_moves:
+                continue  # cleared only by recovery / retire events
+            if cycle < thread.fetch_stalled_until:
+                if thread.fetch_stalled_until < bound:
+                    bound = thread.fetch_stalled_until
+            elif (len(fq) < thread.share.fetch_width * (cfg.frontend_latency + 1)
+                  and thread.fetch.peek() is not None):
+                return cycle  # could fetch this cycle
+        if self.wb_events:
+            wb_next = min(self.wb_events)
+            if wb_next < bound:
+                bound = wb_next
+        return bound if bound > cycle else cycle
+
+    def _try_idle_skip(self, horizon: int) -> None:
+        target = self._idle_skip_target(horizon)
+        skip = target - self.cycle
+        if skip <= 0:
+            return
+        skip = self.engine.idle_skip(self.cycle, target)
+        if skip > 0:
+            self.cycle += skip
+            self.stats.idle_cycles_skipped += skip
+
     def run(self, max_instructions: int = 1_000_000, max_cycles: int = 20_000_000) -> SimStats:
         """Simulate until HALT retires, ``max_instructions`` main-thread
         instructions retire, or ``max_cycles`` elapse."""
-        while (not self.halted and self.main.retired < max_instructions
+        fast = self.config.enable_cycle_skip
+        tick = self.tick
+        main = self.main
+        while (not self.halted and main.retired < max_instructions
                and self.cycle < max_cycles):
-            self.tick()
+            tick()
+            if (fast and not self._tick_work and not self.halted
+                    and not self.ready_q):
+                self._try_idle_skip(max_cycles)
         return self.collect_stats()
 
     def collect_stats(self) -> SimStats:

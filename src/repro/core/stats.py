@@ -36,6 +36,10 @@ class SimStats:
     queue_consumed_wrong: int = 0
     queue_not_timely: int = 0
     full_squashes: int = 0
+    # Cycles elided by the event-driven idle fast path (Core.run).  The
+    # skipped cycles are still *counted* in ``cycles`` — this records how
+    # much simulator work the fast path avoided, not a timing change.
+    idle_cycles_skipped: int = 0
     halted: bool = False
     memory: Dict = field(default_factory=dict)
     engine: Dict = field(default_factory=dict)

@@ -2,6 +2,8 @@
 
 from repro.harness.simulator import RunConfig, SimResult, simulate
 from repro.harness.experiment import compare_engines, speedup, sweep
+from repro.harness.parallel import Progress, SimulationFailed, simulate_many
+from repro.harness.runcache import RunCache, entry_from_result
 from repro.harness.reporting import (ascii_table, epoch_table, format_series,
                                      metrics_report)
 from repro.harness.plots import grouped_bars, hbar_chart, line_plot, stacked_percent_rows
@@ -11,6 +13,11 @@ __all__ = [
     "RunConfig",
     "SimResult",
     "simulate",
+    "simulate_many",
+    "Progress",
+    "SimulationFailed",
+    "RunCache",
+    "entry_from_result",
     "compare_engines",
     "speedup",
     "sweep",

@@ -1,0 +1,196 @@
+"""Process-pool fan-out for independent simulation runs.
+
+Every paper figure is a cross product of independent (workload, engine,
+config) points; :func:`simulate_many` runs them across worker processes
+with deterministic result ordering, a per-run timeout with one retry, and
+progress callbacks.  With ``jobs <= 1`` it degrades to a plain in-process
+serial loop (no multiprocessing machinery, no timeout enforcement), which
+keeps single-core environments and debuggers simple.
+
+Each worker runs exactly one simulation and ships the :class:`SimResult`
+back over a queue.  The in-process :class:`~repro.obs.Observability` hub
+holds closures and is not picklable, so workers drop it (``obs=None``)
+after ``simulate`` has folded its snapshot into ``SimStats.metrics`` /
+``SimStats.epochs`` — observability data still arrives in the parent,
+just in its serialized form.
+"""
+
+import dataclasses
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.simulator import RunConfig, SimResult, simulate
+
+__all__ = ["simulate_many", "Progress", "SimulationFailed"]
+
+
+@dataclass
+class Progress:
+    """One progress-callback notification.
+
+    ``kind`` is ``"start"``, ``"done"``, ``"retry"``, or ``"failed"``;
+    ``done_count``/``total`` give overall completion; ``index`` is the
+    position of the affected config in the input sequence.
+    """
+
+    kind: str
+    index: int
+    config: RunConfig
+    done_count: int
+    total: int
+    wall_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+class SimulationFailed(RuntimeError):
+    """A run failed (or timed out) on every attempt."""
+
+    def __init__(self, failures):
+        self.failures = failures  # list of (index, config, error)
+        lines = [f"  [{i}] {c.workload}/{c.engine}: {err}"
+                 for i, c, err in failures]
+        super().__init__("simulation run(s) failed:\n" + "\n".join(lines))
+
+
+def _worker(index: int, attempt: int, config: RunConfig, out_q) -> None:
+    try:
+        result = simulate(config)
+        # The hub's registry holds lambdas over live core objects; the
+        # stats snapshot is already serialized into result.stats.
+        result = dataclasses.replace(result, obs=None)
+        out_q.put((index, attempt, True, result, None))
+    except BaseException as exc:  # ship *any* worker death to the parent
+        out_q.put((index, attempt, False, None, repr(exc)))
+
+
+def _simulate_serial(configs: Sequence[RunConfig],
+                     progress: Optional[Callable[[Progress], None]]
+                     ) -> List[SimResult]:
+    results: List[SimResult] = []
+    total = len(configs)
+    for i, config in enumerate(configs):
+        if progress:
+            progress(Progress("start", i, config, len(results), total))
+        start = time.time()
+        results.append(simulate(config))
+        if progress:
+            progress(Progress("done", i, config, len(results), total,
+                              wall_seconds=time.time() - start))
+    return results
+
+
+def simulate_many(configs: Sequence[RunConfig],
+                  jobs: Optional[int] = None,
+                  timeout: Optional[float] = None,
+                  retries: int = 1,
+                  progress: Optional[Callable[[Progress], None]] = None,
+                  poll_interval: float = 0.05) -> List[SimResult]:
+    """Run every config and return results in input order.
+
+    ``jobs=None`` uses ``os.cpu_count()``; ``jobs<=1`` (or a single
+    config) runs serially in-process.  In the parallel path each run gets
+    ``timeout`` seconds (None = unlimited); a timed-out or crashed run is
+    retried up to ``retries`` times before :class:`SimulationFailed` is
+    raised.  Runs are deterministic, so parallel results are bit-identical
+    to the serial path.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = min(jobs, len(configs))
+    if jobs <= 1:
+        return _simulate_serial(configs, progress)
+
+    ctx = mp.get_context()
+    out_q = ctx.Queue()
+    total = len(configs)
+    pending: List[tuple] = [(i, 0) for i in range(total)]  # (index, attempt)
+    pending.reverse()  # pop() from the front of the input order
+    running: Dict[int, dict] = {}  # index -> {proc, attempt, deadline, start}
+    results: List[Optional[SimResult]] = [None] * total
+    failures: List[tuple] = []
+    done_count = 0
+
+    def _spawn(index: int, attempt: int) -> None:
+        proc = ctx.Process(target=_worker,
+                           args=(index, attempt, configs[index], out_q),
+                           daemon=True)
+        proc.start()
+        now = time.time()
+        running[index] = {
+            "proc": proc, "attempt": attempt, "start": now,
+            "deadline": now + timeout if timeout is not None else None,
+        }
+        if progress:
+            kind = "start" if attempt == 0 else "retry"
+            progress(Progress(kind, index, configs[index], done_count, total))
+
+    def _reap(index: int, ok: bool, result, error) -> None:
+        nonlocal done_count
+        info = running.pop(index)
+        info["proc"].join()
+        wall = time.time() - info["start"]
+        if ok:
+            results[index] = result
+            done_count += 1
+            if progress:
+                progress(Progress("done", index, configs[index], done_count,
+                                  total, wall_seconds=wall))
+        elif info["attempt"] < retries:
+            pending.append((index, info["attempt"] + 1))
+        else:
+            failures.append((index, configs[index], error))
+            done_count += 1
+            if progress:
+                progress(Progress("failed", index, configs[index], done_count,
+                                  total, wall_seconds=wall, error=error))
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                index, attempt = pending.pop()
+                _spawn(index, attempt)
+            try:
+                index, attempt, ok, result, error = out_q.get(timeout=poll_interval)
+            except queue_mod.Empty:
+                pass
+            else:
+                # Ignore late reports from attempts already reaped (e.g. a
+                # timed-out worker that flushed its result before dying).
+                if index in running and running[index]["attempt"] == attempt:
+                    _reap(index, ok, result, error)
+                continue
+            now = time.time()
+            for index, info in list(running.items()):
+                deadline = info["deadline"]
+                if deadline is not None and now > deadline:
+                    info["proc"].terminate()
+                    _reap(index, False, None,
+                          f"timeout after {timeout:.1f}s")
+                elif not info["proc"].is_alive():
+                    # Died without reporting (e.g. hard kill): drain any
+                    # late queue item first, then treat as a crash.
+                    try:
+                        qi, qat, qok, qres, qerr = out_q.get_nowait()
+                    except queue_mod.Empty:
+                        _reap(index, False, None,
+                              f"worker exited with code {info['proc'].exitcode}")
+                    else:
+                        if qi in running and running[qi]["attempt"] == qat:
+                            _reap(qi, qok, qres, qerr)
+    finally:
+        for info in running.values():
+            info["proc"].terminate()
+        for info in running.values():
+            info["proc"].join()
+        out_q.close()
+
+    if failures:
+        raise SimulationFailed(sorted(failures, key=lambda f: f[0]))
+    return results  # type: ignore[return-value]

@@ -1,0 +1,99 @@
+"""Simulator wall-clock trajectory (``BENCH_perf.json``).
+
+Measures best-of-N wall-clock for a small fixed set of runs and records
+simulated-instructions-per-second, so successive PRs have a number to
+compare against.  Each point is measured twice — with the event-driven
+idle fast path on (the default) and off — which documents how much the
+cycle-skip is worth on that workload.
+
+The record is written to ``BENCH_perf.json`` at the repo root by the
+``perf`` CLI verb (or ``benchmarks/perf_smoke.py``); CI uploads it as an
+artifact.  Numbers are host-dependent: compare trajectories on the same
+machine, not across hosts.
+"""
+
+import dataclasses
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import CoreConfig
+from repro.harness.simulator import RunConfig, simulate
+from repro.memory.hierarchy import MemoryConfig
+
+__all__ = ["PERF_POINTS", "measure_point", "perf_smoke", "write_perf_record"]
+
+# Fixed measurement points: a helper-thread-heavy run (the engine hot
+# path), a stall-heavy baseline run, and a slow-DRAM variant where more
+# than half the cycles are idle (the cycle-skip showcase).
+PERF_POINTS: List[Dict] = [
+    {"workload": "astar", "engine": "phelps", "instructions": 30_000},
+    {"workload": "sssp", "engine": "baseline", "instructions": 30_000},
+    {"workload": "sssp", "engine": "baseline", "instructions": 20_000,
+     "label": "sssp-slow-dram",
+     "memory": {"dram_latency": 400,
+                "enable_l1_prefetcher": False,
+                "enable_l2_prefetcher": False}},
+]
+
+
+def _best_of(config: RunConfig, rounds: int) -> Tuple[float, object]:
+    best_wall, best_result = None, None
+    for _ in range(max(1, rounds)):
+        result = simulate(config)
+        if best_wall is None or result.wall_seconds < best_wall:
+            best_wall, best_result = result.wall_seconds, result
+    return best_wall, best_result
+
+
+def measure_point(workload: str, engine: str, instructions: int,
+                  rounds: int = 3, memory: Optional[Dict] = None,
+                  label: Optional[str] = None) -> Dict:
+    fast_cfg = RunConfig(workload=workload, engine=engine,
+                         max_instructions=instructions,
+                         memory=MemoryConfig(**memory) if memory else None)
+    naive_cfg = dataclasses.replace(
+        fast_cfg, core=CoreConfig(enable_cycle_skip=False))
+    fast_wall, fast = _best_of(fast_cfg, rounds)
+    naive_wall, naive = _best_of(naive_cfg, rounds)
+    s = fast.stats
+    assert (s.cycles, s.retired) == (naive.stats.cycles, naive.stats.retired), \
+        "cycle-skip fast path diverged from the naive loop"
+    return {
+        "label": label or f"{workload}-{engine}",
+        "workload": workload,
+        "engine": engine,
+        "instructions": instructions,
+        "cycles": s.cycles,
+        "retired": s.retired,
+        "idle_cycles_skipped": s.idle_cycles_skipped,
+        "wall_seconds_best": round(fast_wall, 4),
+        "wall_seconds_best_no_skip": round(naive_wall, 4),
+        "instr_per_sec": round(s.retired / fast_wall) if fast_wall else None,
+        "cycles_per_sec": round(s.cycles / fast_wall) if fast_wall else None,
+        "cycle_skip_speedup": round(naive_wall / fast_wall, 3) if fast_wall else None,
+    }
+
+
+def perf_smoke(rounds: int = 3,
+               points: Optional[Sequence[Dict]] = None) -> Dict:
+    return {
+        "schema": 1,
+        "generated_unix": int(time.time()),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "rounds": rounds,
+        "points": [measure_point(rounds=rounds, **point)
+                   for point in (points or PERF_POINTS)],
+    }
+
+
+def write_perf_record(path, record: Dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")

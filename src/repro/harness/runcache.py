@@ -1,0 +1,146 @@
+"""Sharded, concurrency-safe cache of simulation results.
+
+One JSON file per run key under a cache directory, written via
+temp-file + ``os.replace`` so concurrent writers (parallel sweeps, two
+pytest sessions) can never interleave partial writes — the worst case is
+two workers computing the same deterministic entry and the last rename
+winning with identical content.  Keys come from
+:meth:`RunConfig.cache_key`, which hashes the *complete* configuration
+(memory hierarchy, core, engine configs, cycle caps included).
+
+A legacy monolithic ``cache.json`` (pre-sharding) is adopted lazily: on a
+shard miss the legacy key for the requested config is looked up and, if
+present *and* unambiguous (the legacy key ignored ``memory`` and
+``max_cycles``, so only default-valued configs are safe to adopt), the
+entry is promoted into a shard file.  The legacy file itself is left
+untouched and read-only.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional
+
+from repro.harness.simulator import RunConfig, SimResult
+
+__all__ = ["RunCache", "entry_from_result", "legacy_key"]
+
+# RunConfig defaults the legacy key silently assumed (see legacy_key).
+_LEGACY_DEFAULT_MAX_CYCLES = 5_000_000
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (int, float, str, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def entry_from_result(result: SimResult) -> Dict:
+    """The cached document for one run: the stats the figures need, plus
+    the full config for introspection."""
+    s = result.stats
+    return {
+        "cycles": s.cycles,
+        "retired": s.retired,
+        "ipc": s.ipc,
+        "mpki": s.mpki,
+        "mispredicts": s.mispredicts,
+        "helper_retired": s.helper_retired,
+        "engine": _jsonable(s.engine),
+        "metrics": _jsonable(s.metrics),
+        "epochs": _jsonable(s.epochs),
+        "wall_seconds": result.wall_seconds,
+        "idle_cycles_skipped": s.idle_cycles_skipped,
+        "config": _jsonable(result.config.to_dict()),
+    }
+
+
+def legacy_key(config: RunConfig) -> str:
+    """The pre-sharding ``benchmarks/common._key`` derivation (collision
+    bug and all), kept only to adopt old ``cache.json`` entries."""
+    parts = [config.workload, config.engine, str(config.max_instructions)]
+    if config.core is not None:
+        c = config.core
+        parts.append(f"rob{c.rob_size}_ps{c.pipeline_stages}")
+    if config.phelps_config is not None:
+        p = config.phelps_config
+        parts.append(f"ep{p.epoch_length}_gb{int(p.include_guarded_branches)}"
+                     f"_st{int(p.include_stores)}_gs{int(p.include_guarded_stores)}"
+                     f"_qd{p.queue_depth}_sc{p.spec_cache_sets}x{p.spec_cache_ways}")
+    return "|".join(parts)
+
+
+class RunCache:
+    """Directory of one-file-per-run cached results."""
+
+    def __init__(self, root, legacy_file=None):
+        self.root = pathlib.Path(root)
+        self.legacy_file = pathlib.Path(legacy_file) if legacy_file else None
+        self._legacy: Optional[Dict] = None  # loaded lazily, once
+
+    # ------------------------------------------------------------------
+    def path_for(self, config: RunConfig) -> pathlib.Path:
+        return self.root / f"{config.cache_key()}.json"
+
+    def get(self, config: RunConfig) -> Optional[Dict]:
+        path = self.path_for(config)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            pass
+        except (json.JSONDecodeError, OSError):
+            return None  # unreadable shard: treat as a miss and recompute
+        return self._adopt_legacy(config)
+
+    def put(self, config: RunConfig, entry: Dict) -> pathlib.Path:
+        path = self.path_for(config)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.stem,
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)  # atomic on POSIX: readers never see partials
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def _load_legacy(self) -> Dict:
+        if self._legacy is None:
+            self._legacy = {}
+            if self.legacy_file is not None and self.legacy_file.exists():
+                try:
+                    self._legacy = json.loads(self.legacy_file.read_text())
+                except (json.JSONDecodeError, OSError):
+                    self._legacy = {}
+        return self._legacy
+
+    def _adopt_legacy(self, config: RunConfig) -> Optional[Dict]:
+        """One-time per-key migration from the monolithic cache.
+
+        Only configs the legacy key identified *unambiguously* are adopted:
+        the old derivation dropped ``memory`` and ``max_cycles``, so any
+        non-default value there means the legacy entry may belong to a
+        different run (that is exactly the collision this cache fixes).
+        """
+        if self.legacy_file is None:
+            return None
+        if config.memory is not None:
+            return None
+        if config.max_cycles != _LEGACY_DEFAULT_MAX_CYCLES:
+            return None
+        entry = self._load_legacy().get(legacy_key(config))
+        if entry is None:
+            return None
+        self.put(config, entry)
+        return entry

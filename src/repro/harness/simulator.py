@@ -17,6 +17,8 @@ configurations:
 """
 
 import dataclasses
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -51,6 +53,22 @@ class RunConfig:
             raise ValueError(f"unknown engine {self.engine!r}; known: {ENGINES}")
         if self.observe_config is not None:
             self.observe = True
+
+    def to_dict(self) -> dict:
+        """The full nested-dataclass serialization (JSON-ready)."""
+        return dataclasses.asdict(self)
+
+    def cache_key(self) -> str:
+        """Filename-safe key derived from the *complete* configuration.
+
+        Every field participates — including ``memory``, ``core``, engine
+        configs, and ``max_cycles`` — so two runs that could produce
+        different stats never share a cache entry (the legacy benchmark
+        ``_key()`` ignored memory/cycle-cap fields and collided).
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return f"{self.workload}-{self.engine}-{digest}"
 
 
 @dataclass

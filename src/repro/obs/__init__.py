@@ -94,6 +94,7 @@ class Observability:
             "helper_retired": core.stats.helper_retired,
             "helper_stores_suppressed": core.stats.helper_stores_suppressed,
             "full_squashes": core.stats.full_squashes,
+            "idle_cycles_skipped": core.stats.idle_cycles_skipped,
             "threads": len(core.threads),
         })
         self.registry.register_provider(

@@ -248,6 +248,32 @@ class PhelpsEngine(PreExecutionEngine):
                 self._watchdog_retired = retired
                 self._watchdog_since = 0
 
+    def idle_skip(self, cycle: int, limit: int) -> int:
+        """Core idle fast path veto (see ``PreExecutionEngine.idle_skip``).
+
+        Two pieces of :meth:`on_cycle` bookkeeping matter across skipped
+        idle cycles.  (1) A waiting inner thread with a pending visit would
+        be restarted this very cycle — refuse the skip so the normal tick
+        handles it.  (2) The watchdog counts idle cycles: account the
+        skipped cycles, and stop one short of the threshold so the
+        terminating tick's ``on_cycle`` fires at the exact cycle the naive
+        loop would have fired it.
+        """
+        it = self.ht_threads.get("IT")
+        if it is not None and it.fetch.waiting and not self.visit_q.empty():
+            return 0
+        n = limit - cycle
+        if self.active_row is not None:
+            # Post-on_cycle invariant: _watchdog_retired == main.retired, so
+            # every skipped idle cycle is one more watchdog count.
+            headroom = self.cfg.watchdog_cycles - self._watchdog_since - 1
+            if headroom <= 0:
+                return 0
+            if n > headroom:
+                n = headroom
+            self._watchdog_since += n
+        return n
+
     def on_helper_branch_mispredicted(self, thread: ThreadContext, uop: Uop) -> None:
         """Phelps helper threads have one branch (the loop branch), fetched
         always-taken; a mispredict means it resolved not-taken.  The inner

@@ -1,0 +1,69 @@
+"""Event-driven idle-cycle skipping must be architecturally invisible.
+
+``Core.run`` jumps the clock over quiescent stretches; every reported
+number (cycles, IPC, MPKI, mispredicts, helper activity) must be
+identical to the naive cycle-by-cycle loop across all engines.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CoreConfig
+from repro.harness.simulator import RunConfig, simulate
+from repro.memory.hierarchy import MemoryConfig
+
+N = 6_000
+
+POINTS = [
+    ("astar", "baseline"),
+    ("astar", "phelps"),
+    ("sssp", "baseline"),
+    ("bfs", "br"),
+    ("bfs", "br_nonspec"),
+    ("astar", "partition_only"),
+]
+
+
+def _pair(workload, engine, **kw):
+    fast_cfg = RunConfig(workload=workload, engine=engine,
+                         max_instructions=N, **kw)
+    naive_cfg = dataclasses.replace(
+        fast_cfg, core=CoreConfig(enable_cycle_skip=False))
+    return simulate(fast_cfg).stats, simulate(naive_cfg).stats
+
+
+@pytest.mark.parametrize("workload,engine", POINTS)
+def test_cycle_skip_is_cycle_exact(workload, engine):
+    fast, naive = _pair(workload, engine)
+    assert naive.idle_cycles_skipped == 0
+    assert (fast.cycles, fast.retired) == (naive.cycles, naive.retired)
+    assert fast.ipc == naive.ipc
+    assert fast.mpki == naive.mpki
+    assert fast.mispredicts == naive.mispredicts
+    assert fast.retired_branches == naive.retired_branches
+    assert fast.helper_retired == naive.helper_retired
+    assert fast.full_squashes == naive.full_squashes
+
+
+def test_stall_heavy_run_actually_skips():
+    fast, naive = _pair("sssp", "baseline")
+    assert fast.idle_cycles_skipped > 0
+    assert fast.idle_cycles_skipped < fast.cycles
+
+
+def test_slow_memory_skips_majority_of_cycles():
+    """With 400-cycle DRAM and no prefetchers the machine is mostly idle;
+    the fast path must skip a large share of cycles and still agree."""
+    mem = dict(dram_latency=400, enable_l1_prefetcher=False,
+               enable_l2_prefetcher=False)
+    fast, naive = _pair("sssp", "baseline", memory=MemoryConfig(**mem))
+    assert (fast.cycles, fast.retired, fast.mispredicts) == \
+           (naive.cycles, naive.retired, naive.mispredicts)
+    assert fast.idle_cycles_skipped > fast.cycles // 4
+
+
+def test_skip_disabled_by_config():
+    cfg = RunConfig(workload="sssp", engine="baseline", max_instructions=N,
+                    core=CoreConfig(enable_cycle_skip=False))
+    assert simulate(cfg).stats.idle_cycles_skipped == 0

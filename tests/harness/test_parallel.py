@@ -1,0 +1,117 @@
+"""simulate_many: determinism, ordering, progress, timeout and retry."""
+
+import dataclasses
+import time
+
+import pytest
+
+import repro.harness.parallel as parallel
+from repro.harness import Progress, SimulationFailed, simulate_many
+from repro.harness.simulator import RunConfig, simulate
+
+N = 1_500  # instructions per point: enough pipeline activity, fast suite
+
+
+def _configs():
+    return [
+        RunConfig(workload="astar", engine="baseline", max_instructions=N),
+        RunConfig(workload="astar", engine="phelps", max_instructions=N),
+        RunConfig(workload="perlbench", engine="baseline", max_instructions=N),
+        # observe=True exercises the obs-drop path: the hub holds closures
+        # over live cores and must not cross the process boundary.
+        RunConfig(workload="bfs", engine="br", max_instructions=N,
+                  observe=True),
+    ]
+
+
+def test_parallel_matches_serial_bit_identical():
+    configs = _configs()
+    events = []
+    serial = simulate_many(configs, jobs=1)
+    fanned = simulate_many(configs, jobs=4, progress=events.append)
+
+    for cfg, s, p in zip(configs, serial, fanned):
+        # Results come back in input order ...
+        assert p.config == cfg
+        # ... with bit-identical stats (full dataclass equality).
+        assert p.stats == s.stats, cfg
+        # Workers drop the unpicklable hub; its data is already folded
+        # into stats.metrics / stats.epochs.
+        assert p.obs is None
+    assert fanned[3].stats.metrics  # observe=True survived serialization
+
+    # Every run announced a start and a done, and done_count reached total.
+    assert sum(1 for e in events if e.kind == "start") == len(configs)
+    dones = [e for e in events if e.kind == "done"]
+    assert len(dones) == len(configs)
+    assert max(e.done_count for e in dones) == len(configs)
+    assert all(e.total == len(configs) for e in events)
+
+
+def test_serial_fallback_progress_and_order():
+    configs = _configs()[:2]
+    events = []
+    results = simulate_many(configs, jobs=1, progress=events.append)
+    assert [r.config for r in results] == configs
+    assert [e.kind for e in events] == ["start", "done", "start", "done"]
+    # The serial path keeps the hub (useful in-process).
+    assert all(isinstance(e, Progress) for e in events)
+
+
+def test_empty_and_single_config():
+    assert simulate_many([], jobs=8) == []
+    [only] = simulate_many(
+        [RunConfig(workload="astar", max_instructions=N)], jobs=8)
+    assert only.stats.retired >= N
+
+
+def test_timeout_then_retry_succeeds(tmp_path, monkeypatch):
+    """First attempt hangs past the timeout; the retry completes.
+
+    The fake ``simulate`` is installed in the parent and inherited by the
+    forked worker; a marker file distinguishes first from second attempt.
+    """
+    if parallel.mp.get_start_method() != "fork":
+        pytest.skip("injection requires fork start method")
+
+    def flaky(config):
+        marker = tmp_path / f"{config.workload}-{config.engine}"
+        if not marker.exists():
+            marker.write_text("first attempt hangs")
+            time.sleep(60)
+        return simulate(config)
+
+    monkeypatch.setattr(parallel, "simulate", flaky)
+    # Two configs: a single config would short-circuit into the serial
+    # fallback (jobs = min(jobs, len(configs))), which has no timeouts.
+    configs = [RunConfig(workload="astar", max_instructions=N),
+               RunConfig(workload="perlbench", max_instructions=N)]
+    events = []
+    start = time.time()
+    results = simulate_many(configs, jobs=2, timeout=2.0, retries=1,
+                            progress=events.append, poll_interval=0.05)
+    assert time.time() - start < 40  # terminated, not slept out
+    assert all(r.stats.retired >= N for r in results)
+    kinds = [e.kind for e in events]
+    assert kinds.count("retry") == 2 and kinds.count("done") == 2
+
+
+def test_all_attempts_fail_raises(monkeypatch):
+    if parallel.mp.get_start_method() != "fork":
+        pytest.skip("injection requires fork start method")
+
+    def boom(config):
+        raise RuntimeError("injected failure")
+
+    monkeypatch.setattr(parallel, "simulate", boom)
+    configs = [RunConfig(workload="astar", max_instructions=N),
+               RunConfig(workload="perlbench", max_instructions=N)]
+    events = []
+    with pytest.raises(SimulationFailed) as exc:
+        simulate_many(configs, jobs=2, retries=1, progress=events.append)
+    failures = exc.value.failures
+    assert [i for i, _, _ in failures] == [0, 1]
+    assert all("injected failure" in err for _, _, err in failures)
+    # Each config: start, retry, failed.
+    assert sum(1 for e in events if e.kind == "failed") == 2
+    assert sum(1 for e in events if e.kind == "retry") == 2
