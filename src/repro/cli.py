@@ -180,10 +180,59 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_sample(args) -> int:
+    """Sampled simulation: BBV profile -> cluster -> checkpointed regions."""
+    from repro.sampling import profile_bbv, sampled_run, sampled_vs_full
+
+    common = dict(
+        engine=args.engine,
+        full_instructions=args.instructions,
+        interval_instructions=args.interval,
+        k=args.clusters,
+        seed=args.seed,
+        warmup_instructions=args.warmup,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    if args.validate:
+        report = sampled_vs_full(args.workload, **common)
+        sampled = report["sampled"]
+    else:
+        report = sampled_run(args.workload, **common)
+        sampled = report
+
+    print(f"{args.workload} [{args.engine}] sampled: "
+          f"{sampled['intervals_profiled']} intervals of "
+          f"{args.interval:,} insts -> {len(sampled['regions'])} regions")
+    rows = [[r["label"], r["start"], r["instructions"], r["weight"]]
+            for r in sampled["regions"]]
+    print(ascii_table(["region", "start", "insts", "weight"], rows))
+    frac = sampled["simulated_fraction"]
+    print(f"  sampled IPC {sampled['ipc']:.3f}  MPKI {sampled['mpki']:.2f}  "
+          f"({sampled['instructions_simulated']:,} of "
+          f"{sampled['instructions_profiled']:,} insts cycle-accurate, "
+          f"{frac:.0%})")
+    if sampled.get("checkpoints_reused") is not None:
+        print(f"  checkpoints: {sampled['checkpoints_reused']}/"
+              f"{sampled['checkpoints_total']} reused from "
+              f"{args.checkpoint_dir}")
+    if args.validate:
+        print(f"  full IPC {report['full_ipc']:.3f}  "
+              f"error {report['ipc_error_pct']}%  "
+              f"wall speedup {report['wall_speedup']}x "
+              f"({report['full_wall_seconds']:.1f}s full vs "
+              f"{sampled['wall_seconds']:.1f}s sampled)")
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"  report -> {args.report}")
+    return 0
+
+
 def _cmd_perf(args) -> int:
     from repro.harness.perf import perf_smoke, write_perf_record
 
-    record = perf_smoke(rounds=args.rounds)
+    record = perf_smoke(rounds=args.rounds,
+                        include_sampling=args.sampling)
     for p in record["points"]:
         print(f"{p['label']} n={p['instructions']:,}: "
               f"{p['instr_per_sec']:,} instr/s "
@@ -191,6 +240,11 @@ def _cmd_perf(args) -> int:
               f"no-skip {p['wall_seconds_best_no_skip']:.2f}s, "
               f"skip speedup {p['cycle_skip_speedup']}x, "
               f"{p['idle_cycles_skipped']:,} idle cycles skipped)")
+    s = record.get("sampling")
+    if s:
+        print(f"{s['label']}: sampled-vs-full wall speedup "
+              f"{s['wall_speedup']}x, IPC error {s['ipc_error_pct']}%, "
+              f"{s['simulated_fraction']:.0%} of insts cycle-accurate")
     if args.out:
         write_perf_record(args.out, record)
         print(f"perf record -> {args.out}")
@@ -326,12 +380,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-run progress lines")
     sweep.set_defaults(fn=_cmd_sweep)
 
+    sample = sub.add_parser(
+        "sample", help="sampled simulation: BBV profile -> k-means regions "
+                       "-> checkpointed cycle-accurate runs")
+    sample.add_argument("workload")
+    sample.add_argument("--engine", default="baseline",
+                        choices=_ENGINE_CHOICES)
+    sample.add_argument("-n", "--instructions", type=int, default=100_000,
+                        help="instructions to profile (the full-run length)")
+    sample.add_argument("--interval", type=int, default=10_000,
+                        help="BBV interval size in instructions")
+    sample.add_argument("-k", "--clusters", type=int, default=4,
+                        help="number of k-means clusters / regions")
+    sample.add_argument("--seed", type=int, default=42,
+                        help="clustering seed (projection + k-means++)")
+    sample.add_argument("--warmup", type=int, default=2_000,
+                        help="pre-region instructions replayed into the "
+                             "branch predictor and caches at checkpoint boot")
+    sample.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="checkpoint shard store (one JSON per region "
+                             "start, e.g. benchmarks/results/checkpoints)")
+    sample.add_argument("--validate", action="store_true",
+                        help="also run the full program cycle-accurately "
+                             "and report the sampled-vs-full IPC error")
+    sample.add_argument("--report", metavar="PATH", default=None,
+                        help="write the sampling (or validation) report "
+                             "as JSON")
+    sample.set_defaults(fn=_cmd_sample)
+
     perf = sub.add_parser(
         "perf", help="best-of-N wall-clock perf smoke; records simulated "
                      "instructions/second (BENCH_perf.json)")
     perf.add_argument("--rounds", type=int, default=3)
     perf.add_argument("--out", metavar="PATH", default=None,
                       help="write the JSON perf record here")
+    perf.add_argument("--sampling", action="store_true",
+                      help="also measure sampled-vs-full wall-clock "
+                           "speedup and IPC error on one workload")
     perf.set_defaults(fn=_cmd_perf)
 
     sub.add_parser("costs", help="print Table II").set_defaults(fn=_cmd_costs)

@@ -115,6 +115,41 @@ class Core:
             obs.attach_core(self)
 
     # ------------------------------------------------------------------
+    # Checkpoint boot (sampled simulation).
+    # ------------------------------------------------------------------
+    def boot_state(self, regs, mem, pc: int) -> None:
+        """Adopt mid-program architectural state before the first cycle.
+
+        Used by sampled simulation: a functional fast-forward snapshots
+        registers/memory/pc at a region start and the core begins
+        cycle-accurate simulation there.  Non-zero architectural registers
+        get a physical register (value written, ready) mapped in both the
+        speculative RMT and the committed AMT; the committed memory image
+        is replaced wholesale.  Must be called on a fresh core (cycle 0,
+        empty pipeline).
+        """
+        if self.cycle != 0 or self.main.rob or self.main.frontend_q:
+            raise RuntimeError("boot_state requires a fresh core")
+        self.mem = {a & ~7: to_i64(v) for a, v in mem.items()}
+        for idx in range(1, min(len(regs), self.main.rmt.num_logical)):
+            value = to_i64(regs[idx])
+            if value == 0:
+                continue  # logical reg still maps to the constant zero
+            phys = self.pool.allocate(self.main.id, self.main.share.prf_quota)
+            if phys is None:
+                raise RuntimeError("physical register pool exhausted at boot")
+            self.prf.write(phys, value)
+            self.main.rmt.map[idx] = phys
+            self.main.amt.map[idx] = phys
+        self.main.fetch.redirect(pc)
+        self.main.resume_pc = pc
+        if self.oracle is not None:
+            self.oracle.restore_snapshot({
+                "regs": list(regs), "mem": dict(mem), "pc": pc,
+                "halted": False, "retired": 0,
+            })
+
+    # ------------------------------------------------------------------
     # Memory plumbing.
     # ------------------------------------------------------------------
     def _read_committed(self, addr: int) -> int:

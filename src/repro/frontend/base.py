@@ -35,6 +35,15 @@ class BranchPredictor(abc.ABC):
     def update(self, pc: int, taken: bool, meta: PredictorMeta) -> None:
         """Train with the resolved outcome (called at retire, in order)."""
 
+    def warm(self, pc: int, taken: bool) -> None:
+        """Train on one branch outcome outside simulation (checkpoint
+        warmup): a full predict / speculative-history / retire-update
+        round trip, so warmed state matches what an in-order execution of
+        the same stream would have left behind."""
+        meta = self.predict(pc)
+        self.spec_update(pc, taken)
+        self.update(pc, taken, meta)
+
     # History management — predictors without global history inherit no-ops.
     def spec_update(self, pc: int, taken: bool) -> None:
         """Speculatively push a predicted outcome into global history."""

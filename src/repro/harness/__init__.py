@@ -7,7 +7,10 @@ from repro.harness.runcache import RunCache, entry_from_result
 from repro.harness.reporting import (ascii_table, epoch_table, format_series,
                                      metrics_report)
 from repro.harness.plots import grouped_bars, hbar_chart, line_plot, stacked_percent_rows
-from repro.harness.regions import Region, evaluate_regions, regions_for
+from repro.harness.regions import (DegenerateRegionError, Region,
+                                   evaluate_regions, region_config,
+                                   regions_for, weighted_harmonic_ipc,
+                                   weighted_mpki)
 
 __all__ = [
     "RunConfig",
@@ -30,6 +33,10 @@ __all__ = [
     "line_plot",
     "stacked_percent_rows",
     "Region",
+    "DegenerateRegionError",
     "evaluate_regions",
+    "region_config",
     "regions_for",
+    "weighted_harmonic_ipc",
+    "weighted_mpki",
 ]

@@ -23,7 +23,8 @@ from repro.core import CoreConfig
 from repro.harness.simulator import RunConfig, simulate
 from repro.memory.hierarchy import MemoryConfig
 
-__all__ = ["PERF_POINTS", "measure_point", "perf_smoke", "write_perf_record"]
+__all__ = ["PERF_POINTS", "SAMPLING_POINT", "measure_point",
+           "measure_sampling", "perf_smoke", "write_perf_record"]
 
 # Fixed measurement points: a helper-thread-heavy run (the engine hot
 # path), a stall-heavy baseline run, and a slow-DRAM variant where more
@@ -77,9 +78,48 @@ def measure_point(workload: str, engine: str, instructions: int,
     }
 
 
-def perf_smoke(rounds: int = 3,
-               points: Optional[Sequence[Dict]] = None) -> Dict:
+# The sampled-vs-full measurement point: a GAP workload long enough that
+# clustering has texture, sampled down to under half its instructions.
+SAMPLING_POINT: Dict = {
+    "workload": "bfs", "engine": "baseline",
+    "full_instructions": 60_000, "interval_instructions": 6_000,
+    "k": 4, "warmup_instructions": 2_000,
+}
+
+
+def measure_sampling(point: Optional[Dict] = None) -> Dict:
+    """Sampled-vs-full wall-clock speedup and IPC error for one workload.
+
+    Extends the perf trajectory with the sampling subsystem's headline
+    numbers; deterministic modulo host wall-clock noise.
+    """
+    from repro.sampling import sampled_vs_full
+
+    point = dict(point or SAMPLING_POINT)
+    report = sampled_vs_full(**point)
+    sampled = report["sampled"]
     return {
+        "label": f"{point['workload']}-{point['engine']}-sampled",
+        "workload": point["workload"],
+        "engine": point["engine"],
+        "full_instructions": report["full_instructions"],
+        "interval_instructions": point["interval_instructions"],
+        "clusters": point["k"],
+        "regions": len(sampled["regions"]),
+        "full_ipc": round(report["full_ipc"], 4),
+        "sampled_ipc": round(sampled["ipc"], 4),
+        "ipc_error_pct": report["ipc_error_pct"],
+        "simulated_fraction": round(sampled["simulated_fraction"], 4),
+        "full_wall_seconds": round(report["full_wall_seconds"], 4),
+        "sampled_wall_seconds": round(sampled["wall_seconds"], 4),
+        "wall_speedup": report["wall_speedup"],
+    }
+
+
+def perf_smoke(rounds: int = 3,
+               points: Optional[Sequence[Dict]] = None,
+               include_sampling: bool = False) -> Dict:
+    record = {
         "schema": 1,
         "generated_unix": int(time.time()),
         "host": {
@@ -91,6 +131,9 @@ def perf_smoke(rounds: int = 3,
         "points": [measure_point(rounds=rounds, **point)
                    for point in (points or PERF_POINTS)],
     }
+    if include_sampling:
+        record["sampling"] = measure_sampling()
+    return record
 
 
 def write_perf_record(path, record: Dict) -> None:

@@ -5,9 +5,18 @@ and reports the weighted harmonic mean of their IPCs.  Our workloads are
 synthetic and short, but the *methodology* is reproduced: a workload can
 be evaluated as several (region, weight) pairs, and per-benchmark numbers
 combine across regions exactly the way the paper combines SimPoints.
+
+Regions carry a start offset: a region is the instruction window
+``[start_instruction, start_instruction + max_instructions)``, simulated
+by booting the core from an architectural checkpoint (see
+``repro.sampling``).  Region sets are therefore *disjoint* windows — the
+pre-offset scheme approximated a late region by rerunning its whole
+prefix from instruction 0, which both double-counted the warmup window in
+weighted means and paid full wall-clock per region.
 """
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,19 +31,46 @@ class Region:
     max_instructions: int
     weight: float
     label: str = ""
+    start_instruction: int = 0
+    warmup_instructions: int = 0
 
 
-def weighted_harmonic_ipc(results: Sequence[Tuple[SimResult, float]]) -> float:
-    """Paper Section VI: weighted harmonic mean of region IPCs."""
-    total_w = sum(w for _, w in results)
-    if total_w <= 0:
-        return 0.0
-    denom = 0.0
+class DegenerateRegionError(ValueError):
+    """A region produced a non-positive IPC (wedged or empty run)."""
+
+
+def weighted_harmonic_ipc(results: Sequence[Tuple[SimResult, float]],
+                          on_degenerate: str = "raise") -> float:
+    """Paper Section VI: weighted harmonic mean of region IPCs.
+
+    A region with IPC <= 0 (a wedged or empty run) has no meaningful
+    harmonic contribution.  ``on_degenerate`` selects the policy:
+    ``"raise"`` (default) raises :class:`DegenerateRegionError` so bad
+    data cannot masquerade as a result; ``"skip"`` warns and combines the
+    remaining regions with their weights renormalized.
+    """
+    if on_degenerate not in ("raise", "skip"):
+        raise ValueError(f"on_degenerate must be 'raise' or 'skip', "
+                         f"got {on_degenerate!r}")
+    usable: List[Tuple[float, float]] = []
     for r, w in results:
         ipc = r.ipc
         if ipc <= 0:
-            return 0.0
-        denom += (w / total_w) / ipc
+            label = getattr(r.config, "workload", "?")
+            if on_degenerate == "raise":
+                raise DegenerateRegionError(
+                    f"region of {label!r} has IPC {ipc!r} "
+                    f"(weight {w}); a degenerate region cannot enter a "
+                    f"harmonic mean — pass on_degenerate='skip' to drop it")
+            warnings.warn(f"skipping degenerate region of {label!r} "
+                          f"(IPC {ipc!r}, weight {w}) in weighted harmonic "
+                          f"mean", RuntimeWarning, stacklevel=2)
+            continue
+        usable.append((ipc, w))
+    total_w = sum(w for _, w in usable)
+    if total_w <= 0:
+        return 0.0
+    denom = sum((w / total_w) / ipc for ipc, w in usable)
     return 1.0 / denom if denom else 0.0
 
 
@@ -46,37 +82,73 @@ def weighted_mpki(results: Sequence[Tuple[SimResult, float]]) -> float:
     return sum(r.mpki * w for r, w in results) / total_w
 
 
+def region_config(region: Region, engine: str,
+                  base_config: Optional[RunConfig] = None,
+                  checkpoint_dir=None) -> RunConfig:
+    """The :class:`RunConfig` simulating one region under ``engine``.
+
+    ``base_config`` supplies every non-region field (core, memory, engine
+    configs, cycle caps); region fields override via
+    ``dataclasses.replace`` so those survive untouched.
+    """
+    overrides = dict(
+        workload=region.workload,
+        engine=engine,
+        max_instructions=region.max_instructions,
+        start_instruction=region.start_instruction,
+        warmup_instructions=region.warmup_instructions,
+        checkpoint_dir=checkpoint_dir,
+    )
+    if base_config is not None:
+        return dataclasses.replace(base_config, **overrides)
+    return RunConfig(**overrides)
+
+
 def evaluate_regions(regions: Sequence[Region], engine: str,
-                     base_config: Optional[RunConfig] = None) -> Dict[str, float]:
+                     base_config: Optional[RunConfig] = None,
+                     checkpoint_dir=None,
+                     on_degenerate: str = "raise") -> Dict[str, float]:
     """Simulate every region under ``engine`` and combine the results."""
     pairs: List[Tuple[SimResult, float]] = []
     for region in regions:
-        if base_config is not None:
-            cfg = dataclasses.replace(base_config, workload=region.workload,
-                                      engine=engine,
-                                      max_instructions=region.max_instructions)
-        else:
-            cfg = RunConfig(workload=region.workload, engine=engine,
-                            max_instructions=region.max_instructions)
+        cfg = region_config(region, engine, base_config, checkpoint_dir)
         pairs.append((simulate(cfg), region.weight))
     return {
-        "ipc": weighted_harmonic_ipc(pairs),
+        "ipc": weighted_harmonic_ipc(pairs, on_degenerate=on_degenerate),
         "mpki": weighted_mpki(pairs),
         "regions": len(pairs),
     }
 
 
-# Default region sets: one heavy region per workload, mirroring the
-# "top-weighted SimPoint" the paper leans on, plus a smaller second region
-# for the benchmarks whose behaviour shifts over time.
+# Default region sets: disjoint instruction windows per workload.  astar
+# mirrors the paper's "top-weighted SimPoint plus a smaller early one":
+# the 40 K warmup window and the post-warmup makebound2 window no longer
+# overlap (the pre-offset scheme nested 0-40 K inside 0-100 K, counting
+# the warmup twice in every weighted mean).
 DEFAULT_REGIONS: Dict[str, List[Region]] = {
-    "astar": [Region("astar", 100_000, 0.7, "makebound2"),
+    "astar": [Region("astar", 60_000, 0.7, "makebound2",
+                     start_instruction=40_000, warmup_instructions=2_000),
               Region("astar", 40_000, 0.3, "warmup")],
     "bfs": [Region("bfs", 100_000, 1.0, "frontier")],
     "bc": [Region("bc", 100_000, 1.0, "forward-pass")],
 }
 
 
-def regions_for(workload: str, default_instructions: int = 100_000) -> List[Region]:
+def regions_for(workload: str, default_instructions: int = 100_000,
+                profile=None, k: int = 4, seed: int = 42,
+                warmup_instructions: int = 2_000) -> List[Region]:
+    """Region set for a workload.
+
+    With ``profile`` (an :class:`repro.sampling.IntervalProfile`), the set
+    is auto-derived: intervals are clustered and each cluster contributes
+    its representative window, weighted by instruction share.  Otherwise
+    the curated :data:`DEFAULT_REGIONS` entry (or a single whole-program
+    region) is returned.
+    """
+    if profile is not None:
+        from repro.sampling.validate import regions_from_profile
+
+        return regions_from_profile(profile, k=k, seed=seed,
+                                    warmup_instructions=warmup_instructions)
     return DEFAULT_REGIONS.get(
         workload, [Region(workload, default_instructions, 1.0, "whole")])

@@ -47,12 +47,28 @@ class RunConfig:
     # tracing and implies ``observe=True``.
     observe: bool = False
     observe_config: Optional[ObserveConfig] = None
+    # Sampled simulation (``repro.sampling``): fast-forward the functional
+    # executor ``start_instruction`` instructions, boot the core from the
+    # resulting architectural checkpoint, and only then simulate
+    # ``max_instructions`` cycle-accurately.  ``warmup_instructions`` of
+    # pre-region branch/memory footprint warm the predictor and caches at
+    # boot.  ``checkpoint_dir`` names a shard store so repeated runs (and
+    # other engines) reuse checkpoints instead of re-fast-forwarding.
+    start_instruction: int = 0
+    warmup_instructions: int = 0
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; known: {ENGINES}")
         if self.observe_config is not None:
             self.observe = True
+        if self.start_instruction < 0:
+            raise ValueError("start_instruction must be >= 0")
+        if self.warmup_instructions > self.start_instruction:
+            raise ValueError("warmup_instructions cannot exceed "
+                             "start_instruction (warmup replays the tail of "
+                             "the skipped prefix)")
 
     def to_dict(self) -> dict:
         """The full nested-dataclass serialization (JSON-ready)."""
@@ -64,9 +80,14 @@ class RunConfig:
         Every field participates — including ``memory``, ``core``, engine
         configs, and ``max_cycles`` — so two runs that could produce
         different stats never share a cache entry (the legacy benchmark
-        ``_key()`` ignored memory/cycle-cap fields and collided).
+        ``_key()`` ignored memory/cycle-cap fields and collided).  The one
+        exception is ``checkpoint_dir``: it only says *where* checkpoints
+        are stored, never changes their (deterministic) content, and two
+        runs differing only in storage location must share an entry.
         """
-        payload = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        doc = self.to_dict()
+        doc.pop("checkpoint_dir", None)
+        payload = json.dumps(doc, sort_keys=True, default=str)
         digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
         return f"{self.workload}-{self.engine}-{digest}"
 
@@ -126,6 +147,25 @@ def _build_obs(config: RunConfig) -> Optional[Observability]:
     return Observability(ocfg)
 
 
+def _boot_from_checkpoint(core: Core, config: RunConfig, program) -> None:
+    """Fast-forward (or load) the region-start checkpoint and boot the core.
+
+    Imported lazily: ``repro.sampling`` depends on the harness for its
+    validation half, so the dependency must stay runtime-only here.
+    """
+    from repro.sampling.checkpoint import CheckpointStore, capture_checkpoint
+    from repro.sampling.warmup import apply_warmup
+
+    store = (CheckpointStore(config.checkpoint_dir)
+             if config.checkpoint_dir else None)
+    ckpt = capture_checkpoint(config.workload, config.start_instruction,
+                              config.warmup_instructions, store=store,
+                              program=program)
+    core.boot_state(ckpt.regs, ckpt.mem, ckpt.pc)
+    if config.warmup_instructions:
+        apply_warmup(core, ckpt.warmup)
+
+
 def simulate(config: RunConfig) -> SimResult:
     program = build_workload(config.workload)
     core_cfg = config.core or CoreConfig()
@@ -148,6 +188,8 @@ def simulate(config: RunConfig) -> SimResult:
                 engine=engine, obs=obs)
     if config.engine == "partition_only":
         core.set_partition_mode("MT_ITO")
+    if config.start_instruction > 0:
+        _boot_from_checkpoint(core, config, program)
 
     start = time.time()
     stats = core.run(max_instructions=config.max_instructions,

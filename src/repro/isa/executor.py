@@ -96,6 +96,33 @@ class ArchState:
         self.retired = 0
 
     # ------------------------------------------------------------------
+    # Snapshot hooks (sampled simulation: checkpointed fast-forward).
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Serializable architectural state: regs, memory, pc, progress.
+
+        The undo journal is deliberately excluded — a snapshot is a clean
+        resume point, not a rewindable one.
+        """
+        return {
+            "regs": list(self.regs),
+            "mem": dict(self.mem),
+            "pc": self.pc,
+            "halted": self.halted,
+            "retired": self.retired,
+        }
+
+    def restore_snapshot(self, snap: Dict) -> None:
+        """Adopt a snapshot taken by :meth:`snapshot` (same program)."""
+        self.regs = list(snap["regs"])
+        self.mem = {int(a): int(v) for a, v in snap["mem"].items()}
+        self.pc = int(snap["pc"])
+        self.halted = bool(snap["halted"])
+        self.retired = int(snap["retired"])
+        if self.undo is not None:
+            self.undo = UndoLog()
+
+    # ------------------------------------------------------------------
     def read_mem(self, addr: int) -> int:
         """Read an 8-byte word; untouched memory reads as zero."""
         return self.mem.get(addr & ~7, 0)
@@ -172,6 +199,23 @@ class ArchState:
         self._set_pc(result.next_pc)
         self.retired += 1
         return result
+
+
+def fast_forward(state: ArchState, count: int, observer=None) -> int:
+    """Architecturally execute up to ``count`` instructions.
+
+    ``observer`` (if given) is called with each :class:`StepResult` — the
+    sampling subsystem uses it to collect BBV counts and warmup footprints
+    without the executor knowing about either.  Returns the number of
+    instructions actually executed (short when the program halts).
+    """
+    executed = 0
+    while executed < count and not state.halted:
+        step = state.step()
+        if observer is not None:
+            observer(step)
+        executed += 1
+    return executed
 
 
 def run_program(program: Program, max_steps: int = 10_000_000) -> ArchState:

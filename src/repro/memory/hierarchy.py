@@ -150,6 +150,35 @@ class MemoryHierarchy:
         return ready
 
     # ------------------------------------------------------------------
+    # Warmup interface (sampled simulation).  ``fill`` installs a block
+    # without demand hit/miss accounting, so warming a checkpoint's memory
+    # footprint does not pollute the region's cache statistics; prefetcher
+    # state machines are trained so they start the region mid-stride.
+    # ------------------------------------------------------------------
+    def warm_load(self, pc: int, addr: int) -> None:
+        self.l3.fill(addr)
+        self.l2.fill(addr)
+        self.l1d.fill(addr)
+        targets = []
+        if self.l1_prefetcher is not None:
+            targets.extend(self.l1_prefetcher.train_and_predict(pc, addr))
+        if self.l2_prefetcher is not None:
+            targets.extend(self.l2_prefetcher.train_and_predict(addr))
+        for t in targets:
+            if not self.l1d.lookup(t):
+                self.l1d.fill(t, prefetched=True)
+
+    def warm_store(self, pc: int, addr: int) -> None:
+        self.l3.fill(addr)
+        self.l2.fill(addr)
+        self.l1d.fill(addr)
+
+    def warm_ifetch(self, pc: int) -> None:
+        self.l3.fill(pc)
+        self.l2.fill(pc)
+        self.l1i.fill(pc)
+
+    # ------------------------------------------------------------------
     def _train_prefetchers(self, pc: int, addr: int, now: int) -> None:
         cfg = self.config
         targets = []

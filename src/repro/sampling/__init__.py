@@ -1,0 +1,51 @@
+"""Sampled simulation (the paper's SimPoint methodology, end to end).
+
+The paper evaluates 100 M-instruction SimPoint regions; this package is
+the machinery that makes such regions first-class here:
+
+* :mod:`repro.sampling.bbv` — basic-block-vector profiling over the
+  functional executor (fixed-size instruction intervals);
+* :mod:`repro.sampling.cluster` — deterministic, dependency-free
+  k-means (seeded random projection + k-means++) that picks
+  representative intervals and weights;
+* :mod:`repro.sampling.checkpoint` — architectural checkpoints at region
+  starts, cached as atomic JSON shards alongside the run cache;
+* :mod:`repro.sampling.warmup` — branch/cache warmup collected during
+  the fast-forward and replayed at checkpoint boot;
+* :mod:`repro.sampling.validate` — the profile -> cluster -> sampled-run
+  pipeline plus the sampled-vs-full error report.
+
+Entry points: the ``sample`` CLI verb, ``RunConfig.start_instruction``
+for a single mid-program run, and ``regions_for(..., profile=...)`` for
+profile-derived region sets.
+"""
+
+from repro.sampling.bbv import BBVCollector, IntervalProfile, profile_bbv
+from repro.sampling.checkpoint import (ArchCheckpoint, CheckpointStore,
+                                       capture_checkpoint, checkpoint_key)
+from repro.sampling.cluster import (ClusterResult, RepresentativeInterval,
+                                    cluster_profile, kmeans, project_bbvs)
+from repro.sampling.validate import (regions_from_profile, sampled_run,
+                                     sampled_vs_full)
+from repro.sampling.warmup import WarmupCollector, WarmupLog, apply_warmup
+
+__all__ = [
+    "BBVCollector",
+    "IntervalProfile",
+    "profile_bbv",
+    "ArchCheckpoint",
+    "CheckpointStore",
+    "capture_checkpoint",
+    "checkpoint_key",
+    "ClusterResult",
+    "RepresentativeInterval",
+    "cluster_profile",
+    "kmeans",
+    "project_bbvs",
+    "regions_from_profile",
+    "sampled_run",
+    "sampled_vs_full",
+    "WarmupCollector",
+    "WarmupLog",
+    "apply_warmup",
+]

@@ -1,0 +1,121 @@
+"""Basic-block-vector (BBV) profiling over the functional executor.
+
+SimPoint's front half: the program is executed architecturally (no
+timing), instruction counts are attributed to basic blocks, and every
+``interval_instructions`` retired instructions a per-interval vector of
+block execution counts is emitted.  A basic block is the run of
+instructions from a leader PC up to and including the next control
+transfer (conditional branch — taken or not — JAL, JALR, or HALT), the
+standard SimPoint definition.
+
+Profiles are pure architectural artifacts: deterministic for a given
+(workload, interval size) and independent of every timing knob, so one
+profile serves every engine/memory configuration.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.executor import ArchState, StepResult
+from repro.isa.opcodes import COND_BRANCH_OPS, Opcode
+from repro.isa.program import Program
+from repro.workloads import build_workload
+
+__all__ = ["IntervalProfile", "BBVCollector", "profile_bbv"]
+
+_BLOCK_ENDERS = frozenset(COND_BRANCH_OPS) | {Opcode.JAL, Opcode.JALR, Opcode.HALT}
+
+
+@dataclass
+class IntervalProfile:
+    """Per-interval basic-block vectors for one workload."""
+
+    workload: str
+    interval_instructions: int
+    intervals: List[Dict[int, int]] = field(default_factory=list)
+    total_instructions: int = 0
+    halted: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "interval_instructions": self.interval_instructions,
+            "total_instructions": self.total_instructions,
+            "halted": self.halted,
+            "intervals": [{str(pc): n for pc, n in iv.items()}
+                          for iv in self.intervals],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "IntervalProfile":
+        return cls(
+            workload=doc["workload"],
+            interval_instructions=int(doc["interval_instructions"]),
+            total_instructions=int(doc["total_instructions"]),
+            halted=bool(doc["halted"]),
+            intervals=[{int(pc): int(n) for pc, n in iv.items()}
+                       for iv in doc["intervals"]],
+        )
+
+
+class BBVCollector:
+    """Incremental BBV accumulator fed one :class:`StepResult` at a time."""
+
+    def __init__(self, interval_instructions: int):
+        if interval_instructions <= 0:
+            raise ValueError("interval_instructions must be positive")
+        self.interval_instructions = interval_instructions
+        self.intervals: List[Dict[int, int]] = []
+        self._current: Dict[int, int] = {}
+        self._block_start: Optional[int] = None
+        self._block_len = 0
+        self._in_interval = 0
+
+    def observe(self, step: StepResult) -> None:
+        if self._block_start is None:
+            self._block_start = step.pc
+        self._block_len += 1
+        self._in_interval += 1
+        if step.inst.opcode in _BLOCK_ENDERS:
+            self._flush_block()
+        if self._in_interval >= self.interval_instructions:
+            self._flush_block()
+            self.intervals.append(self._current)
+            self._current = {}
+            self._in_interval = 0
+
+    def _flush_block(self) -> None:
+        if self._block_start is not None and self._block_len:
+            self._current[self._block_start] = (
+                self._current.get(self._block_start, 0) + self._block_len)
+        self._block_start = None
+        self._block_len = 0
+
+    def finish(self) -> None:
+        """Emit the trailing partial interval (if any)."""
+        self._flush_block()
+        if self._current:
+            self.intervals.append(self._current)
+            self._current = {}
+            self._in_interval = 0
+
+
+def profile_bbv(workload: str, max_instructions: int,
+                interval_instructions: int,
+                program: Optional[Program] = None) -> IntervalProfile:
+    """Architecturally execute ``workload`` and emit its interval BBVs."""
+    program = program or build_workload(workload)
+    state = ArchState(program)
+    collector = BBVCollector(interval_instructions)
+    executed = 0
+    while executed < max_instructions and not state.halted:
+        collector.observe(state.step())
+        executed += 1
+    collector.finish()
+    return IntervalProfile(
+        workload=workload,
+        interval_instructions=interval_instructions,
+        intervals=collector.intervals,
+        total_instructions=executed,
+        halted=state.halted,
+    )

@@ -1,0 +1,155 @@
+"""Architectural checkpoints with a sharded, concurrency-safe store.
+
+A checkpoint is the functional executor's state (regs/mem/pc) at a region
+start, plus the warmup footprint of the instructions leading into it.
+Checkpoints are deterministic — the same (workload, start, warmup window)
+always snapshots identical state — so they are cached exactly like run
+results: one JSON file per key, written via temp-file + ``os.replace``
+(the same atomic-shard discipline as :class:`repro.harness.runcache.RunCache`),
+living by default next to the run cache under ``benchmarks/results``.
+Unreadable or corrupt shards are treated as misses and recomputed.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.executor import ArchState, fast_forward
+from repro.isa.program import Program
+from repro.sampling.warmup import WarmupCollector, WarmupLog
+from repro.workloads import build_workload
+
+__all__ = ["ArchCheckpoint", "CheckpointStore", "capture_checkpoint",
+           "checkpoint_key"]
+
+_SCHEMA = 1
+
+
+@dataclass
+class ArchCheckpoint:
+    """Serializable resume point for cycle-accurate simulation."""
+
+    workload: str
+    start_instruction: int          # instructions retired before the region
+    pc: int
+    regs: list
+    mem: dict                       # addr -> 64-bit word
+    halted: bool = False            # program ended before the region start
+    warmup_instructions: int = 0
+    warmup: WarmupLog = field(default_factory=WarmupLog)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": _SCHEMA,
+            "workload": self.workload,
+            "start_instruction": self.start_instruction,
+            "pc": self.pc,
+            "regs": list(self.regs),
+            "mem": {str(a): v for a, v in self.mem.items()},
+            "halted": self.halted,
+            "warmup_instructions": self.warmup_instructions,
+            "warmup": self.warmup.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ArchCheckpoint":
+        return cls(
+            workload=doc["workload"],
+            start_instruction=int(doc["start_instruction"]),
+            pc=int(doc["pc"]),
+            regs=[int(r) for r in doc["regs"]],
+            mem={int(a): int(v) for a, v in doc["mem"].items()},
+            halted=bool(doc["halted"]),
+            warmup_instructions=int(doc.get("warmup_instructions", 0)),
+            warmup=WarmupLog.from_dict(doc.get("warmup", {})),
+        )
+
+
+def checkpoint_key(workload: str, start_instruction: int,
+                   warmup_instructions: int) -> str:
+    """Filename-safe shard key; every determinant of the content is in it."""
+    return f"{workload}-ff{start_instruction}-w{warmup_instructions}"
+
+
+class CheckpointStore:
+    """Directory of one-file-per-checkpoint shards (atomic writers)."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, workload: str, start_instruction: int,
+                 warmup_instructions: int) -> pathlib.Path:
+        return self.root / (checkpoint_key(workload, start_instruction,
+                                           warmup_instructions) + ".json")
+
+    def get(self, workload: str, start_instruction: int,
+            warmup_instructions: int) -> Optional[ArchCheckpoint]:
+        path = self.path_for(workload, start_instruction, warmup_instructions)
+        try:
+            doc = json.loads(path.read_text())
+            if doc.get("schema") != _SCHEMA:
+                raise ValueError("schema mismatch")
+            ckpt = ArchCheckpoint.from_dict(doc)
+        except (FileNotFoundError, json.JSONDecodeError, KeyError,
+                ValueError, OSError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ckpt
+
+    def put(self, ckpt: ArchCheckpoint) -> pathlib.Path:
+        path = self.path_for(ckpt.workload, ckpt.start_instruction,
+                             ckpt.warmup_instructions)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.stem,
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(ckpt.to_dict(), fh, sort_keys=True)
+            os.replace(tmp, path)  # atomic on POSIX: readers never see partials
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def capture_checkpoint(workload: str, start_instruction: int,
+                       warmup_instructions: int = 0,
+                       store: Optional[CheckpointStore] = None,
+                       program: Optional[Program] = None) -> ArchCheckpoint:
+    """Fast-forward to ``start_instruction`` and snapshot (store-cached).
+
+    On a store hit the fast-forward is skipped entirely — that is the
+    wall-clock win of checkpoint reuse across engines and sweeps.
+    """
+    if start_instruction < 0:
+        raise ValueError("start_instruction must be >= 0")
+    if store is not None:
+        ckpt = store.get(workload, start_instruction, warmup_instructions)
+        if ckpt is not None:
+            return ckpt
+    program = program or build_workload(workload)
+    state = ArchState(program)
+    collector = WarmupCollector(warmup_instructions)
+    fast_forward(state, start_instruction, observer=collector.observe)
+    ckpt = ArchCheckpoint(
+        workload=workload,
+        start_instruction=state.retired,
+        pc=state.pc,
+        regs=list(state.regs),
+        mem=dict(state.mem),
+        halted=state.halted,
+        warmup_instructions=warmup_instructions,
+        warmup=collector.log(),
+    )
+    if store is not None:
+        store.put(ckpt)
+    return ckpt

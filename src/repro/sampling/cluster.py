@@ -1,0 +1,169 @@
+"""Deterministic, dependency-free SimPoint-style clustering.
+
+Interval BBVs are L1-normalized, reduced with a seeded random projection
+(SimPoint's own trick for taming the block-count dimensionality), and
+clustered with seeded k-means++ / Lloyd iterations.  Everything is driven
+by ``random.Random(seed)`` and plain floats, so the same profile, k, and
+seed always produce the same clusters, representatives, and weights — on
+any host, with no numpy dependency.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sampling.bbv import IntervalProfile
+
+__all__ = ["ClusterResult", "RepresentativeInterval", "project_bbvs",
+           "kmeans", "cluster_profile"]
+
+
+@dataclass(frozen=True)
+class RepresentativeInterval:
+    """One selected interval: its index, its cluster, and the cluster's
+    share of all profiled instructions."""
+
+    interval_index: int
+    cluster: int
+    weight: float
+    cluster_size: int
+
+
+@dataclass
+class ClusterResult:
+    assignments: List[int]          # interval index -> cluster id
+    representatives: List[RepresentativeInterval]  # sorted by interval_index
+    k: int
+    seed: int
+    projected_dims: int
+
+
+def _projection_row(pc: int, dims: int, seed: int) -> List[float]:
+    """The (deterministic) random unit row for one BBV dimension."""
+    rng = random.Random((seed << 32) ^ pc)
+    return [rng.gauss(0.0, 1.0) for _ in range(dims)]
+
+
+def project_bbvs(intervals: Sequence[Dict[int, int]], dims: int,
+                 seed: int) -> List[List[float]]:
+    """L1-normalize each BBV and project it to ``dims`` dimensions."""
+    rows: Dict[int, List[float]] = {}
+    points = []
+    for bbv in intervals:
+        total = float(sum(bbv.values())) or 1.0
+        point = [0.0] * dims
+        for pc, count in bbv.items():
+            row = rows.get(pc)
+            if row is None:
+                row = rows[pc] = _projection_row(pc, dims, seed)
+            w = count / total
+            for d in range(dims):
+                point[d] += w * row[d]
+        points.append(point)
+    return points
+
+
+def _dist2(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def kmeans(points: Sequence[Sequence[float]], k: int, seed: int,
+           max_iters: int = 100) -> List[int]:
+    """Seeded k-means++ initialization + Lloyd iterations to convergence.
+
+    Returns per-point cluster assignments.  Empty clusters are reseeded
+    from the point farthest from its centroid, so exactly ``k`` clusters
+    survive whenever there are at least ``k`` distinct points.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    k = min(k, n)
+    rng = random.Random(seed)
+
+    # k-means++ seeding.
+    centroids = [list(points[rng.randrange(n)])]
+    d2 = [_dist2(p, centroids[0]) for p in points]
+    while len(centroids) < k:
+        total = sum(d2)
+        if total <= 0.0:
+            centroids.append(list(points[rng.randrange(n)]))
+            continue
+        r = rng.random() * total
+        acc = 0.0
+        pick = n - 1
+        for i, d in enumerate(d2):
+            acc += d
+            if acc >= r:
+                pick = i
+                break
+        centroids.append(list(points[pick]))
+        d2 = [min(old, _dist2(p, centroids[-1])) for old, p in zip(d2, points)]
+
+    assignments = [0] * n
+    for _ in range(max_iters):
+        changed = False
+        for i, p in enumerate(points):
+            best, best_d = 0, _dist2(p, centroids[0])
+            for c in range(1, len(centroids)):
+                d = _dist2(p, centroids[c])
+                if d < best_d:
+                    best, best_d = c, d
+            if assignments[i] != best:
+                assignments[i] = best
+                changed = True
+        # Recompute centroids; reseed any empty cluster deterministically.
+        counts = [0] * len(centroids)
+        sums = [[0.0] * len(points[0]) for _ in centroids]
+        for i, p in enumerate(points):
+            c = assignments[i]
+            counts[c] += 1
+            for d in range(len(p)):
+                sums[c][d] += p[d]
+        for c in range(len(centroids)):
+            if counts[c]:
+                centroids[c] = [s / counts[c] for s in sums[c]]
+            else:
+                far = max(range(n),
+                          key=lambda i: _dist2(points[i],
+                                               centroids[assignments[i]]))
+                centroids[c] = list(points[far])
+                changed = True
+        if not changed:
+            break
+    return assignments
+
+
+def cluster_profile(profile: IntervalProfile, k: int, seed: int = 42,
+                    dims: int = 16) -> ClusterResult:
+    """Cluster a profile's intervals and pick one representative each.
+
+    The representative of a cluster is the member interval closest to the
+    cluster centroid (in projected space); its weight is the cluster's
+    share of the total profiled instructions, so weights stay correct even
+    when the trailing interval is short.
+    """
+    points = project_bbvs(profile.intervals, dims, seed)
+    assignments = kmeans(points, k, seed)
+    if not assignments:
+        return ClusterResult([], [], k=k, seed=seed, projected_dims=dims)
+
+    clusters: Dict[int, List[int]] = {}
+    for i, c in enumerate(assignments):
+        clusters.setdefault(c, []).append(i)
+
+    inst_counts = [sum(bbv.values()) for bbv in profile.intervals]
+    total_insts = float(sum(inst_counts)) or 1.0
+
+    reps = []
+    for c, members in sorted(clusters.items()):
+        centroid = [sum(points[i][d] for i in members) / len(members)
+                    for d in range(len(points[0]))]
+        rep = min(members, key=lambda i: (_dist2(points[i], centroid), i))
+        weight = sum(inst_counts[i] for i in members) / total_insts
+        reps.append(RepresentativeInterval(
+            interval_index=rep, cluster=c, weight=weight,
+            cluster_size=len(members)))
+    reps.sort(key=lambda r: r.interval_index)
+    return ClusterResult(assignments=assignments, representatives=reps,
+                         k=k, seed=seed, projected_dims=dims)

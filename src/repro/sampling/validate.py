@@ -1,0 +1,140 @@
+"""End-to-end sampled simulation and sampled-vs-full validation.
+
+``sampled_run`` is the whole pipeline: BBV profile -> cluster -> one
+checkpointed cycle-accurate run per representative region -> weighted
+combination (the same weighted harmonic mean the paper applies to its
+SimPoints).  ``sampled_vs_full`` additionally runs the full program
+cycle-accurately and reports the IPC error, the fraction of instructions
+simulated in detail, and the wall-clock speedup — the report the CI
+sampling smoke job uploads as an artifact.
+"""
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+from repro.sampling.bbv import IntervalProfile, profile_bbv
+from repro.sampling.checkpoint import CheckpointStore
+from repro.sampling.cluster import ClusterResult, cluster_profile
+
+__all__ = ["regions_from_profile", "sampled_run", "sampled_vs_full"]
+
+
+def regions_from_profile(profile: IntervalProfile, k: int = 4,
+                         seed: int = 42,
+                         warmup_instructions: int = 2000,
+                         clusters: Optional[ClusterResult] = None) -> List:
+    """Representative :class:`~repro.harness.regions.Region` set for a
+    profile: one region per cluster, starting at the representative
+    interval's offset, weighted by the cluster's instruction share."""
+    from repro.harness.regions import Region
+
+    clusters = clusters or cluster_profile(profile, k, seed)
+    interval = profile.interval_instructions
+    regions = []
+    for rep in clusters.representatives:
+        start = rep.interval_index * interval
+        length = sum(profile.intervals[rep.interval_index].values())
+        regions.append(Region(
+            workload=profile.workload,
+            max_instructions=length,
+            weight=rep.weight,
+            label=f"cluster{rep.cluster}@{start}",
+            start_instruction=start,
+            warmup_instructions=min(warmup_instructions, start),
+        ))
+    return regions
+
+
+def sampled_run(workload: str, engine: str, full_instructions: int,
+                interval_instructions: int, k: int = 4, seed: int = 42,
+                warmup_instructions: int = 2000,
+                checkpoint_dir=None, base_config=None,
+                profile: Optional[IntervalProfile] = None) -> Dict:
+    """Profile -> cluster -> checkpointed sampled simulation."""
+    from repro.harness.regions import evaluate_regions
+
+    t0 = time.time()
+    if profile is None:
+        profile = profile_bbv(workload, full_instructions,
+                              interval_instructions)
+    clusters = cluster_profile(profile, k, seed)
+    regions = regions_from_profile(profile, k, seed, warmup_instructions,
+                                   clusters=clusters)
+    # How many of this region set's checkpoints already exist as shards:
+    # 0 on the first invocation, all of them on a re-run (checkpoint
+    # reuse).  A region starting at instruction 0 boots cold and never
+    # materializes a checkpoint, so it is excluded from the ratio.
+    reused = None
+    need_ckpt = [r for r in regions if r.start_instruction > 0]
+    if checkpoint_dir:
+        store = CheckpointStore(checkpoint_dir)
+        reused = sum(
+            1 for r in need_ckpt
+            if store.get(profile.workload, r.start_instruction,
+                         r.warmup_instructions) is not None)
+    combined = evaluate_regions(regions, engine, base_config=base_config,
+                                checkpoint_dir=checkpoint_dir)
+    wall = time.time() - t0
+    simulated = sum(r.max_instructions for r in regions)
+    return {
+        "workload": workload,
+        "engine": engine,
+        "ipc": combined["ipc"],
+        "mpki": combined["mpki"],
+        "regions": [
+            {"start": r.start_instruction, "instructions": r.max_instructions,
+             "weight": round(r.weight, 6), "label": r.label}
+            for r in regions
+        ],
+        "intervals_profiled": len(profile.intervals),
+        "instructions_profiled": profile.total_instructions,
+        "instructions_simulated": simulated,
+        "simulated_fraction": (simulated / profile.total_instructions
+                               if profile.total_instructions else 0.0),
+        "checkpoints_total": len(need_ckpt),
+        "checkpoints_reused": reused,
+        "wall_seconds": wall,
+    }
+
+
+def sampled_vs_full(workload: str, engine: str, full_instructions: int,
+                    interval_instructions: int, k: int = 4, seed: int = 42,
+                    warmup_instructions: int = 2000,
+                    checkpoint_dir=None, base_config=None) -> Dict:
+    """The validation report: sampled pipeline vs the full-length run."""
+    from repro.harness.simulator import RunConfig, simulate
+
+    if base_config is not None:
+        full_cfg = dataclasses.replace(base_config, workload=workload,
+                                       engine=engine,
+                                       max_instructions=full_instructions,
+                                       start_instruction=0,
+                                       warmup_instructions=0)
+    else:
+        full_cfg = RunConfig(workload=workload, engine=engine,
+                             max_instructions=full_instructions)
+    t0 = time.time()
+    full = simulate(full_cfg)
+    full_wall = time.time() - t0
+
+    sampled = sampled_run(workload, engine, full_instructions,
+                          interval_instructions, k=k, seed=seed,
+                          warmup_instructions=warmup_instructions,
+                          checkpoint_dir=checkpoint_dir,
+                          base_config=base_config)
+    full_ipc = full.ipc
+    error = (abs(sampled["ipc"] - full_ipc) / full_ipc if full_ipc else None)
+    return {
+        "workload": workload,
+        "engine": engine,
+        "full_instructions": full.stats.retired,
+        "full_ipc": full_ipc,
+        "full_mpki": full.mpki,
+        "full_wall_seconds": full_wall,
+        "sampled": sampled,
+        "ipc_error": error,
+        "ipc_error_pct": round(error * 100, 2) if error is not None else None,
+        "wall_speedup": (round(full_wall / sampled["wall_seconds"], 3)
+                         if sampled["wall_seconds"] else None),
+    }

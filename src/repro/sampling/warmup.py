@@ -1,0 +1,98 @@
+"""Lightweight warmup for checkpointed simulation.
+
+A cold checkpoint boot starts the region with empty caches and an
+untrained branch predictor, which biases short regions pessimistic.
+During the functional fast-forward the last ``warmup_instructions`` steps
+are distilled into a :class:`WarmupLog` — conditional-branch outcomes,
+load/store footprints, and the instruction-fetch line stream — which is
+replayed into the core's predictor/BTB and memory hierarchy at boot
+through their ``warm`` interfaces (no cycles simulated, no demand-miss
+stats polluted).
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.isa.executor import StepResult
+from repro.isa.opcodes import Opcode
+
+__all__ = ["WarmupLog", "WarmupCollector", "apply_warmup"]
+
+
+@dataclass
+class WarmupLog:
+    """Replayable footprint of the instructions just before a region."""
+
+    # (pc, taken, target) per conditional branch, in execution order.
+    branches: List[Tuple[int, int, int]] = field(default_factory=list)
+    # (pc, addr, is_store) per memory access, in execution order.
+    mem: List[Tuple[int, int, int]] = field(default_factory=list)
+    # PC per fetched cache line (consecutive duplicates elided).
+    iblocks: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"branches": [list(b) for b in self.branches],
+                "mem": [list(m) for m in self.mem],
+                "iblocks": list(self.iblocks)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WarmupLog":
+        return cls(branches=[tuple(b) for b in doc.get("branches", [])],
+                   mem=[tuple(m) for m in doc.get("mem", [])],
+                   iblocks=list(doc.get("iblocks", [])))
+
+
+class WarmupCollector:
+    """Keeps the warmup footprint of the most recent ``window`` steps.
+
+    Bounded deques make collection O(1) per step regardless of how far
+    the fast-forward travels; ``window=0`` collects nothing.
+    """
+
+    def __init__(self, window: int, line_bytes: int = 64):
+        self.window = max(0, window)
+        self._branches = deque(maxlen=self.window or 1)
+        self._mem = deque(maxlen=self.window or 1)
+        self._iblocks = deque(maxlen=self.window or 1)
+        self._line_shift = line_bytes.bit_length() - 1
+        self._last_line = None
+
+    def observe(self, step: StepResult) -> None:
+        if not self.window:
+            return
+        line = step.pc >> self._line_shift
+        if line != self._last_line:
+            self._iblocks.append(step.pc)
+            self._last_line = line
+        if step.taken is not None:
+            self._branches.append((step.pc, int(step.taken), step.inst.imm))
+        if step.mem_addr is not None:
+            self._mem.append((step.pc, step.mem_addr,
+                              int(step.inst.opcode is Opcode.SD)))
+
+    def log(self) -> WarmupLog:
+        return WarmupLog(branches=list(self._branches),
+                         mem=list(self._mem),
+                         iblocks=list(self._iblocks))
+
+
+def apply_warmup(core, log: WarmupLog) -> None:
+    """Replay a warmup log into a freshly booted core.
+
+    Caches and prefetchers are warmed through the hierarchy's ``warm_*``
+    interface; the direction predictor gets full predict/update rounds via
+    :meth:`BranchPredictor.warm`, and taken branches seed the BTB.
+    """
+    hierarchy = core.hierarchy
+    for pc in log.iblocks:
+        hierarchy.warm_ifetch(pc)
+    for pc, addr, is_store in log.mem:
+        if is_store:
+            hierarchy.warm_store(pc, addr)
+        else:
+            hierarchy.warm_load(pc, addr)
+    for pc, taken, target in log.branches:
+        core.predictor.warm(pc, bool(taken))
+        if taken:
+            core.btb.insert(pc, target)

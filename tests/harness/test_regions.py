@@ -1,18 +1,23 @@
 import pytest
 
+from repro.core import CoreConfig
 from repro.harness.regions import (
+    DEFAULT_REGIONS,
+    DegenerateRegionError,
     Region,
     evaluate_regions,
+    region_config,
     regions_for,
     weighted_harmonic_ipc,
     weighted_mpki,
 )
 from repro.harness.simulator import SimResult, RunConfig
 from repro.core.stats import SimStats
+from repro.memory.hierarchy import MemoryConfig
 
 
 def _result(ipc, mpki, retired=1000):
-    stats = SimStats(cycles=int(retired / ipc), retired=retired,
+    stats = SimStats(cycles=int(retired / ipc) if ipc else 0, retired=retired,
                      mispredicts=int(mpki * retired / 1000))
     return SimResult(config=RunConfig(workload="astar"), stats=stats,
                      wall_seconds=0.0)
@@ -40,6 +45,33 @@ class TestWeightedMeans:
         assert v == pytest.approx(25.0, rel=0.05)
 
 
+class TestDegenerateRegions:
+    """A region with IPC <= 0 must never silently zero the mean."""
+
+    def test_default_raises(self):
+        with pytest.raises(DegenerateRegionError):
+            weighted_harmonic_ipc([(_result(2.0, 0), 0.5),
+                                   (_result(0.0, 0), 0.5)])
+
+    def test_skip_warns_and_renormalizes(self):
+        with pytest.warns(RuntimeWarning):
+            v = weighted_harmonic_ipc([(_result(2.0, 0), 0.5),
+                                       (_result(0.0, 0), 0.5)],
+                                      on_degenerate="skip")
+        # Only the healthy region remains, at full weight.
+        assert v == pytest.approx(2.0, rel=1e-2)
+
+    def test_skip_all_degenerate_returns_zero(self):
+        with pytest.warns(RuntimeWarning):
+            v = weighted_harmonic_ipc([(_result(0.0, 0), 1.0)],
+                                      on_degenerate="skip")
+        assert v == 0.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_ipc([], on_degenerate="ignore")
+
+
 class TestRegionSets:
     def test_default_region_fallback(self):
         regions = regions_for("xz")
@@ -51,8 +83,85 @@ class TestRegionSets:
         assert len(regions) == 2
         assert sum(r.weight for r in regions) == pytest.approx(1.0)
 
+    def test_default_regions_are_disjoint(self):
+        # The old astar set nested [0, 40K) inside [0, 100K), counting the
+        # warmup window twice in every weighted mean.
+        for workload, regions in DEFAULT_REGIONS.items():
+            windows = sorted((r.start_instruction,
+                              r.start_instruction + r.max_instructions)
+                             for r in regions)
+            for (_, prev_end), (start, _) in zip(windows, windows[1:]):
+                assert start >= prev_end, f"{workload} regions overlap"
+
     def test_evaluate_regions_runs(self):
         regions = [Region("perlbench", 10_000, 0.6), Region("perlbench", 5_000, 0.4)]
         out = evaluate_regions(regions, "baseline")
         assert out["regions"] == 2
         assert out["ipc"] > 0
+
+    def test_evaluate_regions_with_offsets_runs(self):
+        regions = [Region("bfs", 2_000, 0.5, start_instruction=4_000,
+                          warmup_instructions=1_000),
+                   Region("bfs", 2_000, 0.5)]
+        out = evaluate_regions(regions, "baseline")
+        assert out["regions"] == 2
+        assert out["ipc"] > 0
+
+    def test_regions_for_derives_from_profile(self):
+        from repro.sampling import profile_bbv
+
+        profile = profile_bbv("bfs", 12_000, 3_000)
+        regions = regions_for("bfs", profile=profile, k=2, seed=42)
+        assert 1 <= len(regions) <= 2
+        assert sum(r.weight for r in regions) == pytest.approx(1.0)
+        for r in regions:
+            assert r.start_instruction % 3_000 == 0
+            assert r.warmup_instructions <= r.start_instruction
+
+
+class TestRegionConfig:
+    """Engine/memory/core overrides must survive ``dataclasses.replace``."""
+
+    BASE = RunConfig(workload="placeholder", engine="phelps",
+                     max_instructions=99,
+                     core=CoreConfig(rob_size=64),
+                     memory=MemoryConfig(dram_latency=400),
+                     max_cycles=123_456)
+
+    def test_region_fields_override(self):
+        region = Region("bfs", 2_000, 1.0, start_instruction=4_000,
+                        warmup_instructions=500)
+        cfg = region_config(region, "baseline", self.BASE,
+                            checkpoint_dir="/tmp/ck")
+        assert cfg.workload == "bfs"
+        assert cfg.engine == "baseline"
+        assert cfg.max_instructions == 2_000
+        assert cfg.start_instruction == 4_000
+        assert cfg.warmup_instructions == 500
+        assert cfg.checkpoint_dir == "/tmp/ck"
+
+    def test_base_overrides_survive(self):
+        region = Region("bfs", 2_000, 1.0)
+        cfg = region_config(region, "baseline", self.BASE)
+        assert cfg.core.rob_size == 64
+        assert cfg.memory.dram_latency == 400
+        assert cfg.max_cycles == 123_456
+
+    def test_no_base_uses_defaults(self):
+        cfg = region_config(Region("bfs", 2_000, 1.0), "baseline")
+        assert cfg.core is None and cfg.memory is None
+
+    def test_evaluate_regions_with_base_config(self):
+        # End-to-end: a non-default memory config actually reaches the
+        # simulated runs (slow DRAM must hurt IPC).
+        regions = [Region("bfs", 2_000, 1.0, start_instruction=2_000,
+                          warmup_instructions=500)]
+        fast = evaluate_regions(regions, "baseline")
+        slow = evaluate_regions(
+            regions, "baseline",
+            base_config=RunConfig(
+                workload="bfs",
+                memory=MemoryConfig(dram_latency=1_000,
+                                    enable_l1_prefetcher=False,
+                                    enable_l2_prefetcher=False)))
+        assert slow["ipc"] < fast["ipc"]

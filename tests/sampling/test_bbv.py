@@ -1,0 +1,68 @@
+"""BBV profiler: interval shapes, block accounting, determinism, serde."""
+
+import pytest
+
+from repro.isa.executor import ArchState, fast_forward
+from repro.sampling.bbv import BBVCollector, IntervalProfile, profile_bbv
+from repro.workloads import build_workload
+
+
+def test_interval_counts_sum_to_executed_instructions():
+    p = profile_bbv("perlbench", 10_000, 1_000)
+    assert p.total_instructions == 10_000
+    assert sum(sum(iv.values()) for iv in p.intervals) == 10_000
+    # Every full interval holds exactly interval_instructions counts.
+    for iv in p.intervals[:-1]:
+        assert sum(iv.values()) == 1_000
+
+
+def test_profile_is_deterministic():
+    a = profile_bbv("bfs", 8_000, 2_000)
+    b = profile_bbv("bfs", 8_000, 2_000)
+    assert a.intervals == b.intervals
+    assert a.total_instructions == b.total_instructions
+
+
+def test_block_leaders_are_code_pcs():
+    prog = build_workload("astar")
+    p = profile_bbv("astar", 5_000, 1_000, program=build_workload("astar"))
+    for iv in p.intervals:
+        for pc in iv:
+            assert prog.fetch(pc) is not None, hex(pc)
+
+
+def test_halting_program_stops_early():
+    # perlbench at a huge budget: the profile stops at HALT, flagged halted.
+    p = profile_bbv("perlbench", 100_000_000, 10_000)
+    assert p.halted
+    assert p.total_instructions < 100_000_000
+    assert sum(sum(iv.values()) for iv in p.intervals) == p.total_instructions
+
+
+def test_trailing_partial_interval_is_kept():
+    p = profile_bbv("perlbench", 10_500, 1_000)
+    assert len(p.intervals) == 11
+    assert sum(p.intervals[-1].values()) == 500
+
+
+def test_serialization_round_trip():
+    p = profile_bbv("bfs", 6_000, 2_000)
+    q = IntervalProfile.from_dict(p.to_dict())
+    assert q.workload == p.workload
+    assert q.interval_instructions == p.interval_instructions
+    assert q.intervals == p.intervals
+    assert q.total_instructions == p.total_instructions
+    assert q.halted == p.halted
+
+
+def test_collector_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        BBVCollector(0)
+
+
+def test_profile_matches_fast_forward_progress():
+    # The profiler and a bare fast-forward see the same instruction stream.
+    state = ArchState(build_workload("bfs"))
+    executed = fast_forward(state, 7_000)
+    p = profile_bbv("bfs", 7_000, 7_000)
+    assert executed == p.total_instructions == 7_000

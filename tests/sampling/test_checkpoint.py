@@ -1,0 +1,105 @@
+"""Checkpoint capture + sharded store: round-trip, corruption, reuse.
+
+Mirrors ``tests/harness/test_runcache.py`` for the checkpoint shards:
+atomic one-file-per-key layout, corrupt shards read as misses, and the
+second capture of the same key comes from the store, not a re-execution.
+"""
+
+import json
+
+from repro.isa.executor import ArchState, fast_forward
+from repro.sampling.checkpoint import (ArchCheckpoint, CheckpointStore,
+                                       capture_checkpoint, checkpoint_key)
+from repro.workloads import build_workload
+
+
+def test_checkpoint_matches_functional_execution():
+    ck = capture_checkpoint("bfs", 4_000)
+    ref = ArchState(build_workload("bfs"))
+    fast_forward(ref, 4_000)
+    assert ck.pc == ref.pc
+    assert ck.regs == ref.regs
+    assert ck.mem == ref.mem
+    assert ck.start_instruction == 4_000
+    assert not ck.halted
+
+
+def test_capture_past_halt_is_flagged():
+    ck = capture_checkpoint("perlbench", 100_000_000)
+    assert ck.halted
+    assert ck.start_instruction < 100_000_000
+
+
+def test_store_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path)
+    ck = capture_checkpoint("bfs", 2_000, warmup_instructions=500,
+                            store=store)
+    path = store.path_for("bfs", 2_000, 500)
+    assert path.exists()
+    assert path.name == checkpoint_key("bfs", 2_000, 500) + ".json"
+
+    loaded = CheckpointStore(tmp_path).get("bfs", 2_000, 500)
+    assert loaded is not None
+    assert loaded.pc == ck.pc
+    assert loaded.regs == ck.regs
+    assert loaded.mem == ck.mem
+    assert loaded.warmup.branches == ck.warmup.branches
+    assert loaded.warmup.mem == ck.warmup.mem
+    assert loaded.warmup.iblocks == ck.warmup.iblocks
+
+
+def test_second_capture_hits_the_shard(tmp_path):
+    store = CheckpointStore(tmp_path)
+    capture_checkpoint("bfs", 1_000, store=store)
+    assert (store.hits, store.misses) == (0, 1)
+    capture_checkpoint("bfs", 1_000, store=store)
+    assert (store.hits, store.misses) == (1, 1)
+    # A fresh store over the same directory also hits.
+    other = CheckpointStore(tmp_path)
+    capture_checkpoint("bfs", 1_000, store=other)
+    assert (other.hits, other.misses) == (1, 0)
+
+
+def test_keys_are_distinct_per_start_and_warmup(tmp_path):
+    keys = {checkpoint_key("bfs", 1_000, 0),
+            checkpoint_key("bfs", 2_000, 0),
+            checkpoint_key("bfs", 1_000, 500),
+            checkpoint_key("astar", 1_000, 0)}
+    assert len(keys) == 4
+
+
+def test_corrupt_shard_is_a_miss_and_recomputed(tmp_path):
+    store = CheckpointStore(tmp_path)
+    ck = capture_checkpoint("bfs", 1_500, store=store)
+    path = store.path_for("bfs", 1_500, 0)
+    path.write_text("{not json")
+
+    fresh = CheckpointStore(tmp_path)
+    assert fresh.get("bfs", 1_500, 0) is None
+    # capture falls back to re-execution and heals the shard.
+    again = capture_checkpoint("bfs", 1_500, store=fresh)
+    assert again.pc == ck.pc
+    assert json.loads(path.read_text())["pc"] == ck.pc
+
+
+def test_schema_mismatch_is_a_miss(tmp_path):
+    store = CheckpointStore(tmp_path)
+    capture_checkpoint("bfs", 1_200, store=store)
+    path = store.path_for("bfs", 1_200, 0)
+    doc = json.loads(path.read_text())
+    doc["schema"] = 999
+    path.write_text(json.dumps(doc))
+    assert CheckpointStore(tmp_path).get("bfs", 1_200, 0) is None
+
+
+def test_no_stray_tmp_files_after_put(tmp_path):
+    store = CheckpointStore(tmp_path)
+    capture_checkpoint("bfs", 1_000, store=store)
+    capture_checkpoint("bfs", 2_000, store=store)
+    assert sorted(p.suffix for p in tmp_path.iterdir()) == [".json", ".json"]
+
+
+def test_dict_round_trip_preserves_everything():
+    ck = capture_checkpoint("astar", 3_000, warmup_instructions=1_000)
+    rt = ArchCheckpoint.from_dict(ck.to_dict())
+    assert rt == ck

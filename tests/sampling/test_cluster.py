@@ -1,0 +1,86 @@
+"""Clustering: determinism, separation, weights, representative choice."""
+
+import pytest
+
+from repro.sampling.bbv import IntervalProfile
+from repro.sampling.cluster import cluster_profile, kmeans, project_bbvs
+
+
+def _profile(intervals, interval_instructions=1_000):
+    return IntervalProfile(
+        workload="synthetic",
+        interval_instructions=interval_instructions,
+        intervals=intervals,
+        total_instructions=sum(sum(iv.values()) for iv in intervals),
+    )
+
+
+def _two_phase_profile():
+    # Phase A executes blocks {0x1000, 0x1010}; phase B {0x2000, 0x2010}.
+    a = {0x1000: 600, 0x1010: 400}
+    b = {0x2000: 500, 0x2010: 500}
+    return _profile([a, a, a, b, b, a, b, b])
+
+
+def test_kmeans_is_deterministic():
+    points = project_bbvs(_two_phase_profile().intervals, dims=8, seed=7)
+    assert kmeans(points, 2, seed=7) == kmeans(points, 2, seed=7)
+
+
+def test_separable_phases_get_separated():
+    result = cluster_profile(_two_phase_profile(), k=2, seed=42)
+    a_ids = {result.assignments[i] for i in (0, 1, 2, 5)}
+    b_ids = {result.assignments[i] for i in (3, 4, 6, 7)}
+    assert len(a_ids) == 1 and len(b_ids) == 1
+    assert a_ids != b_ids
+
+
+def test_weights_sum_to_one_and_match_cluster_shares():
+    result = cluster_profile(_two_phase_profile(), k=2, seed=42)
+    total = sum(r.weight for r in result.representatives)
+    assert total == pytest.approx(1.0)
+    # 4 intervals each, identical instruction counts -> 0.5 / 0.5.
+    for rep in result.representatives:
+        assert rep.weight == pytest.approx(0.5)
+        assert rep.cluster_size == 4
+
+
+def test_representative_is_a_member_of_its_cluster():
+    result = cluster_profile(_two_phase_profile(), k=2, seed=42)
+    for rep in result.representatives:
+        assert result.assignments[rep.interval_index] == rep.cluster
+
+
+def test_cluster_profile_is_deterministic_across_calls():
+    p = _two_phase_profile()
+    r1 = cluster_profile(p, k=3, seed=11)
+    r2 = cluster_profile(p, k=3, seed=11)
+    assert r1.assignments == r2.assignments
+    assert r1.representatives == r2.representatives
+
+
+def test_seed_changes_projection():
+    p = _two_phase_profile()
+    a = project_bbvs(p.intervals, dims=8, seed=1)
+    b = project_bbvs(p.intervals, dims=8, seed=2)
+    assert a != b
+
+
+def test_k_capped_at_interval_count():
+    p = _profile([{0x1000: 100}, {0x2000: 100}])
+    result = cluster_profile(p, k=10, seed=3)
+    assert len(result.representatives) <= 2
+    assert sum(r.weight for r in result.representatives) == pytest.approx(1.0)
+
+
+def test_empty_profile_yields_no_representatives():
+    result = cluster_profile(_profile([]), k=4, seed=5)
+    assert result.representatives == []
+    assert result.assignments == []
+
+
+def test_identical_intervals_collapse_to_one_effective_cluster():
+    iv = {0x1000: 1_000}
+    p = _profile([iv, dict(iv), dict(iv), dict(iv)])
+    result = cluster_profile(p, k=2, seed=9)
+    assert sum(r.weight for r in result.representatives) == pytest.approx(1.0)
