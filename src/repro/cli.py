@@ -12,6 +12,8 @@
     python -m repro perf --out BENCH_perf.json
     python -m repro costs
     python -m repro inspect astar
+    python -m repro guard --matrix -n 30000
+    python -m repro guard --chaos -w astar bfs --bundle chaos.json
 """
 
 import argparse
@@ -27,6 +29,29 @@ from repro.workloads import workload_names
 
 _ENGINE_CHOICES = ["baseline", "perfbp", "phelps", "br", "br_nonspec", "br12",
                    "partition_only"]
+
+# Distinct nonzero exit codes so CI / scripts can tell the failure modes
+# apart without parsing stderr (documented in ``guard --help``).  2 is
+# argparse's usage-error code; 1 stays the generic failure.
+EXIT_HANG = 3            # forward-progress watchdog fired (SimulationHang)
+EXIT_DIVERGENCE = 4      # golden-model divergence (DivergenceError)
+EXIT_WORKER_FAILURE = 5  # simulate_many run failed every attempt
+EXIT_INVARIANT = 6       # cycle-level sanitizer violation (InvariantViolation)
+
+_EXIT_CODE_DOC = """\
+exit codes:
+  0  success
+  1  generic failure (e.g. a chaos case neither recovered nor failed fast)
+  2  usage error
+  3  simulation hang: the forward-progress watchdog saw no main-thread
+     commit for CoreConfig.watchdog_cycles cycles (SimulationHang)
+  4  golden-model divergence: committed architectural state disagreed
+     with the oracle functional executor (DivergenceError)
+  5  worker failure: a simulate_many run failed on every attempt
+     (SimulationFailed)
+  6  invariant violation: the cycle-level sanitizer found inconsistent
+     microarchitectural state (InvariantViolation)
+"""
 
 
 def _cmd_list(args) -> int:
@@ -245,6 +270,11 @@ def _cmd_perf(args) -> int:
         print(f"{s['label']}: sampled-vs-full wall speedup "
               f"{s['wall_speedup']}x, IPC error {s['ipc_error_pct']}%, "
               f"{s['simulated_fraction']:.0%} of insts cycle-accurate")
+    g = record.get("guard")
+    if g:
+        print(f"{g['label']}: off {g['wall_seconds_off']:.2f}s, "
+              f"commit +{g['commit_overhead_pct']}%, "
+              f"full +{g['full_overhead_pct']}%")
     if args.out:
         write_perf_record(args.out, record)
         print(f"perf record -> {args.out}")
@@ -272,6 +302,71 @@ def _cmd_stats(args) -> int:
 def _cmd_costs(args) -> int:
     print(cost_table())
     return 0
+
+
+def _guard_phelps_config() -> PhelpsConfig:
+    """Short-epoch config so Phelps actually deploys within a 30k-inst
+    guard run (the default 4000-inst epochs under-train live-in analysis
+    at that horizon)."""
+    return PhelpsConfig(epoch_length=8000, min_iterations_per_visit=8)
+
+
+def _cmd_guard(args) -> int:
+    import dataclasses
+
+    from repro.core import CoreConfig
+
+    workloads = args.workloads or list(workload_names())
+
+    if args.chaos:
+        from repro.guard.chaos import run_chaos_suite
+
+        report = run_chaos_suite(workloads, instructions=args.instructions,
+                                 seed=args.seed)
+        for case in report["cases"]:
+            mark = "ok    " if case["outcome"] == "recovered" else "FAILED"
+            line = f"  {mark} {case['fault']:20s} {case['workload']}"
+            if case["error"]:
+                line += f"  ({case['error']})"
+            print(line)
+        print(f"chaos: {len(report['cases'])} cases, "
+              f"{report['failed']} failed (seed {report['seed']})")
+        if args.bundle:
+            with open(args.bundle, "w") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True, default=str)
+            print(f"  report -> {args.bundle}")
+        return 0 if report["failed"] == 0 else 1
+
+    engines = args.engines
+    core_cfg = CoreConfig(guard_level=args.level,
+                          guard_check_interval=args.interval)
+    failures = 0
+    for workload in workloads:
+        for engine in engines:
+            phelps_cfg = (_guard_phelps_config()
+                          if engine in ("phelps", "br", "br12", "br_nonspec")
+                          else None)
+            cfg = RunConfig(workload=workload, engine=engine,
+                            max_instructions=args.instructions,
+                            core=dataclasses.replace(core_cfg),
+                            phelps_config=phelps_cfg, observe=True)
+            # A guard error raised here propagates to main(), which maps
+            # it to its exit code and writes --bundle if given.
+            result = simulate(cfg)
+            checked = int(result.stats.metrics.get("guard.checked", 0))
+            sweeps = int(result.stats.metrics.get("guard.sweeps", 0))
+            if checked == 0:
+                print(f"  FAILED {workload}/{engine}: guard checked nothing",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            print(f"  ok     {workload:12s} {engine:10s} "
+                  f"{result.stats.retired:,} retired, {checked:,} checked"
+                  + (f", {sweeps:,} invariant sweeps" if sweeps else ""))
+    total = len(workloads) * len(engines)
+    print(f"guard: {total} runs, {failures} failed "
+          f"(level={args.level}, n={args.instructions:,})")
+    return 0 if failures == 0 else 1
 
 
 def _cmd_trace(args) -> int:
@@ -421,6 +516,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("costs", help="print Table II").set_defaults(fn=_cmd_costs)
 
+    guard = sub.add_parser(
+        "guard",
+        help="simulation health: golden-model guard runs and the "
+             "fault-injection chaos suite",
+        description="Run workloads under the golden-model co-simulation "
+                    "guard (and, at --level full, the cycle-level invariant "
+                    "sanitizer), or inject the chaos-suite fault classes "
+                    "and check every one recovers or fails fast typed.",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    guard.add_argument("-w", "--workloads", nargs="+", default=None,
+                       help="workloads to run (default: all registry "
+                            "workloads)")
+    guard.add_argument("--engines", nargs="+",
+                       default=["baseline", "phelps"],
+                       choices=_ENGINE_CHOICES,
+                       help="engines for guard runs (default: baseline "
+                            "and phelps)")
+    guard.add_argument("--matrix", action="store_true",
+                       help="alias for the acceptance matrix: all registry "
+                            "workloads x default engines (same as passing "
+                            "no -w)")
+    guard.add_argument("--chaos", action="store_true",
+                       help="run the fault-injection chaos suite instead "
+                            "of guard runs")
+    guard.add_argument("--level", default="commit",
+                       choices=["commit", "full"],
+                       help="guard level: 'commit' checks every retired "
+                            "main-thread uop against the oracle; 'full' "
+                            "adds the per-cycle invariant sanitizer")
+    guard.add_argument("--interval", type=int, default=1,
+                       help="invariant-sweep interval in cycles "
+                            "(level=full only)")
+    guard.add_argument("-n", "--instructions", type=int, default=30_000)
+    guard.add_argument("--seed", type=int, default=1,
+                       help="chaos-suite injection seed (deterministic "
+                            "replay)")
+    guard.add_argument("--bundle", metavar="PATH", default=None,
+                       help="on guard failure, write the diagnostic bundle "
+                            "JSON here; with --chaos, write the full suite "
+                            "report")
+    guard.set_defaults(fn=_cmd_guard)
+
     trace = sub.add_parser("trace", help="pipeline-trace a short run")
     trace.add_argument("workload")
     trace.add_argument("--engine", default="baseline",
@@ -437,9 +575,41 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _write_bundle(args, doc: dict) -> None:
+    path = getattr(args, "bundle", None)
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True, default=str)
+    print(f"diagnostic bundle -> {path}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
+    from repro.guard.errors import (DivergenceError, InvariantViolation,
+                                    SimulationHang)
+    from repro.harness.parallel import SimulationFailed
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except SimulationHang as exc:
+        print(f"HANG: {exc}", file=sys.stderr)
+        _write_bundle(args, exc.report.to_dict())
+        return EXIT_HANG
+    except DivergenceError as exc:
+        print(f"DIVERGENCE: {exc}", file=sys.stderr)
+        _write_bundle(args, exc.report.to_dict())
+        return EXIT_DIVERGENCE
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+        _write_bundle(args, exc.report.to_dict())
+        return EXIT_INVARIANT
+    except SimulationFailed as exc:
+        print(f"WORKER FAILURE: {exc}", file=sys.stderr)
+        _write_bundle(args, {"failures": [
+            {"index": i, "workload": c.workload, "engine": c.engine,
+             "error": err} for i, c, err in exc.failures]})
+        return EXIT_WORKER_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -40,10 +40,27 @@ class CoreConfig:
     # naive loop (see docs/simulator-internals.md "Performance"); disable to
     # cross-check.
     enable_cycle_skip: bool = True
+    # Simulation health (repro.guard).  ``guard_level`` selects the
+    # checking depth: "off" (default, ~0% overhead), "commit" (golden-model
+    # co-simulation at every main-thread retire), or "full" (commit checks
+    # plus a structural invariant sweep every ``guard_check_interval``
+    # cycles).  ``watchdog_cycles`` is the no-commit livelock threshold:
+    # if that many cycles pass without a main-thread retire the run raises
+    # ``SimulationHang`` instead of spinning to ``max_cycles``; 0 disables.
+    guard_level: str = "off"
+    guard_check_interval: int = 1
+    watchdog_cycles: int = 1_000_000
 
     def __post_init__(self):
         if self.rob_size % 8:
             raise ValueError("rob_size must be divisible by 8 for partitioning")
+        if self.guard_level not in ("off", "commit", "full"):
+            raise ValueError(f"guard_level must be off/commit/full, "
+                             f"got {self.guard_level!r}")
+        if self.guard_check_interval < 1:
+            raise ValueError("guard_check_interval must be >= 1")
+        if self.watchdog_cycles < 0:
+            raise ValueError("watchdog_cycles must be >= 0 (0 disables)")
 
     @property
     def frontend_latency(self) -> int:

@@ -13,14 +13,22 @@ class SharedPhysPool:
     def __init__(self, size: int, reserved: int = 1):
         """``reserved`` low registers (the constant zero, pred0) are never allocated."""
         self.size = size
+        self.reserved = reserved
         self._free: List[int] = list(range(reserved, size))
         self._held = {}  # thread_id -> count
 
     def free_count(self) -> int:
         return len(self._free)
 
+    def free_list(self) -> List[int]:
+        """Snapshot of the free registers (guard sanitizer introspection)."""
+        return list(self._free)
+
     def held_by(self, thread_id: int) -> int:
         return self._held.get(thread_id, 0)
+
+    def held_total(self) -> int:
+        return sum(self._held.values())
 
     def can_allocate(self, thread_id: int, quota: int) -> bool:
         return bool(self._free) and self.held_by(thread_id) < quota

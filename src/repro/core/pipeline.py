@@ -111,6 +111,22 @@ class Core:
 
         self.engine = engine or NullEngine()
         self.engine.attach(self)
+
+        # Simulation health guard (repro.guard).  Imported lazily so the
+        # guard package (which imports core modules) never participates in
+        # this module's import and the disabled path stays import-free.
+        # ``_sanitizer`` is the tick-loop handle: non-None only at
+        # guard_level="full", so "off"/"commit" runs pay nothing per cycle.
+        self.guard = None
+        self._sanitizer = None
+        if cfg.guard_level != "off":
+            from repro.guard.checker import SimGuard
+
+            self.guard = SimGuard(self)
+            if cfg.guard_level == "full":
+                self._sanitizer = self.guard
+            if obs is not None:
+                obs.registry.register_provider("guard", self.guard.metrics)
         if obs is not None:
             obs.attach_core(self)
 
@@ -148,6 +164,8 @@ class Core:
                 "regs": list(regs), "mem": dict(mem), "pc": pc,
                 "halted": False, "retired": 0,
             })
+        if self.guard is not None:
+            self.guard.boot(regs, mem, pc)
 
     # ------------------------------------------------------------------
     # Memory plumbing.
@@ -714,6 +732,11 @@ class Core:
         is_main = thread.kind is ThreadKind.MAIN
         if not is_main:
             self.stats.helper_retired += 1
+        elif self.guard is not None:
+            # Golden-model co-simulation: replay this commit on the
+            # in-order executor and compare before architectural effects
+            # land (raises DivergenceError on first disagreement).
+            self.guard.on_retire(thread, uop)
 
         if inst.is_store:
             thread.sq.remove(uop)
@@ -783,6 +806,8 @@ class Core:
         self.engine.on_cycle(self.cycle)
         if self.obs is not None:
             self.obs.on_cycle(self)
+        if self._sanitizer is not None:
+            self._sanitizer.on_cycle(self)
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -871,16 +896,36 @@ class Core:
 
     def run(self, max_instructions: int = 1_000_000, max_cycles: int = 20_000_000) -> SimStats:
         """Simulate until HALT retires, ``max_instructions`` main-thread
-        instructions retire, or ``max_cycles`` elapse."""
+        instructions retire, or ``max_cycles`` elapse.
+
+        Forward-progress watchdog: if ``config.watchdog_cycles`` (> 0)
+        cycles pass without a single main-thread commit, the run raises
+        :class:`~repro.guard.errors.SimulationHang` with a diagnostic
+        bundle instead of spinning to ``max_cycles``.  The check compares
+        the *cycle counter*, so idle-skip jumps (which can leap straight
+        to ``max_cycles`` on a quiescent machine) count in full — the fast
+        path cannot mask a livelock.
+        """
         fast = self.config.enable_cycle_skip
         tick = self.tick
         main = self.main
+        wd = self.config.watchdog_cycles
+        wd_retired = main.retired
+        wd_mark = self.cycle
         while (not self.halted and main.retired < max_instructions
                and self.cycle < max_cycles):
             tick()
             if (fast and not self._tick_work and not self.halted
                     and not self.ready_q):
                 self._try_idle_skip(max_cycles)
+            if wd:
+                if main.retired != wd_retired:
+                    wd_retired = main.retired
+                    wd_mark = self.cycle
+                elif self.cycle - wd_mark >= wd and not self.halted:
+                    from repro.guard.watchdog import raise_hang
+
+                    raise_hang(self, wd_mark)
         return self.collect_stats()
 
     def collect_stats(self) -> SimStats:

@@ -1,0 +1,22 @@
+"""Simulation health: golden-model co-simulation, invariant sanitizing,
+forward-progress watchdog, and fault injection.
+
+Import layering: this package is imported *lazily* by the core pipeline
+(only when ``CoreConfig.guard_level`` enables it or the watchdog trips),
+and this ``__init__`` pulls in only the leaf modules.  ``repro.guard.inject``
+and ``repro.guard.chaos`` reach back into the harness, so they are
+imported explicitly by their users (the CLI ``guard`` verb, the tests),
+never from here.
+"""
+
+from repro.guard.errors import (DivergenceError, DivergenceReport,
+                                GuardError, HangReport, InvariantReport,
+                                InvariantViolation, SimulationHang)
+from repro.guard.checker import SimGuard
+from repro.guard.watchdog import build_hang_report, raise_hang
+
+__all__ = [
+    "DivergenceError", "DivergenceReport", "GuardError", "HangReport",
+    "InvariantReport", "InvariantViolation", "SimGuard", "SimulationHang",
+    "build_hang_report", "raise_hang",
+]

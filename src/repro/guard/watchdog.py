@@ -1,0 +1,35 @@
+"""Forward-progress watchdog support.
+
+The watchdog itself is two integer compares inside :meth:`Core.run` (so
+the hot loop pays nothing measurable); when it trips, the pipeline calls
+:func:`raise_hang` to assemble the diagnostic bundle and raise the typed
+:class:`~repro.guard.errors.SimulationHang`.  Because the run loop checks
+the *cycle counter* — which the event-driven idle fast path advances in
+jumps — a livelock is caught even when every stalled cycle was skipped
+rather than ticked (the skip-to-``max_cycles`` failure mode).
+"""
+
+from repro.guard.errors import (HangReport, SimulationHang,
+                                pipeline_snapshot, recent_events)
+
+__all__ = ["build_hang_report", "raise_hang"]
+
+
+def build_hang_report(core, last_commit_cycle: int) -> HangReport:
+    return HangReport(
+        cycle=core.cycle,
+        last_commit_cycle=last_commit_cycle,
+        stalled_for=core.cycle - last_commit_cycle,
+        retired=core.main.retired,
+        idle_cycles_skipped=core.stats.idle_cycles_skipped,
+        engine=type(core.engine).__name__,
+        events=recent_events(core),
+        threads=pipeline_snapshot(core),
+    )
+
+
+def raise_hang(core, last_commit_cycle: int) -> None:
+    report = build_hang_report(core, last_commit_cycle)
+    if core.obs is not None:
+        core.obs.events.hang(core.cycle, report.stalled_for, last_commit_cycle)
+    raise SimulationHang(report)

@@ -13,19 +13,64 @@ holds closures and is not picklable, so workers drop it (``obs=None``)
 after ``simulate`` has folded its snapshot into ``SimStats.metrics`` /
 ``SimStats.epochs`` — observability data still arrives in the parent,
 just in its serialized form.
+
+Retries back off exponentially with deterministic jitter (seeded from
+the run index and attempt number, so two sweeps retry on identical
+schedules), and every returned :class:`SimResult` carries ``attempts`` /
+``last_error`` provenance instead of silently substituting the retry's
+output.  The ``REPRO_INJECT_WORKER`` environment hook lets the fault
+harness (:mod:`repro.guard.inject`) kill or hang selected workers.
 """
 
 import dataclasses
+import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.simulator import RunConfig, SimResult, simulate
 
-__all__ = ["simulate_many", "Progress", "SimulationFailed"]
+__all__ = ["simulate_many", "Progress", "SimulationFailed", "retry_delay"]
+
+# Worker fault-injection hook (see repro.guard.inject.worker_fault_env):
+# a JSON spec {"mode": "kill"|"hang", "indices": [...], "max_attempt": N,
+# "exit_code": int, "hang_seconds": float} consumed at worker startup.
+_FAULT_ENV = "REPRO_INJECT_WORKER"
+
+
+def retry_delay(index: int, attempt: int, backoff: float) -> float:
+    """Exponential backoff with deterministic jitter, in seconds.
+
+    ``backoff * 2**(attempt-1)`` scaled by a jitter factor in [1, 2) drawn
+    from a generator seeded by (index, attempt) — retries spread out, but
+    identically on every host and every rerun.
+    """
+    if attempt <= 0 or backoff <= 0:
+        return 0.0
+    jitter = random.Random((index + 1) * 1_000_003 + attempt).random()
+    return backoff * (2 ** (attempt - 1)) * (1.0 + jitter)
+
+
+def _maybe_inject_worker_fault(index: int, attempt: int) -> None:
+    spec = os.environ.get(_FAULT_ENV)
+    if not spec:
+        return
+    try:
+        doc = json.loads(spec)
+    except ValueError:
+        return
+    if index not in doc.get("indices", ()):
+        return
+    if attempt > int(doc.get("max_attempt", 0)):
+        return  # the retry runs clean — that is the recovery under test
+    if doc.get("mode") == "kill":
+        os._exit(int(doc.get("exit_code", 23)))
+    elif doc.get("mode") == "hang":
+        time.sleep(float(doc.get("hang_seconds", 3600.0)))
 
 
 @dataclass
@@ -57,6 +102,7 @@ class SimulationFailed(RuntimeError):
 
 
 def _worker(index: int, attempt: int, config: RunConfig, out_q) -> None:
+    _maybe_inject_worker_fault(index, attempt)
     try:
         result = simulate(config)
         # The hub's registry holds lambdas over live core objects; the
@@ -88,15 +134,19 @@ def simulate_many(configs: Sequence[RunConfig],
                   timeout: Optional[float] = None,
                   retries: int = 1,
                   progress: Optional[Callable[[Progress], None]] = None,
-                  poll_interval: float = 0.05) -> List[SimResult]:
+                  poll_interval: float = 0.05,
+                  backoff: float = 0.5) -> List[SimResult]:
     """Run every config and return results in input order.
 
     ``jobs=None`` uses ``os.cpu_count()``; ``jobs<=1`` (or a single
     config) runs serially in-process.  In the parallel path each run gets
     ``timeout`` seconds (None = unlimited); a timed-out or crashed run is
-    retried up to ``retries`` times before :class:`SimulationFailed` is
-    raised.  Runs are deterministic, so parallel results are bit-identical
-    to the serial path.
+    retried up to ``retries`` times — attempt N+1 waits
+    ``retry_delay(index, N, backoff)`` seconds first (``backoff=0``
+    retries immediately) — before :class:`SimulationFailed` is raised.
+    Each :class:`SimResult` records ``attempts`` and ``last_error``.
+    Runs are deterministic, so parallel results are bit-identical to the
+    serial path.
     """
     configs = list(configs)
     if not configs:
@@ -110,11 +160,14 @@ def simulate_many(configs: Sequence[RunConfig],
     ctx = mp.get_context()
     out_q = ctx.Queue()
     total = len(configs)
-    pending: List[tuple] = [(i, 0) for i in range(total)]  # (index, attempt)
-    pending.reverse()  # pop() from the front of the input order
+    # (not_before, index, attempt): retries re-enter with a deadline in
+    # the future; first attempts are ready immediately.
+    pending: List[tuple] = [(0.0, i, 0) for i in range(total)]
+    pending.reverse()  # pop ready entries in input order
     running: Dict[int, dict] = {}  # index -> {proc, attempt, deadline, start}
     results: List[Optional[SimResult]] = [None] * total
     failures: List[tuple] = []
+    last_errors: Dict[int, str] = {}
     done_count = 0
 
     def _spawn(index: int, attempt: int) -> None:
@@ -137,24 +190,40 @@ def simulate_many(configs: Sequence[RunConfig],
         info["proc"].join()
         wall = time.time() - info["start"]
         if ok:
-            results[index] = result
+            results[index] = dataclasses.replace(
+                result, attempts=info["attempt"] + 1,
+                last_error=last_errors.get(index))
             done_count += 1
             if progress:
                 progress(Progress("done", index, configs[index], done_count,
                                   total, wall_seconds=wall))
         elif info["attempt"] < retries:
-            pending.append((index, info["attempt"] + 1))
+            last_errors[index] = error
+            next_attempt = info["attempt"] + 1
+            not_before = time.time() + retry_delay(index, next_attempt, backoff)
+            pending.append((not_before, index, next_attempt))
         else:
+            last_errors[index] = error
             failures.append((index, configs[index], error))
             done_count += 1
             if progress:
                 progress(Progress("failed", index, configs[index], done_count,
                                   total, wall_seconds=wall, error=error))
 
+    def _pop_ready() -> Optional[tuple]:
+        now = time.time()
+        for pos in range(len(pending) - 1, -1, -1):
+            if pending[pos][0] <= now:
+                return pending.pop(pos)
+        return None
+
     try:
         while pending or running:
             while pending and len(running) < jobs:
-                index, attempt = pending.pop()
+                entry = _pop_ready()
+                if entry is None:
+                    break  # every pending retry is still backing off
+                _, index, attempt = entry
                 _spawn(index, attempt)
             try:
                 index, attempt, ok, result, error = out_q.get(timeout=poll_interval)

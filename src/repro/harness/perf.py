@@ -23,8 +23,9 @@ from repro.core import CoreConfig
 from repro.harness.simulator import RunConfig, simulate
 from repro.memory.hierarchy import MemoryConfig
 
-__all__ = ["PERF_POINTS", "SAMPLING_POINT", "measure_point",
-           "measure_sampling", "perf_smoke", "write_perf_record"]
+__all__ = ["PERF_POINTS", "SAMPLING_POINT", "measure_guard_overhead",
+           "measure_point", "measure_sampling", "perf_smoke",
+           "write_perf_record"]
 
 # Fixed measurement points: a helper-thread-heavy run (the engine hot
 # path), a stall-heavy baseline run, and a slow-DRAM variant where more
@@ -75,6 +76,38 @@ def measure_point(workload: str, engine: str, instructions: int,
         "instr_per_sec": round(s.retired / fast_wall) if fast_wall else None,
         "cycles_per_sec": round(s.cycles / fast_wall) if fast_wall else None,
         "cycle_skip_speedup": round(naive_wall / fast_wall, 3) if fast_wall else None,
+    }
+
+
+def measure_guard_overhead(rounds: int = 3, workload: str = "astar",
+                           instructions: int = 30_000) -> Dict:
+    """Wall-clock cost of each ``CoreConfig.guard_level`` on one run.
+
+    The acceptance bar is the *off* level: with the guard compiled out
+    (``self.guard is None``) a guarded build must cost ~nothing over the
+    seed simulator.  ``commit`` and ``full`` are recorded so their cost
+    is a measured fact, not folklore.
+    """
+    walls: Dict[str, float] = {}
+    for level in ("off", "commit", "full"):
+        cfg = RunConfig(workload=workload, engine="baseline",
+                        max_instructions=instructions,
+                        core=CoreConfig(guard_level=level))
+        wall, _ = _best_of(cfg, rounds)
+        walls[level] = wall
+    off = walls["off"]
+    return {
+        "label": f"{workload}-guard-overhead",
+        "workload": workload,
+        "engine": "baseline",
+        "instructions": instructions,
+        "wall_seconds_off": round(walls["off"], 4),
+        "wall_seconds_commit": round(walls["commit"], 4),
+        "wall_seconds_full": round(walls["full"], 4),
+        "commit_overhead_pct": round((walls["commit"] / off - 1) * 100, 2)
+        if off else None,
+        "full_overhead_pct": round((walls["full"] / off - 1) * 100, 2)
+        if off else None,
     }
 
 
@@ -133,6 +166,7 @@ def perf_smoke(rounds: int = 3,
     }
     if include_sampling:
         record["sampling"] = measure_sampling()
+    record["guard"] = measure_guard_overhead(rounds=rounds)
     return record
 
 

@@ -23,6 +23,7 @@ import tempfile
 from typing import Dict, Optional
 
 from repro.harness.simulator import RunConfig, SimResult
+from repro.utils.shards import quarantine_shard
 
 __all__ = ["RunCache", "entry_from_result", "legacy_key"]
 
@@ -78,10 +79,12 @@ def legacy_key(config: RunConfig) -> str:
 class RunCache:
     """Directory of one-file-per-run cached results."""
 
-    def __init__(self, root, legacy_file=None):
+    def __init__(self, root, legacy_file=None, events=None):
         self.root = pathlib.Path(root)
         self.legacy_file = pathlib.Path(legacy_file) if legacy_file else None
         self._legacy: Optional[Dict] = None  # loaded lazily, once
+        self.events = events        # optional EventTrace for quarantines
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def path_for(self, config: RunConfig) -> pathlib.Path:
@@ -93,8 +96,12 @@ class RunCache:
             return json.loads(path.read_text())
         except FileNotFoundError:
             pass
-        except (json.JSONDecodeError, OSError):
-            return None  # unreadable shard: treat as a miss and recompute
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # Unreadable shard (killed writer, disk damage): quarantine it
+            # to ``*.corrupt`` for post-mortem and recompute as a miss.
+            if quarantine_shard(path, self.events, "runcache") is not None:
+                self.quarantined += 1
+            return None
         return self._adopt_legacy(config)
 
     def put(self, config: RunConfig, entry: Dict) -> pathlib.Path:

@@ -88,6 +88,24 @@ class EventTrace:
     def full_squash(self, cycle: int) -> None:
         self.emit(cycle, "full_squash", "pipeline", tid=0)
 
+    # Guard subsystem (repro.guard): health failures and injected faults.
+    def divergence(self, cycle: int, kind: str, pc: int) -> None:
+        self.emit(cycle, "divergence", "guard", kind=kind, pc=f"{pc:#x}")
+
+    def invariant_violation(self, cycle: int, violations) -> None:
+        self.emit(cycle, "invariant_violation", "guard",
+                  violations=list(violations))
+
+    def hang(self, cycle: int, stalled_for: int, last_commit_cycle: int) -> None:
+        self.emit(cycle, "hang", "guard", stalled_for=stalled_for,
+                  last_commit_cycle=last_commit_cycle)
+
+    def fault_injected(self, cycle: int, kind: str, **detail) -> None:
+        self.emit(cycle, "fault_injected", "chaos", kind=kind, **detail)
+
+    def shard_quarantined(self, path: str, kind: str) -> None:
+        self.emit(0, "shard_quarantined", "guard", path=str(path), kind=kind)
+
     def epoch(self, cycle: int, index: int) -> None:
         self.emit(cycle, f"epoch_{index}", "epochs", index=index)
 

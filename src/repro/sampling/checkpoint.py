@@ -7,7 +7,8 @@ always snapshots identical state — so they are cached exactly like run
 results: one JSON file per key, written via temp-file + ``os.replace``
 (the same atomic-shard discipline as :class:`repro.harness.runcache.RunCache`),
 living by default next to the run cache under ``benchmarks/results``.
-Unreadable or corrupt shards are treated as misses and recomputed.
+Unreadable or corrupt shards are quarantined to ``*.corrupt`` (the bytes
+survive for post-mortem) and treated as misses to be recomputed.
 """
 
 import json
@@ -20,6 +21,7 @@ from typing import Optional
 from repro.isa.executor import ArchState, fast_forward
 from repro.isa.program import Program
 from repro.sampling.warmup import WarmupCollector, WarmupLog
+from repro.utils.shards import quarantine_shard
 from repro.workloads import build_workload
 
 __all__ = ["ArchCheckpoint", "CheckpointStore", "capture_checkpoint",
@@ -77,10 +79,12 @@ def checkpoint_key(workload: str, start_instruction: int,
 class CheckpointStore:
     """Directory of one-file-per-checkpoint shards (atomic writers)."""
 
-    def __init__(self, root):
+    def __init__(self, root, events=None):
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
+        self.events = events        # optional EventTrace for quarantines
+        self.quarantined = 0
 
     def path_for(self, workload: str, start_instruction: int,
                  warmup_instructions: int) -> pathlib.Path:
@@ -95,8 +99,15 @@ class CheckpointStore:
             if doc.get("schema") != _SCHEMA:
                 raise ValueError("schema mismatch")
             ckpt = ArchCheckpoint.from_dict(doc)
-        except (FileNotFoundError, json.JSONDecodeError, KeyError,
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
                 ValueError, OSError):
+            # The shard exists but cannot be trusted: keep the bytes for
+            # post-mortem, recompute into a fresh shard.
+            if quarantine_shard(path, self.events, "checkpoint") is not None:
+                self.quarantined += 1
             self.misses += 1
             return None
         self.hits += 1

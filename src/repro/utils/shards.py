@@ -1,0 +1,36 @@
+"""Shared shard-store hygiene: quarantine instead of delete.
+
+Both shard stores (:class:`repro.harness.runcache.RunCache` and
+:class:`repro.sampling.checkpoint.CheckpointStore`) write atomically but
+read defensively: a shard that exists yet cannot be parsed is evidence of
+a killed writer or filesystem damage, and silently recomputing over it
+destroys the post-mortem.  :func:`quarantine_shard` renames the damaged
+file to ``<name>.corrupt`` (atomic, keeps the bytes) so the store treats
+the key as a miss while the evidence survives next to the fresh shard.
+"""
+
+import os
+import pathlib
+from typing import Optional
+
+__all__ = ["quarantine_shard"]
+
+
+def quarantine_shard(path, events=None, kind: str = "shard"):
+    """Rename an unreadable shard to ``*.corrupt``; returns the new path.
+
+    Returns None when the rename itself fails (e.g. the file vanished —
+    another process may have quarantined it first); the caller treats the
+    key as a miss either way.  ``events`` (an optional
+    :class:`~repro.obs.events.EventTrace`) gets a ``shard_quarantined``
+    event so long sweeps surface storage damage in their traces.
+    """
+    path = pathlib.Path(path)
+    corrupt = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, corrupt)
+    except OSError:
+        return None
+    if events is not None:
+        events.shard_quarantined(str(corrupt), kind)
+    return corrupt

@@ -1,0 +1,72 @@
+"""Forward-progress watchdog: no-commit livelock detection, including
+under the event-driven idle cycle-skip, and the disable switch."""
+
+import json
+
+import pytest
+
+from repro.core import Core, CoreConfig
+from repro.core.engine_api import PreExecutionEngine
+from repro.guard.errors import SimulationHang
+from repro.workloads import build_workload
+
+
+class _BlockingEngine(PreExecutionEngine):
+    """Wedges the pipeline: every retire is vetoed forever."""
+
+    def retire_blocked(self, thread, uop):
+        return True
+
+
+def test_watchdog_fires_on_no_commit():
+    core = Core(build_workload("astar"),
+                config=CoreConfig(watchdog_cycles=1500,
+                                  enable_cycle_skip=False),
+                engine=_BlockingEngine())
+    with pytest.raises(SimulationHang) as exc:
+        core.run(max_instructions=10_000, max_cycles=200_000)
+    report = exc.value.report
+    assert report.retired == 0
+    assert report.stalled_for >= 1500
+    # Fired promptly, not at the max_cycles backstop.
+    assert report.cycle < 200_000
+    assert report.engine == "_BlockingEngine"
+    doc = json.loads(json.dumps(report.to_dict()))
+    assert doc["failure"] == "hang"
+    assert doc["threads"][0]["rob"] > 0  # the wedged uops are visible
+
+
+def test_watchdog_fires_under_cycle_skip():
+    """A livelock whose stalled cycles are *skipped*, not ticked.
+
+    Once the pipeline quiesces the idle fast path jumps the clock in one
+    leap; the watchdog compares cycle numbers, so the jump itself must
+    trip it — skip-to-max_cycles cannot mask a hang.
+    """
+    core = Core(build_workload("astar"),
+                config=CoreConfig(watchdog_cycles=2000,
+                                  enable_cycle_skip=True),
+                engine=_BlockingEngine())
+    with pytest.raises(SimulationHang) as exc:
+        core.run(max_instructions=10_000, max_cycles=500_000)
+    report = exc.value.report
+    assert report.stalled_for >= 2000
+    assert report.retired == 0
+
+
+def test_watchdog_zero_disables():
+    core = Core(build_workload("astar"),
+                config=CoreConfig(watchdog_cycles=0,
+                                  enable_cycle_skip=False),
+                engine=_BlockingEngine())
+    stats = core.run(max_instructions=10_000, max_cycles=3000)
+    assert stats.retired == 0
+    assert stats.cycles >= 3000
+
+
+def test_watchdog_quiet_on_healthy_run():
+    # Tight watchdog on a normal run: commits keep resetting the mark.
+    core = Core(build_workload("astar"),
+                config=CoreConfig(watchdog_cycles=1000))
+    stats = core.run(max_instructions=20_000)
+    assert stats.retired >= 20_000

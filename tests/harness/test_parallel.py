@@ -96,6 +96,46 @@ def test_timeout_then_retry_succeeds(tmp_path, monkeypatch):
     assert kinds.count("retry") == 2 and kinds.count("done") == 2
 
 
+def test_retry_delay_deterministic_backoff():
+    # Bit-identical across calls: a retry schedule replays exactly.
+    assert parallel.retry_delay(3, 1, 0.5) == parallel.retry_delay(3, 1, 0.5)
+    # Jittered per index so same-attempt retries don't stampede together.
+    assert parallel.retry_delay(3, 1, 0.5) != parallel.retry_delay(4, 1, 0.5)
+    # Exponential envelope: attempt N lands in [b*2^(N-1), b*2^N).
+    assert 0.5 <= parallel.retry_delay(0, 1, 0.5) < 1.0
+    assert 1.0 <= parallel.retry_delay(0, 2, 0.5) < 2.0
+    # Disabled: first attempts and zero backoff never wait.
+    assert parallel.retry_delay(0, 0, 0.5) == 0.0
+    assert parallel.retry_delay(0, 3, 0.0) == 0.0
+
+
+def test_attempts_and_last_error_surfaced(tmp_path, monkeypatch):
+    if parallel.mp.get_start_method() != "fork":
+        pytest.skip("injection requires fork start method")
+
+    def flaky(config):
+        marker = tmp_path / config.workload
+        if config.workload == "astar" and not marker.exists():
+            marker.write_text("x")
+            raise RuntimeError("transient fault")
+        return simulate(config)
+
+    monkeypatch.setattr(parallel, "simulate", flaky)
+    configs = [RunConfig(workload="astar", max_instructions=N),
+               RunConfig(workload="perlbench", max_instructions=N)]
+    results = simulate_many(configs, jobs=2, retries=1, backoff=0.05)
+    # The retried run carries its provenance; the clean run stays pristine.
+    assert results[0].attempts == 2
+    assert "transient fault" in results[0].last_error
+    assert results[1].attempts == 1 and results[1].last_error is None
+
+
+def test_serial_results_default_provenance():
+    [r] = simulate_many([RunConfig(workload="astar", max_instructions=N)],
+                        jobs=1)
+    assert r.attempts == 1 and r.last_error is None
+
+
 def test_all_attempts_fail_raises(monkeypatch):
     if parallel.mp.get_start_method() != "fork":
         pytest.skip("injection requires fork start method")
