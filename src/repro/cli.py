@@ -9,6 +9,9 @@
     python -m repro stats astar --engine phelps
     python -m repro compare bfs --engines baseline phelps perfbp
     python -m repro sweep -w astar bfs -e baseline phelps --jobs 4
+    python -m repro sweep -w astar -e baseline phelps --manifest camp/
+    python -m repro sweep --resume camp/
+    python -m repro run astar -n 500000 --snapshot-interval 100000 --snapshot-dir snaps/
     python -m repro perf --out BENCH_perf.json
     python -m repro costs
     python -m repro inspect astar
@@ -17,12 +20,14 @@
 """
 
 import argparse
-import json
 import sys
 
-from repro.harness import (RunCache, RunConfig, ascii_table, entry_from_result,
-                           epoch_table, metrics_report, simulate, simulate_many)
+from repro.harness import (CampaignJournal, RunCache, RunConfig, ascii_table,
+                           entry_from_result, epoch_table, interrupt_guard,
+                           metrics_report, poll_interrupt, run_campaign,
+                           simulate, simulate_many)
 from repro.obs import ObserveConfig, write_chrome_trace
+from repro.utils.shards import atomic_write_json
 from repro.phelps import PhelpsConfig
 from repro.phelps.budget import cost_table
 from repro.workloads import workload_names
@@ -37,6 +42,7 @@ EXIT_HANG = 3            # forward-progress watchdog fired (SimulationHang)
 EXIT_DIVERGENCE = 4      # golden-model divergence (DivergenceError)
 EXIT_WORKER_FAILURE = 5  # simulate_many run failed every attempt
 EXIT_INVARIANT = 6       # cycle-level sanitizer violation (InvariantViolation)
+EXIT_INTERRUPTED = 130   # SIGINT/SIGTERM: graceful stop (128 + SIGINT)
 
 _EXIT_CODE_DOC = """\
 exit codes:
@@ -51,6 +57,9 @@ exit codes:
      (SimulationFailed)
   6  invariant violation: the cycle-level sanitizer found inconsistent
      microarchitectural state (InvariantViolation)
+130  interrupted: SIGINT/SIGTERM stopped a sweep/guard/sample gracefully
+     after flushing completed results (128 + SIGINT; a second SIGINT
+     hard-kills immediately)
 """
 
 
@@ -100,7 +109,9 @@ def _cmd_run(args) -> int:
             return 2
         configs = [RunConfig(workload=w, engine=args.engine,
                              max_instructions=args.instructions,
-                             observe=args.observe)
+                             observe=args.observe,
+                             snapshot_interval=args.snapshot_interval,
+                             snapshot_dir=args.snapshot_dir)
                    for w in args.workloads]
         for result in simulate_many(configs, jobs=args.jobs):
             _print_run_summary(result, verbose=args.verbose)
@@ -112,13 +123,18 @@ def _cmd_run(args) -> int:
                          pipeline_trace=bool(args.trace_out)) if observe else None
     cfg = RunConfig(workload=workload, engine=args.engine,
                     max_instructions=args.instructions,
-                    observe=observe, observe_config=ocfg)
+                    observe=observe, observe_config=ocfg,
+                    snapshot_interval=args.snapshot_interval,
+                    snapshot_dir=args.snapshot_dir)
     result = simulate(cfg)
     s = result.stats
+    if result.resumed_at is not None:
+        print(f"  resumed from snapshot at {result.resumed_at:,} retired "
+              f"instructions ({args.snapshot_dir})")
     _print_run_summary(result, verbose=args.verbose)
     if args.metrics_json:
-        with open(args.metrics_json, "w") as fh:
-            json.dump(_metrics_payload(result), fh, indent=1, default=str)
+        atomic_write_json(args.metrics_json, _metrics_payload(result),
+                          indent=1, default=str)
         print(f"  metrics -> {args.metrics_json} "
               f"({len(s.metrics)} counters, {len(s.epochs)} epoch samples)")
     if args.trace_out:
@@ -150,20 +166,39 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    """Cross-product sweep with process-pool fan-out and shard caching."""
-    configs = [RunConfig(workload=w, engine=e,
-                         max_instructions=args.instructions)
-               for w in args.workloads for e in args.engines]
-    cache = RunCache(args.cache_dir) if args.cache_dir else None
+    """Cross-product sweep: process-pool fan-out, shard caching, and an
+    optional write-ahead campaign journal for kill-and-resume."""
+    if args.resume:
+        journal = CampaignJournal(args.resume)
+        manifest = journal.load_manifest()
+        if manifest is None:
+            print(f"sweep: no campaign manifest under {args.resume} "
+                  f"(expected {journal.manifest_path})", file=sys.stderr)
+            return 2
+        spec = manifest.get("spec", {})
+        workloads = args.workloads or spec.get("workloads")
+        engines = args.engines or spec.get("engines")
+        instructions = spec.get("instructions", args.instructions)
+        cache_dir = args.cache_dir or spec.get("cache_dir")
+        if not workloads or not engines:
+            print("sweep: manifest spec has no workloads/engines; pass "
+                  "-w/-e explicitly", file=sys.stderr)
+            return 2
+    else:
+        if not args.workloads or not args.engines:
+            print("sweep: -w/-e are required unless resuming with --resume",
+                  file=sys.stderr)
+            return 2
+        workloads, engines = args.workloads, args.engines
+        instructions = args.instructions
+        cache_dir = args.cache_dir
+        journal = CampaignJournal(args.manifest) if args.manifest else None
 
-    entries = {}
-    misses = []
-    for cfg in configs:
-        entry = cache.get(cfg) if cache is not None else None
-        if entry is not None:
-            entries[cfg.cache_key()] = entry
-        else:
-            misses.append(cfg)
+    configs = [RunConfig(workload=w, engine=e, max_instructions=instructions)
+               for w in workloads for e in engines]
+    cache = RunCache(cache_dir) if cache_dir else None
+    spec_doc = {"workloads": list(workloads), "engines": list(engines),
+                "instructions": instructions, "cache_dir": cache_dir}
 
     def _progress(p) -> None:
         label = f"{p.config.workload}/{p.config.engine}"
@@ -175,25 +210,20 @@ def _cmd_sweep(args) -> int:
         elif p.kind == "failed":
             print(f"  FAILED {label}: {p.error}", file=sys.stderr)
 
-    if misses:
-        print(f"sweep: {len(configs)} points, {len(misses)} to simulate "
-              f"(jobs={args.jobs or 'auto'})")
-        results = simulate_many(misses, jobs=args.jobs, timeout=args.timeout,
-                                progress=_progress if not args.quiet else None)
-        for result in results:
-            entry = entry_from_result(result)
-            entries[result.config.cache_key()] = entry
-            if cache is not None:
-                cache.put(result.config, entry)
-    else:
-        print(f"sweep: all {len(configs)} points cached")
+    print(f"sweep: {len(configs)} points (jobs={args.jobs or 'auto'}"
+          + (f", journal={journal.root}" if journal is not None else "")
+          + ")")
+    entries = run_campaign(configs, journal=journal, cache=cache,
+                           jobs=args.jobs, timeout=args.timeout,
+                           progress=_progress if not args.quiet else None,
+                           spec=spec_doc)
 
     rows = []
-    for w in args.workloads:
+    for w in workloads:
         base = None
-        for e in args.engines:
+        for e in engines:
             key = RunConfig(workload=w, engine=e,
-                            max_instructions=args.instructions).cache_key()
+                            max_instructions=instructions).cache_key()
             entry = entries[key]
             rate = entry["retired"] / max(entry["cycles"], 1)
             if base is None:
@@ -218,12 +248,16 @@ def _cmd_sample(args) -> int:
         warmup_instructions=args.warmup,
         checkpoint_dir=args.checkpoint_dir,
     )
-    if args.validate:
-        report = sampled_vs_full(args.workload, **common)
-        sampled = report["sampled"]
-    else:
-        report = sampled_run(args.workload, **common)
-        sampled = report
+    # Under the guard a SIGINT/SIGTERM lands at a region boundary (the
+    # evaluate_regions poll point) instead of killing mid-simulation;
+    # main() maps the resulting SweepInterrupted to exit code 130.
+    with interrupt_guard():
+        if args.validate:
+            report = sampled_vs_full(args.workload, **common)
+            sampled = report["sampled"]
+        else:
+            report = sampled_run(args.workload, **common)
+            sampled = report
 
     print(f"{args.workload} [{args.engine}] sampled: "
           f"{sampled['intervals_profiled']} intervals of "
@@ -247,8 +281,7 @@ def _cmd_sample(args) -> int:
               f"({report['full_wall_seconds']:.1f}s full vs "
               f"{sampled['wall_seconds']:.1f}s sampled)")
     if args.report:
-        with open(args.report, "w") as fh:
-            json.dump(report, fh, indent=1, sort_keys=True)
+        atomic_write_json(args.report, report, indent=1, sort_keys=True)
         print(f"  report -> {args.report}")
     return 0
 
@@ -332,8 +365,8 @@ def _cmd_guard(args) -> int:
         print(f"chaos: {len(report['cases'])} cases, "
               f"{report['failed']} failed (seed {report['seed']})")
         if args.bundle:
-            with open(args.bundle, "w") as fh:
-                json.dump(report, fh, indent=1, sort_keys=True, default=str)
+            atomic_write_json(args.bundle, report, indent=1, sort_keys=True,
+                              default=str)
             print(f"  report -> {args.bundle}")
         return 0 if report["failed"] == 0 else 1
 
@@ -341,8 +374,12 @@ def _cmd_guard(args) -> int:
     core_cfg = CoreConfig(guard_level=args.level,
                           guard_check_interval=args.interval)
     failures = 0
-    for workload in workloads:
-        for engine in engines:
+    pairs = [(w, e) for w in workloads for e in engines]
+    with interrupt_guard():
+        for i, (workload, engine) in enumerate(pairs):
+            # SIGINT/SIGTERM stop the matrix between runs (exit 130 via
+            # main()); completed rows have already been printed.
+            poll_interrupt(done=i, total=len(pairs))
             phelps_cfg = (_guard_phelps_config()
                           if engine in ("phelps", "br", "br12", "br_nonspec")
                           else None)
@@ -433,6 +470,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="attribute simulator wall-clock per pipeline "
                           "stage (implies --observe)")
+    run.add_argument("--snapshot-interval", type=int, default=0,
+                     metavar="N",
+                     help="take a mid-run core snapshot every N retired "
+                          "instructions (0 = off); with --snapshot-dir a "
+                          "killed run resumes from its last snapshot")
+    run.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                     help="snapshot shard store; rerunning the same config "
+                          "against this directory resumes cycle-exactly "
+                          "from the newest snapshot")
     run.set_defaults(fn=_cmd_run)
 
     stats = sub.add_parser(
@@ -458,11 +504,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep", help="workload x engine cross product with process-pool "
-                      "fan-out and a sharded result cache")
-    sweep.add_argument("-w", "--workloads", nargs="+", required=True)
-    sweep.add_argument("-e", "--engines", nargs="+", required=True,
-                       choices=_ENGINE_CHOICES)
+                      "fan-out, a sharded result cache, and a resumable "
+                      "campaign journal",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sweep.add_argument("-w", "--workloads", nargs="+", default=None,
+                       help="workloads (required unless --resume)")
+    sweep.add_argument("-e", "--engines", nargs="+", default=None,
+                       choices=_ENGINE_CHOICES,
+                       help="engines (required unless --resume)")
     sweep.add_argument("-n", "--instructions", type=int, default=100_000)
+    sweep.add_argument("--manifest", metavar="DIR", default=None,
+                       help="write-ahead campaign journal directory: one "
+                            "atomic status shard per point plus "
+                            "campaign.json; a killed sweep resumes with "
+                            "--resume DIR")
+    sweep.add_argument("--resume", metavar="DIR", default=None,
+                       help="resume the campaign journaled under DIR: "
+                            "done points are skipped, points running at "
+                            "the crash are requeued; results are "
+                            "bit-identical to an uninterrupted sweep")
     sweep.add_argument("-j", "--jobs", type=int, default=None,
                        help="worker processes (default: CPU count; "
                             "1 = serial in-process)")
@@ -579,19 +640,25 @@ def _write_bundle(args, doc: dict) -> None:
     path = getattr(args, "bundle", None)
     if not path:
         return
-    with open(path, "w") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True, default=str)
+    atomic_write_json(path, doc, indent=1, sort_keys=True, default=str)
     print(f"diagnostic bundle -> {path}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
     from repro.guard.errors import (DivergenceError, InvariantViolation,
                                     SimulationHang)
-    from repro.harness.parallel import SimulationFailed
+    from repro.harness.parallel import SimulationFailed, SweepInterrupted
 
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except SweepInterrupted as exc:
+        print(f"INTERRUPTED: {exc}; completed results were flushed "
+              f"(resume a journaled sweep with --resume)", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("INTERRUPTED", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except SimulationHang as exc:
         print(f"HANG: {exc}", file=sys.stderr)
         _write_bundle(args, exc.report.to_dict())

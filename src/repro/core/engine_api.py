@@ -8,6 +8,7 @@ re-partitioning, spawning helper thread contexts) through the ``core``
 reference it is given at attach time.
 """
 
+import pickle
 from typing import Any, Optional, Tuple
 
 from repro.core.uop import Uop
@@ -106,6 +107,34 @@ class PreExecutionEngine:
         if type(self).on_cycle is not PreExecutionEngine.on_cycle:
             return 0
         return limit - cycle
+
+    # --------------------------------------------------------- snapshots
+    def quiesce(self) -> None:
+        """Bring the engine to a snapshot-safe state.
+
+        Called by the core before a mid-run snapshot is taken: the engine
+        must end any in-flight helper-thread deployment (its normal
+        termination path, so the perturbation is an event the engine
+        already models) and leave only state that :meth:`warm_state` can
+        carry across a process boundary."""
+
+    def warm_state(self) -> bytes:
+        """Serialize the engine's warm state (training tables, counters).
+
+        The default covers any engine whose ``__dict__`` is picklable
+        apart from the attach-time handles; engines holding closures over
+        live objects override this to strip and re-wire them."""
+        return pickle.dumps({k: v for k, v in self.__dict__.items()
+                             if k not in ("core", "obs", "events")})
+
+    def restore_warm(self, payload: Optional[bytes]) -> None:
+        """Adopt warm state from :meth:`warm_state` after :meth:`attach`.
+
+        Mutates ``self.__dict__`` in place so metric providers registered
+        at attach time (closures over ``self``) stay valid."""
+        if payload is None:
+            return
+        self.__dict__.update(pickle.loads(payload))
 
     # ------------------------------------------------------------- stats
     def stats(self) -> dict:

@@ -168,6 +168,56 @@ class Core:
             self.guard.boot(regs, mem, pc)
 
     # ------------------------------------------------------------------
+    # Mid-run snapshot/resume (repro.core.snapshot).
+    # ------------------------------------------------------------------
+    def _drain_for_snapshot(self) -> None:
+        """Bring the machine to a snapshot-safe drained commit boundary.
+
+        The engine first ends any active deployment through its own
+        termination path, then a full squash empties every queue.  The
+        perfect-branch-prediction oracle is rewound to the oldest squashed
+        uop's pre-fetch mark — ``full_squash`` restores the predictor /
+        RAS / engine from per-uop checkpoints but deliberately leaves the
+        oracle, because engine-driven squashes refetch the same PC; a
+        drain instead needs the oracle exactly at the resume PC.
+        """
+        oldest_mark = None
+        if self.oracle is not None:
+            oldest = None
+            for _, u in self.main.frontend_q:
+                if oldest is None or u.seq < oldest.seq:
+                    oldest = u
+            if self.main.rob:
+                head = self.main.rob[0]
+                if oldest is None or head.seq < oldest.seq:
+                    oldest = head
+            if oldest is not None:
+                oldest_mark = oldest.oracle_mark
+        self.engine.quiesce()
+        self.full_squash()
+        if self.oracle is not None and oldest_mark is not None:
+            self.oracle.undo.rewind(self.oracle, oldest_mark)
+        self.wb_events.clear()
+        self.ready_q.clear()
+        for thread in self.threads:
+            thread.blocked_loads = []
+            thread.fetch_stalled_until = 0
+
+    def snapshot(self) -> bytes:
+        """Drain the pipeline and serialize the core's state (a blob for
+        :class:`~repro.core.snapshot.SnapshotStore`)."""
+        from repro.core.snapshot import take_snapshot
+
+        self._drain_for_snapshot()
+        return take_snapshot(self)
+
+    def restore(self, state) -> None:
+        """Adopt a deserialized snapshot on this (fresh) core."""
+        from repro.core.snapshot import restore_into
+
+        restore_into(self, state)
+
+    # ------------------------------------------------------------------
     # Memory plumbing.
     # ------------------------------------------------------------------
     def _read_committed(self, addr: int) -> int:
@@ -894,7 +944,8 @@ class Core:
             self.cycle += skip
             self.stats.idle_cycles_skipped += skip
 
-    def run(self, max_instructions: int = 1_000_000, max_cycles: int = 20_000_000) -> SimStats:
+    def run(self, max_instructions: int = 1_000_000, max_cycles: int = 20_000_000,
+            snapshot_interval: int = 0, on_snapshot=None) -> SimStats:
         """Simulate until HALT retires, ``max_instructions`` main-thread
         instructions retire, or ``max_cycles`` elapse.
 
@@ -905,6 +956,13 @@ class Core:
         the *cycle counter*, so idle-skip jumps (which can leap straight
         to ``max_cycles`` on a quiescent machine) count in full — the fast
         path cannot mask a livelock.
+
+        ``snapshot_interval`` (> 0): every that-many retired main-thread
+        instructions the pipeline drains and :meth:`snapshot` runs, with
+        the blob handed to ``on_snapshot`` (when given).  The drain
+        happens even with ``on_snapshot=None`` so an uninterrupted run and
+        a resumed run see identical perturbations — the basis of the
+        cycle-exact resume contract (see :mod:`repro.core.snapshot`).
         """
         fast = self.config.enable_cycle_skip
         tick = self.tick
@@ -912,6 +970,9 @@ class Core:
         wd = self.config.watchdog_cycles
         wd_retired = main.retired
         wd_mark = self.cycle
+        next_snap = None
+        if snapshot_interval > 0:
+            next_snap = ((main.retired // snapshot_interval) + 1) * snapshot_interval
         while (not self.halted and main.retired < max_instructions
                and self.cycle < max_cycles):
             tick()
@@ -926,6 +987,12 @@ class Core:
                     from repro.guard.watchdog import raise_hang
 
                     raise_hang(self, wd_mark)
+            if (next_snap is not None and main.retired >= next_snap
+                    and not self.halted and main.retired < max_instructions):
+                blob = self.snapshot()
+                if on_snapshot is not None:
+                    on_snapshot(blob)
+                next_snap = ((main.retired // snapshot_interval) + 1) * snapshot_interval
         return self.collect_stats()
 
     def collect_stats(self) -> SimStats:

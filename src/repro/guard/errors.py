@@ -37,9 +37,14 @@ class DivergenceReport:
     checked: int                  # instructions compared before this one
     events: List[Dict] = field(default_factory=list)   # last-N obs events
     threads: List[Dict] = field(default_factory=list)  # pipeline snapshot
+    # Rewind-and-replay bundle: when the run carried mid-run snapshots,
+    # the harness re-runs from the preceding snapshot with full pipeline
+    # tracing and attaches the focused diagnostics here (see
+    # ``repro.harness.simulator``).  None when no snapshot was available.
+    replay: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
-        return {
+        doc = {
             "failure": "divergence",
             "cycle": self.cycle,
             "kind": self.kind,
@@ -54,6 +59,9 @@ class DivergenceReport:
             "events": self.events,
             "threads": self.threads,
         }
+        if self.replay is not None:
+            doc["replay"] = self.replay
+        return doc
 
     def summary(self) -> str:
         return (f"divergence[{self.kind}] at cycle {self.cycle}, "

@@ -2,7 +2,12 @@
 
 from repro.harness.simulator import RunConfig, SimResult, simulate
 from repro.harness.experiment import compare_engines, speedup, sweep
-from repro.harness.parallel import Progress, SimulationFailed, simulate_many
+from repro.harness.parallel import (Progress, SimulationFailed,
+                                    SweepInterrupted, interrupt_guard,
+                                    poll_interrupt, retry_delay,
+                                    simulate_many)
+from repro.harness.campaign import (CampaignJournal, entry_fingerprint,
+                                    run_campaign)
 from repro.harness.runcache import RunCache, entry_from_result
 from repro.harness.reporting import (ascii_table, epoch_table, format_series,
                                      metrics_report)
@@ -19,6 +24,13 @@ __all__ = [
     "simulate_many",
     "Progress",
     "SimulationFailed",
+    "SweepInterrupted",
+    "interrupt_guard",
+    "poll_interrupt",
+    "retry_delay",
+    "CampaignJournal",
+    "entry_fingerprint",
+    "run_campaign",
     "RunCache",
     "entry_from_result",
     "compare_engines",

@@ -1,0 +1,284 @@
+"""Journaled, resumable sweep campaigns.
+
+A campaign is a set of :class:`RunConfig` points (a sweep cross product)
+with a write-ahead journal: one atomic JSON shard per point under the
+campaign directory, keyed by ``RunConfig.cache_key()`` and carrying a
+status machine::
+
+    pending -> running -> done
+                      \\-> failed
+
+plus attempts provenance.  The journal is written *ahead* of the work
+(every point starts as a ``pending`` shard; a point flips to ``running``
+the moment its worker spawns and to ``done``/``failed`` the moment its
+result lands), so the journal is crash-consistent at every instant: after
+a SIGKILL, ``done`` points hold their full result entry, ``running``
+points are exactly the in-flight casualties to requeue, and nothing is
+ever half-written (shards use the :mod:`repro.utils.shards` atomic-write
+discipline; unreadable shards are quarantined to ``*.corrupt`` and
+requeued — only that point recomputes).
+
+``python -m repro sweep --resume <dir>`` rebuilds the point set from the
+manifest (``campaign.json``), skips ``done`` points, requeues
+``running``/``failed`` ones, and — because every simulation is
+deterministic — produces results bit-identical to an uninterrupted
+sweep.  :func:`entry_fingerprint` is the canonical "bit-identical"
+comparison: a result entry minus host-dependent wall-clock.
+"""
+
+import json
+import pathlib
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.parallel import (Progress, SweepInterrupted,
+                                    simulate_many)
+from repro.harness.runcache import entry_from_result
+from repro.harness.simulator import RunConfig
+from repro.utils.shards import atomic_write_json, quarantine_shard
+
+__all__ = ["CampaignJournal", "entry_fingerprint", "run_campaign"]
+
+_SCHEMA = 1
+_MANIFEST = "campaign.json"
+
+# Fields of a cached result entry that legitimately differ between two
+# runs of the same deterministic point.
+_VOLATILE_ENTRY_FIELDS = ("wall_seconds",)
+
+
+def entry_fingerprint(entry: Dict) -> str:
+    """Canonical serialization of a result entry for bit-identity checks.
+
+    Drops host-dependent wall-clock; everything else — cycles, IPC, MPKI,
+    engine counters, metrics, epoch timeseries — must match exactly
+    between an uninterrupted sweep and a killed-and-resumed one.
+    """
+    doc = {k: v for k, v in entry.items() if k not in _VOLATILE_ENTRY_FIELDS}
+    return json.dumps(doc, sort_keys=True, default=str)
+
+
+class CampaignJournal:
+    """Write-ahead journal for one campaign directory.
+
+    Layout::
+
+        <root>/campaign.json      manifest: schema, spec, point list,
+                                  interruption history
+        <root>/<cache_key>.json   one status shard per point
+    """
+
+    def __init__(self, root, events=None):
+        self.root = pathlib.Path(root)
+        self.events = events        # optional EventTrace for quarantines
+        self.quarantined = 0
+
+    # ------------------------------------------------------------ paths
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.root / _MANIFEST
+
+    def point_path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    # --------------------------------------------------------- manifest
+    def load_manifest(self) -> Optional[Dict]:
+        try:
+            doc = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            if quarantine_shard(self.manifest_path, self.events,
+                                "campaign-manifest") is not None:
+                self.quarantined += 1
+            return None
+        if doc.get("schema") != _SCHEMA:
+            return None
+        return doc
+
+    def write_manifest(self, doc: Dict) -> None:
+        atomic_write_json(self.manifest_path, doc, indent=1, sort_keys=True)
+
+    def note_interrupted(self, done: int, total: int) -> None:
+        """Append an interruption record to the manifest history."""
+        doc = self.load_manifest()
+        if doc is None:
+            return
+        doc.setdefault("interruptions", []).append(
+            {"done": done, "total": total, "unix": int(time.time())})
+        self.write_manifest(doc)
+
+    # ----------------------------------------------------------- shards
+    def read_point(self, key: str) -> Optional[Dict]:
+        """The point's shard, or None (missing / quarantined = recompute).
+
+        A shard that exists but cannot be parsed — the signature of a
+        writer killed mid-write before the atomic rename, or of disk
+        damage — is quarantined to ``*.corrupt`` and the point requeues;
+        every other point's state is untouched.
+        """
+        path = self.point_path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            if quarantine_shard(path, self.events, "campaign") is not None:
+                self.quarantined += 1
+            return None
+        if not isinstance(doc, dict) or doc.get("key") != key:
+            if quarantine_shard(path, self.events, "campaign") is not None:
+                self.quarantined += 1
+            return None
+        return doc
+
+    def mark(self, key: str, status: str, **fields) -> Dict:
+        """Transition a point's shard to ``status``, merging ``fields``.
+
+        The previous shard's ``attempts`` count survives unless
+        overridden; each write is one atomic rename.
+        """
+        doc = self.read_point(key) or {"key": key, "attempts": 0}
+        doc["status"] = status
+        doc.update(fields)
+        atomic_write_json(self.point_path(key), doc, indent=1, sort_keys=True)
+        return doc
+
+    def note_attempt(self, key: str) -> None:
+        """A worker just spawned for this point: running, attempts += 1."""
+        doc = self.read_point(key) or {"key": key, "attempts": 0}
+        self.mark(key, "running", attempts=int(doc.get("attempts", 0)) + 1)
+
+    # ------------------------------------------------------ preparation
+    def prepare(self, configs: Sequence[RunConfig],
+                spec: Optional[Dict] = None) -> None:
+        """Write-ahead setup: manifest + a ``pending`` shard per point.
+
+        Idempotent, and the heart of resume: points already ``done`` are
+        left alone; points found ``running`` (in flight at a crash) or
+        ``failed`` are requeued to ``pending`` with a ``requeued`` marker
+        so their attempts provenance records the history.
+        """
+        manifest = self.load_manifest()
+        points = [{"key": c.cache_key(), "workload": c.workload,
+                   "engine": c.engine} for c in configs]
+        if manifest is None:
+            manifest = {"schema": _SCHEMA, "spec": spec or {},
+                        "points": points, "interruptions": []}
+            self.write_manifest(manifest)
+        else:
+            known = {p["key"] for p in manifest.get("points", ())}
+            missing = [p for p in points if p["key"] not in known]
+            if missing:
+                manifest["points"] = list(manifest.get("points", ())) + missing
+                self.write_manifest(manifest)
+        for point in points:
+            key = point["key"]
+            doc = self.read_point(key)
+            if doc is None:
+                self.mark(key, "pending")
+            elif doc.get("status") == "done" and doc.get("entry") is not None:
+                continue
+            elif doc.get("status") in ("running", "failed"):
+                self.mark(key, "pending", requeued=True)
+
+    def statuses(self) -> Dict[str, str]:
+        """``key -> status`` for every point named in the manifest."""
+        manifest = self.load_manifest() or {}
+        out: Dict[str, str] = {}
+        for point in manifest.get("points", ()):
+            doc = self.read_point(point["key"])
+            out[point["key"]] = doc.get("status", "pending") if doc else "pending"
+        return out
+
+
+def run_campaign(configs: Sequence[RunConfig],
+                 journal: Optional[CampaignJournal] = None,
+                 cache=None,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 progress: Optional[Callable[[Progress], None]] = None,
+                 events=None,
+                 spec: Optional[Dict] = None) -> Dict[str, Dict]:
+    """Run a point set with journal + cache flushing; returns key -> entry.
+
+    The one sweep path for fresh runs, cache-warm reruns, and resumes:
+
+    * journal ``done`` points and run-cache hits are *skipped* (their
+      stored entries are returned as-is — that is what makes a resumed
+      sweep bit-identical to an uninterrupted one);
+    * every completed run is flushed to the journal shard and the cache
+      the moment it finishes (``simulate_many``'s ``on_result``), never
+      batched at the end;
+    * on SIGINT/SIGTERM the :class:`SweepInterrupted` is re-raised with
+      campaign-level counts after an obs ``campaign_interrupted`` event
+      and a manifest interruption record.
+
+    ``journal``/``cache`` are both optional — with neither, this is a
+    plain ``simulate_many`` returning entries keyed by config.
+    """
+    configs = list(configs)
+    keys = [c.cache_key() for c in configs]
+    total = len(configs)
+    entries: Dict[str, Dict] = {}
+
+    if journal is not None:
+        journal.prepare(configs, spec=spec)
+        for key in keys:
+            doc = journal.read_point(key)
+            if doc and doc.get("status") == "done" and doc.get("entry") is not None:
+                entries[key] = doc["entry"]
+
+    to_run: List[int] = []
+    for i, (config, key) in enumerate(zip(configs, keys)):
+        if key in entries:
+            continue
+        if cache is not None:
+            hit = cache.get(config)
+            if hit is not None:
+                entries[key] = hit
+                if journal is not None:
+                    journal.mark(key, "done", entry=hit, source="cache")
+                continue
+        to_run.append(i)
+
+    if not to_run:
+        return entries
+
+    run_configs = [configs[i] for i in to_run]
+    run_keys = [keys[i] for i in to_run]
+
+    def _progress(p: Progress) -> None:
+        key = run_keys[p.index]
+        if journal is not None:
+            if p.kind in ("start", "retry"):
+                journal.note_attempt(key)
+            elif p.kind == "failed":
+                journal.mark(key, "failed", error=p.error)
+        if progress is not None:
+            progress(p)
+
+    def _on_result(index: int, result) -> None:
+        key = run_keys[index]
+        entry = entry_from_result(result)
+        entries[key] = entry
+        if cache is not None:
+            cache.put(run_configs[index], entry)
+        if journal is not None:
+            journal.mark(key, "done", entry=entry,
+                         attempts_taken=result.attempts,
+                         last_error=result.last_error)
+
+    try:
+        simulate_many(run_configs, jobs=jobs, timeout=timeout,
+                      retries=retries, progress=_progress,
+                      on_result=_on_result)
+    except SweepInterrupted:
+        done = len(entries)
+        if events is not None:
+            events.campaign_interrupted(done, total)
+        if journal is not None:
+            journal.note_interrupted(done, total)
+        raise SweepInterrupted(done, total) from None
+    return entries

@@ -16,25 +16,38 @@ just in its serialized form.
 
 Retries back off exponentially with deterministic jitter (seeded from
 the run index and attempt number, so two sweeps retry on identical
-schedules), and every returned :class:`SimResult` carries ``attempts`` /
-``last_error`` provenance instead of silently substituting the retry's
-output.  The ``REPRO_INJECT_WORKER`` environment hook lets the fault
-harness (:mod:`repro.guard.inject`) kill or hang selected workers.
+schedules) up to a ``max_delay`` ceiling, and every returned
+:class:`SimResult` carries ``attempts`` / ``last_error`` provenance
+instead of silently substituting the retry's output.  The
+``REPRO_INJECT_WORKER`` environment hook lets the fault harness
+(:mod:`repro.guard.inject`) kill or hang selected workers.
+
+Graceful interruption: inside :func:`interrupt_guard`, the first SIGINT
+or SIGTERM sets a flag instead of killing the process — the dispatch
+loops stop starting new work, flush every completed result, and raise
+:class:`SweepInterrupted` (the CLI maps it to exit code 130).  A second
+SIGINT restores the default handler and re-delivers the signal, so an
+impatient operator can still hard-kill.  Journal/cache state stays
+crash-consistent either way: results are flushed as they complete, never
+at the end.
 """
 
+import contextlib
 import dataclasses
 import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
 import random
+import signal
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.simulator import RunConfig, SimResult, simulate
 
-__all__ = ["simulate_many", "Progress", "SimulationFailed", "retry_delay"]
+__all__ = ["simulate_many", "Progress", "SimulationFailed", "SweepInterrupted",
+           "interrupt_guard", "poll_interrupt", "retry_delay"]
 
 # Worker fault-injection hook (see repro.guard.inject.worker_fault_env):
 # a JSON spec {"mode": "kill"|"hang", "indices": [...], "max_attempt": N,
@@ -42,17 +55,107 @@ __all__ = ["simulate_many", "Progress", "SimulationFailed", "retry_delay"]
 _FAULT_ENV = "REPRO_INJECT_WORKER"
 
 
-def retry_delay(index: int, attempt: int, backoff: float) -> float:
+def retry_delay(index: int, attempt: int, backoff: float,
+                max_delay: float = 30.0) -> float:
     """Exponential backoff with deterministic jitter, in seconds.
 
     ``backoff * 2**(attempt-1)`` scaled by a jitter factor in [1, 2) drawn
     from a generator seeded by (index, attempt) — retries spread out, but
-    identically on every host and every rerun.
+    identically on every host and every rerun.  The result is capped at
+    ``max_delay`` (applied after jitter, so determinism is trivially
+    preserved): unbounded doubling would sleep for minutes by attempt 10.
     """
     if attempt <= 0 or backoff <= 0:
         return 0.0
     jitter = random.Random((index + 1) * 1_000_003 + attempt).random()
-    return backoff * (2 ** (attempt - 1)) * (1.0 + jitter)
+    raw = backoff * (2 ** (attempt - 1)) * (1.0 + jitter)
+    return min(raw, max_delay)
+
+
+# ----------------------------------------------------------------------
+# Graceful interruption (SIGINT/SIGTERM).
+# ----------------------------------------------------------------------
+class SweepInterrupted(RuntimeError):
+    """A sweep stopped on SIGINT/SIGTERM after flushing completed work.
+
+    ``done``/``total`` count fully-flushed runs; everything else was
+    either never started or is journaled as in-flight, so a ``--resume``
+    requeues exactly the unfinished points.
+    """
+
+    def __init__(self, done: int = 0, total: int = 0):
+        self.done = done
+        self.total = total
+        super().__init__(f"interrupted after {done}/{total} runs")
+
+
+class _InterruptState:
+    """Shared flag between the signal handler and the dispatch loops."""
+
+    def __init__(self):
+        self.interrupted = False
+        self.signum: Optional[int] = None
+
+
+# Stack of active guards: nested ``interrupt_guard`` uses (e.g. ``guard
+# --matrix`` wrapping ``simulate_many``) share the outermost state, so one
+# Ctrl-C stops every layer and handlers are installed exactly once.
+_ACTIVE: List[_InterruptState] = []
+
+
+@contextlib.contextmanager
+def interrupt_guard():
+    """Convert the first SIGINT/SIGTERM into a cooperative stop flag.
+
+    Yields an :class:`_InterruptState`; loops poll ``state.interrupted``
+    (or call :func:`poll_interrupt`) at safe stopping points.  A second
+    SIGINT restores the default disposition and re-delivers the signal —
+    a true hard kill, not a politeness escalation.  Reentrant: an inner
+    guard joins the outer one.  In non-main threads (where ``signal``
+    refuses handler installation) the guard degrades to a no-op flag.
+    """
+    if _ACTIVE:
+        yield _ACTIVE[-1]
+        return
+    state = _InterruptState()
+
+    def _handler(signum, frame):
+        if state.interrupted and signum == signal.SIGINT:
+            signal.signal(signal.SIGINT, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGINT)
+            return
+        state.interrupted = True
+        state.signum = signum
+
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _handler)
+    except ValueError:
+        # Not the main thread: handlers cannot be installed; the flag
+        # still works if someone else sets it.
+        pass
+    _ACTIVE.append(state)
+    try:
+        yield state
+    finally:
+        _ACTIVE.pop()
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, TypeError):
+                pass
+
+
+def poll_interrupt(done: int = 0, total: int = 0) -> None:
+    """Raise :class:`SweepInterrupted` if an active guard caught a signal.
+
+    A no-op outside any :func:`interrupt_guard`, so library code can call
+    it unconditionally at loop boundaries (``guard --matrix`` iterations,
+    sampled-region evaluation) without caring who set the guard up.
+    """
+    if _ACTIVE and _ACTIVE[-1].interrupted:
+        raise SweepInterrupted(done, total)
 
 
 def _maybe_inject_worker_fault(index: int, attempt: int) -> None:
@@ -102,6 +205,17 @@ class SimulationFailed(RuntimeError):
 
 
 def _worker(index: int, attempt: int, config: RunConfig, out_q) -> None:
+    # Forked inside the parent's interrupt_guard, the child inherits its
+    # cooperative handlers: SIGTERM would set a flag instead of killing,
+    # so ``proc.terminate()`` (timeouts, interruption cleanup) would hang
+    # on join.  Restore the default SIGTERM disposition and ignore SIGINT
+    # — a terminal Ctrl-C hits the whole process group, and the *parent*
+    # decides whether in-flight workers drain or die.
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread start
+        pass
     _maybe_inject_worker_fault(index, attempt)
     try:
         result = simulate(config)
@@ -114,18 +228,25 @@ def _worker(index: int, attempt: int, config: RunConfig, out_q) -> None:
 
 
 def _simulate_serial(configs: Sequence[RunConfig],
-                     progress: Optional[Callable[[Progress], None]]
+                     progress: Optional[Callable[[Progress], None]],
+                     on_result: Optional[Callable[[int, SimResult], None]] = None
                      ) -> List[SimResult]:
     results: List[SimResult] = []
     total = len(configs)
-    for i, config in enumerate(configs):
-        if progress:
-            progress(Progress("start", i, config, len(results), total))
-        start = time.time()
-        results.append(simulate(config))
-        if progress:
-            progress(Progress("done", i, config, len(results), total,
-                              wall_seconds=time.time() - start))
+    with interrupt_guard() as istate:
+        for i, config in enumerate(configs):
+            if istate.interrupted:
+                raise SweepInterrupted(len(results), total)
+            if progress:
+                progress(Progress("start", i, config, len(results), total))
+            start = time.time()
+            result = simulate(config)
+            results.append(result)
+            if on_result:
+                on_result(i, result)
+            if progress:
+                progress(Progress("done", i, config, len(results), total,
+                                  wall_seconds=time.time() - start))
     return results
 
 
@@ -135,18 +256,30 @@ def simulate_many(configs: Sequence[RunConfig],
                   retries: int = 1,
                   progress: Optional[Callable[[Progress], None]] = None,
                   poll_interval: float = 0.05,
-                  backoff: float = 0.5) -> List[SimResult]:
+                  backoff: float = 0.5,
+                  max_delay: float = 30.0,
+                  on_result: Optional[Callable[[int, SimResult], None]] = None
+                  ) -> List[SimResult]:
     """Run every config and return results in input order.
 
     ``jobs=None`` uses ``os.cpu_count()``; ``jobs<=1`` (or a single
     config) runs serially in-process.  In the parallel path each run gets
     ``timeout`` seconds (None = unlimited); a timed-out or crashed run is
     retried up to ``retries`` times — attempt N+1 waits
-    ``retry_delay(index, N, backoff)`` seconds first (``backoff=0``
-    retries immediately) — before :class:`SimulationFailed` is raised.
-    Each :class:`SimResult` records ``attempts`` and ``last_error``.
-    Runs are deterministic, so parallel results are bit-identical to the
-    serial path.
+    ``retry_delay(index, N, backoff, max_delay)`` seconds first
+    (``backoff=0`` retries immediately) — before
+    :class:`SimulationFailed` is raised.  Each :class:`SimResult` records
+    ``attempts`` and ``last_error``.  Runs are deterministic, so parallel
+    results are bit-identical to the serial path.
+
+    ``on_result(index, result)`` fires as each run *completes* (not in
+    input order) — the campaign journal and run cache hook in here so
+    durable state is flushed the moment a result exists, which is what
+    makes interruption and crashes lose nothing that finished.
+
+    SIGINT/SIGTERM during the sweep stops dispatching, flushes every
+    completed result, terminates in-flight workers, and raises
+    :class:`SweepInterrupted`; a second SIGINT hard-kills.
     """
     configs = list(configs)
     if not configs:
@@ -155,7 +288,7 @@ def simulate_many(configs: Sequence[RunConfig],
         jobs = os.cpu_count() or 1
     jobs = min(jobs, len(configs))
     if jobs <= 1:
-        return _simulate_serial(configs, progress)
+        return _simulate_serial(configs, progress, on_result)
 
     ctx = mp.get_context()
     out_q = ctx.Queue()
@@ -193,6 +326,8 @@ def simulate_many(configs: Sequence[RunConfig],
             results[index] = dataclasses.replace(
                 result, attempts=info["attempt"] + 1,
                 last_error=last_errors.get(index))
+            if on_result:
+                on_result(index, results[index])
             done_count += 1
             if progress:
                 progress(Progress("done", index, configs[index], done_count,
@@ -200,7 +335,8 @@ def simulate_many(configs: Sequence[RunConfig],
         elif info["attempt"] < retries:
             last_errors[index] = error
             next_attempt = info["attempt"] + 1
-            not_before = time.time() + retry_delay(index, next_attempt, backoff)
+            not_before = time.time() + retry_delay(index, next_attempt,
+                                                   backoff, max_delay)
             pending.append((not_before, index, next_attempt))
         else:
             last_errors[index] = error
@@ -217,42 +353,57 @@ def simulate_many(configs: Sequence[RunConfig],
                 return pending.pop(pos)
         return None
 
-    try:
-        while pending or running:
-            while pending and len(running) < jobs:
-                entry = _pop_ready()
-                if entry is None:
-                    break  # every pending retry is still backing off
-                _, index, attempt = entry
-                _spawn(index, attempt)
+    def _flush_completed() -> None:
+        """Drain results already on the queue (workers that finished but
+        were not yet reaped) so an interruption loses nothing done."""
+        while True:
             try:
-                index, attempt, ok, result, error = out_q.get(timeout=poll_interval)
+                qi, qat, qok, qres, qerr = out_q.get_nowait()
             except queue_mod.Empty:
-                pass
-            else:
-                # Ignore late reports from attempts already reaped (e.g. a
-                # timed-out worker that flushed its result before dying).
-                if index in running and running[index]["attempt"] == attempt:
-                    _reap(index, ok, result, error)
-                continue
-            now = time.time()
-            for index, info in list(running.items()):
-                deadline = info["deadline"]
-                if deadline is not None and now > deadline:
-                    info["proc"].terminate()
-                    _reap(index, False, None,
-                          f"timeout after {timeout:.1f}s")
-                elif not info["proc"].is_alive():
-                    # Died without reporting (e.g. hard kill): drain any
-                    # late queue item first, then treat as a crash.
-                    try:
-                        qi, qat, qok, qres, qerr = out_q.get_nowait()
-                    except queue_mod.Empty:
+                return
+            if qi in running and running[qi]["attempt"] == qat:
+                _reap(qi, qok, qres, qerr)
+
+    try:
+        with interrupt_guard() as istate:
+            while pending or running:
+                if istate.interrupted:
+                    _flush_completed()
+                    raise SweepInterrupted(done_count, total)
+                while pending and len(running) < jobs:
+                    entry = _pop_ready()
+                    if entry is None:
+                        break  # every pending retry is still backing off
+                    _, index, attempt = entry
+                    _spawn(index, attempt)
+                try:
+                    index, attempt, ok, result, error = out_q.get(timeout=poll_interval)
+                except queue_mod.Empty:
+                    pass
+                else:
+                    # Ignore late reports from attempts already reaped (e.g. a
+                    # timed-out worker that flushed its result before dying).
+                    if index in running and running[index]["attempt"] == attempt:
+                        _reap(index, ok, result, error)
+                    continue
+                now = time.time()
+                for index, info in list(running.items()):
+                    deadline = info["deadline"]
+                    if deadline is not None and now > deadline:
+                        info["proc"].terminate()
                         _reap(index, False, None,
-                              f"worker exited with code {info['proc'].exitcode}")
-                    else:
-                        if qi in running and running[qi]["attempt"] == qat:
-                            _reap(qi, qok, qres, qerr)
+                              f"timeout after {timeout:.1f}s")
+                    elif not info["proc"].is_alive():
+                        # Died without reporting (e.g. hard kill): drain any
+                        # late queue item first, then treat as a crash.
+                        try:
+                            qi, qat, qok, qres, qerr = out_q.get_nowait()
+                        except queue_mod.Empty:
+                            _reap(index, False, None,
+                                  f"worker exited with code {info['proc'].exitcode}")
+                        else:
+                            if qi in running and running[qi]["attempt"] == qat:
+                                _reap(qi, qok, qres, qerr)
     finally:
         for info in running.values():
             info["proc"].terminate()

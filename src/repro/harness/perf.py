@@ -13,7 +13,6 @@ machine, not across hosts.
 """
 
 import dataclasses
-import json
 import platform
 import sys
 import time
@@ -22,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core import CoreConfig
 from repro.harness.simulator import RunConfig, simulate
 from repro.memory.hierarchy import MemoryConfig
+from repro.utils.shards import atomic_write_json
 
 __all__ = ["PERF_POINTS", "SAMPLING_POINT", "measure_guard_overhead",
            "measure_point", "measure_sampling", "perf_smoke",
@@ -171,6 +171,4 @@ def perf_smoke(rounds: int = 3,
 
 
 def write_perf_record(path, record: Dict) -> None:
-    with open(path, "w") as fh:
-        json.dump(record, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, record, indent=1, sort_keys=True)

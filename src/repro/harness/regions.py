@@ -20,6 +20,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.parallel import poll_interrupt
 from repro.harness.simulator import RunConfig, SimResult, simulate
 
 
@@ -110,7 +111,11 @@ def evaluate_regions(regions: Sequence[Region], engine: str,
                      on_degenerate: str = "raise") -> Dict[str, float]:
     """Simulate every region under ``engine`` and combine the results."""
     pairs: List[Tuple[SimResult, float]] = []
-    for region in regions:
+    for i, region in enumerate(regions):
+        # Graceful-interruption poll point: inside an interrupt_guard()
+        # (e.g. the sample CLI verb) a SIGINT lands between regions, not
+        # mid-region; outside a guard this is a no-op.
+        poll_interrupt(done=i, total=len(regions))
         cfg = region_config(region, engine, base_config, checkpoint_dir)
         pairs.append((simulate(cfg), region.weight))
     return {

@@ -17,13 +17,11 @@ untouched and read-only.
 """
 
 import json
-import os
 import pathlib
-import tempfile
 from typing import Dict, Optional
 
 from repro.harness.simulator import RunConfig, SimResult
-from repro.utils.shards import quarantine_shard
+from repro.utils.shards import atomic_write_json, quarantine_shard
 
 __all__ = ["RunCache", "entry_from_result", "legacy_key"]
 
@@ -105,21 +103,8 @@ class RunCache:
         return self._adopt_legacy(config)
 
     def put(self, config: RunConfig, entry: Dict) -> pathlib.Path:
-        path = self.path_for(config)
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.stem,
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(entry, fh, indent=1, sort_keys=True)
-            os.replace(tmp, path)  # atomic on POSIX: readers never see partials
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return atomic_write_json(self.path_for(config), entry,
+                                 indent=1, sort_keys=True)
 
     # ------------------------------------------------------------------
     def _load_legacy(self) -> Dict:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core import Core, CoreConfig, SimStats
+from repro.guard.errors import DivergenceError
 from repro.memory import MemoryConfig
 from repro.obs import Observability, ObserveConfig
 from repro.phelps import PhelpsConfig, PhelpsEngine
@@ -57,6 +58,14 @@ class RunConfig:
     start_instruction: int = 0
     warmup_instructions: int = 0
     checkpoint_dir: Optional[str] = None
+    # Mid-run snapshot/resume (``repro.core.snapshot``): with
+    # ``snapshot_interval`` > 0 the core drains and snapshots every that
+    # many retired instructions; ``snapshot_dir`` names a store so a
+    # killed run resumes from its last snapshot instead of cycle 0.  The
+    # interval is timing-visible (each drain is a full squash), so it
+    # participates in ``cache_key``; the directory does not.
+    snapshot_interval: int = 0
+    snapshot_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -69,6 +78,12 @@ class RunConfig:
             raise ValueError("warmup_instructions cannot exceed "
                              "start_instruction (warmup replays the tail of "
                              "the skipped prefix)")
+        if self.snapshot_interval < 0:
+            raise ValueError("snapshot_interval must be >= 0")
+        if self.snapshot_interval and self.start_instruction:
+            raise ValueError("snapshot_interval cannot be combined with "
+                             "start_instruction (sampled regions already "
+                             "resume from architectural checkpoints)")
 
     def to_dict(self) -> dict:
         """The full nested-dataclass serialization (JSON-ready)."""
@@ -84,9 +99,16 @@ class RunConfig:
         exception is ``checkpoint_dir``: it only says *where* checkpoints
         are stored, never changes their (deterministic) content, and two
         runs differing only in storage location must share an entry.
+        ``snapshot_dir`` is excluded for the same reason; the snapshot
+        *interval* stays in the key when non-zero (each snapshot drain is
+        a timing-visible event) and is dropped when zero so keys minted
+        before the field existed remain valid.
         """
         doc = self.to_dict()
         doc.pop("checkpoint_dir", None)
+        doc.pop("snapshot_dir", None)
+        if not doc.get("snapshot_interval"):
+            doc.pop("snapshot_interval", None)
         payload = json.dumps(doc, sort_keys=True, default=str)
         digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
         return f"{self.workload}-{self.engine}-{digest}"
@@ -105,6 +127,9 @@ class SimResult:
     # the first attempt succeeded).  A serial ``simulate`` is attempt 1.
     attempts: int = 1
     last_error: Optional[str] = None
+    # Snapshot/resume provenance: the retired-instruction count of the
+    # snapshot this run resumed from (None when it started at cycle 0).
+    resumed_at: Optional[int] = None
 
     @property
     def ipc(self) -> float:
@@ -171,7 +196,9 @@ def _boot_from_checkpoint(core: Core, config: RunConfig, program) -> None:
         apply_warmup(core, ckpt.warmup)
 
 
-def simulate(config: RunConfig) -> SimResult:
+def _build_core(config: RunConfig):
+    """Construct the (core, obs) pair for one run, engine selected and
+    partition mode applied, but before any checkpoint/snapshot boot."""
     program = build_workload(config.workload)
     core_cfg = config.core or CoreConfig()
     engine = None
@@ -193,11 +220,107 @@ def simulate(config: RunConfig) -> SimResult:
                 engine=engine, obs=obs)
     if config.engine == "partition_only":
         core.set_partition_mode("MT_ITO")
+    return core, obs, program
+
+
+def _replay_divergence(config: RunConfig, blob: bytes) -> dict:
+    """Rewind-and-replay: re-run from the preceding snapshot with full
+    pipeline tracing and return a focused diagnostic bundle.
+
+    The replay drives ``core.run`` directly (never :func:`simulate`), so a
+    divergence inside the replay cannot recurse into another replay.
+    Observability is passive, so turning the tracer on does not perturb
+    timing — the divergence reproduces at the same cycle.
+    """
+    from repro.core.snapshot import SnapshotError, load_state
+    from repro.guard.errors import recent_events
+
+    try:
+        state = load_state(blob)
+    except SnapshotError as exc:
+        return {"reproduced": False, "error": str(exc)}
+    ocfg = config.observe_config or ObserveConfig()
+    replay_cfg = dataclasses.replace(
+        config, observe=True,
+        observe_config=dataclasses.replace(ocfg, pipeline_trace=True))
+    core, obs, _ = _build_core(replay_cfg)
+    try:
+        core.restore(state)
+    except SnapshotError as exc:
+        return {"reproduced": False, "error": str(exc)}
+    bundle = {
+        "reproduced": False,
+        "snapshot_cycle": state["cycle"],
+        "snapshot_retired": state["thread"]["retired"],
+    }
+    try:
+        core.run(max_instructions=config.max_instructions,
+                 max_cycles=config.max_cycles,
+                 snapshot_interval=config.snapshot_interval)
+    except DivergenceError as exc:
+        r = exc.report
+        bundle.update({
+            "reproduced": True,
+            "cycle": r.cycle,
+            "kind": r.kind,
+            "expected": r.expected,
+            "actual": r.actual,
+            "uop": r.uop,
+            "pc": f"{r.pc:#x}",
+            "events": recent_events(core, limit=48),
+            "trace": (obs.tracer.render(last=40)
+                      if obs is not None and obs.tracer is not None else None),
+        })
+    return bundle
+
+
+def simulate(config: RunConfig) -> SimResult:
+    core, obs, program = _build_core(config)
     if config.start_instruction > 0:
         _boot_from_checkpoint(core, config, program)
 
+    resumed_at: Optional[int] = None
+    last_blob: Optional[bytes] = None
+    on_snapshot = None
+    if config.snapshot_interval > 0 and config.snapshot_dir:
+        from repro.core.snapshot import SnapshotError, SnapshotStore, load_state
+
+        store = SnapshotStore(config.snapshot_dir)
+        key = config.cache_key()
+        blob = store.get(key)
+        if blob is not None:
+            try:
+                state = load_state(blob)
+                core.restore(state)
+            except SnapshotError:
+                # Unreadable or mismatched blob: keep it for post-mortem,
+                # start the run from cycle 0.
+                store.quarantine(key)
+            else:
+                resumed_at = state["thread"]["retired"]
+                last_blob = blob
+
+        def on_snapshot(b, _store=store, _key=key):
+            nonlocal last_blob
+            last_blob = b
+            _store.put(_key, b)
+    elif config.snapshot_interval > 0:
+        # No store: keep the latest blob in memory so a guard divergence
+        # can still rewind-and-replay.
+        def on_snapshot(b):
+            nonlocal last_blob
+            last_blob = b
+
     start = time.time()
-    stats = core.run(max_instructions=config.max_instructions,
-                     max_cycles=config.max_cycles)
+    try:
+        stats = core.run(max_instructions=config.max_instructions,
+                         max_cycles=config.max_cycles,
+                         snapshot_interval=config.snapshot_interval,
+                         on_snapshot=on_snapshot)
+    except DivergenceError as exc:
+        if last_blob is not None and exc.report.replay is None:
+            exc.report.replay = _replay_divergence(config, last_blob)
+        raise
     return SimResult(config=config, stats=stats,
-                     wall_seconds=time.time() - start, obs=obs)
+                     wall_seconds=time.time() - start, obs=obs,
+                     resumed_at=resumed_at)

@@ -106,6 +106,12 @@ class EventTrace:
     def shard_quarantined(self, path: str, kind: str) -> None:
         self.emit(0, "shard_quarantined", "guard", path=str(path), kind=kind)
 
+    def campaign_interrupted(self, done: int, total: int) -> None:
+        """A sweep stopped on SIGINT/SIGTERM with ``done``/``total`` points
+        flushed; host-level, so the cycle timestamp is meaningless (0)."""
+        self.emit(0, "campaign_interrupted", "campaign", done=done,
+                  total=total)
+
     def epoch(self, cycle: int, index: int) -> None:
         self.emit(cycle, f"epoch_{index}", "epochs", index=index)
 

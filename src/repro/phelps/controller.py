@@ -398,6 +398,39 @@ class PhelpsEngine(PreExecutionEngine):
         self.terminations += 1
 
     # ==================================================================
+    # Snapshot hooks.
+    # ==================================================================
+    def quiesce(self) -> None:
+        """End any active deployment through the normal termination path.
+
+        A deployment's in-flight state (helper thread contexts, live
+        queue columns, spec-cache contents) is tied to pipeline state the
+        snapshot deliberately drains away, so it cannot be carried across
+        a process boundary.  Termination is an event the engine already
+        models — the DBT/LT/HTC training it leaves behind is exactly the
+        warm state a resumed run needs."""
+        if self.active_row is not None:
+            self._terminate(reason="snapshot")
+
+    def warm_state(self) -> bytes:
+        # ``dbt.on_evict`` is a closure over the live events/core handles
+        # (wired in attach); strip it for pickling, restore_warm re-wires.
+        hook = self.dbt.on_evict
+        self.dbt.on_evict = None
+        try:
+            return super().warm_state()
+        finally:
+            self.dbt.on_evict = hook
+
+    def restore_warm(self, payload) -> None:
+        super().restore_warm(payload)
+        if self.events is not None:
+            events, core = self.events, self.core
+            self.dbt.on_evict = lambda pc: events.dbt_evict(core.cycle, pc)
+        else:
+            self.dbt.on_evict = None
+
+    # ==================================================================
     # Misprediction taxonomy (Fig. 14).
     # ==================================================================
     def _classify_mispredict(self, pc: int) -> None:

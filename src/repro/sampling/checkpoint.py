@@ -12,16 +12,14 @@ survive for post-mortem) and treated as misses to be recomputed.
 """
 
 import json
-import os
 import pathlib
-import tempfile
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.isa.executor import ArchState, fast_forward
 from repro.isa.program import Program
 from repro.sampling.warmup import WarmupCollector, WarmupLog
-from repro.utils.shards import quarantine_shard
+from repro.utils.shards import atomic_write_json, quarantine_shard
 from repro.workloads import build_workload
 
 __all__ = ["ArchCheckpoint", "CheckpointStore", "capture_checkpoint",
@@ -116,20 +114,8 @@ class CheckpointStore:
     def put(self, ckpt: ArchCheckpoint) -> pathlib.Path:
         path = self.path_for(ckpt.workload, ckpt.start_instruction,
                              ckpt.warmup_instructions)
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.stem,
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(ckpt.to_dict(), fh, sort_keys=True)
-            os.replace(tmp, path)  # atomic on POSIX: readers never see partials
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return atomic_write_json(path, ckpt.to_dict(), indent=None,
+                                 sort_keys=True)
 
 
 def capture_checkpoint(workload: str, start_instruction: int,

@@ -1,19 +1,69 @@
-"""Shared shard-store hygiene: quarantine instead of delete.
+"""Shared shard-store hygiene: atomic writes and quarantine-not-delete.
 
-Both shard stores (:class:`repro.harness.runcache.RunCache` and
-:class:`repro.sampling.checkpoint.CheckpointStore`) write atomically but
-read defensively: a shard that exists yet cannot be parsed is evidence of
-a killed writer or filesystem damage, and silently recomputing over it
-destroys the post-mortem.  :func:`quarantine_shard` renames the damaged
-file to ``<name>.corrupt`` (atomic, keeps the bytes) so the store treats
-the key as a miss while the evidence survives next to the fresh shard.
+All durable artifacts in the repo (run-cache shards, checkpoint shards,
+campaign-journal shards, snapshot blobs, report JSONs) follow the same
+two disciplines:
+
+* **Atomic writes** — content lands in a temp file in the destination
+  directory and is published with ``os.replace``, so a reader (or a
+  crash) can never observe a torn file.  :func:`atomic_write_json` and
+  :func:`atomic_write_bytes` are the shared writers.
+* **Quarantine, not delete** — a shard that exists yet cannot be parsed
+  is evidence of a killed writer or filesystem damage, and silently
+  recomputing over it destroys the post-mortem.  :func:`quarantine_shard`
+  renames the damaged file to ``<name>.corrupt`` (atomic, keeps the
+  bytes) so the store treats the key as a miss while the evidence
+  survives next to the fresh shard.
 """
 
+import json
 import os
 import pathlib
+import tempfile
 from typing import Optional
 
-__all__ = ["quarantine_shard"]
+__all__ = ["atomic_write_bytes", "atomic_write_json", "quarantine_shard"]
+
+
+def _atomic_publish(path: pathlib.Path, mode: str, write) -> pathlib.Path:
+    """Write via mkstemp in the target directory, then ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name,
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as fh:
+            write(fh)
+        os.replace(tmp, path)  # atomic on POSIX: readers never see partials
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path, doc, *, indent: Optional[int] = 1,
+                      sort_keys: bool = False, default=None) -> pathlib.Path:
+    """Serialize ``doc`` as JSON to ``path`` atomically; returns the path.
+
+    A crash mid-write leaves only a ``*.tmp`` turd, never a truncated
+    report — every ``json.dump`` that produces a durable artifact (CLI
+    reports, diagnostic bundles, perf records, cache shards) routes
+    through here.
+    """
+    def _write(fh):
+        json.dump(doc, fh, indent=indent, sort_keys=sort_keys,
+                  default=default)
+        fh.write("\n")
+
+    return _atomic_publish(pathlib.Path(path), "w", _write)
+
+
+def atomic_write_bytes(path, blob: bytes) -> pathlib.Path:
+    """Write raw bytes (e.g. a pickled core snapshot) atomically."""
+    return _atomic_publish(pathlib.Path(path), "wb",
+                           lambda fh: fh.write(blob))
 
 
 def quarantine_shard(path, events=None, kind: str = "shard"):

@@ -1,0 +1,186 @@
+"""Campaign journal: write-ahead statuses, quarantine, kill-and-resume.
+
+The headline property (asserted here and in the CI resume-smoke job): a
+sweep SIGKILLed at an arbitrary point and then resumed produces results
+bit-identical to an uninterrupted sweep, with zero orphaned ``running``
+journal entries left behind.
+"""
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.harness import (CampaignJournal, RunCache, RunConfig,
+                           entry_fingerprint, run_campaign)
+
+N = 1_500
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _configs(n=N):
+    return [RunConfig(workload=w, engine=e, max_instructions=n)
+            for w in ("astar", "perlbench") for e in ("baseline", "phelps")]
+
+
+def _reference_fingerprints(configs):
+    entries = run_campaign(configs, jobs=1)
+    return {k: entry_fingerprint(v) for k, v in entries.items()}
+
+
+def test_journal_roundtrip(tmp_path):
+    journal = CampaignJournal(tmp_path / "camp")
+    configs = _configs()
+    journal.prepare(configs, spec={"note": "x"})
+    keys = [c.cache_key() for c in configs]
+    assert set(journal.statuses()) == set(keys)
+    assert set(journal.statuses().values()) == {"pending"}
+
+    journal.note_attempt(keys[0])
+    assert journal.read_point(keys[0])["status"] == "running"
+    assert journal.read_point(keys[0])["attempts"] == 1
+
+    journal.mark(keys[0], "done", entry={"ipc": 1.0})
+    doc = journal.read_point(keys[0])
+    assert doc["status"] == "done" and doc["attempts"] == 1
+
+    # prepare() is the resume path: done points untouched, a crashed
+    # "running" point requeues to pending with provenance.
+    journal.note_attempt(keys[1])
+    journal.prepare(configs)
+    assert journal.read_point(keys[0])["status"] == "done"
+    requeued = journal.read_point(keys[1])
+    assert requeued["status"] == "pending"
+    assert requeued["requeued"] is True and requeued["attempts"] == 1
+
+
+def test_campaign_completes_then_resume_skips_all(tmp_path):
+    configs = _configs()
+    journal = CampaignJournal(tmp_path / "camp")
+    cache = RunCache(tmp_path / "cache")
+    entries = run_campaign(configs, journal=journal, cache=cache, jobs=1)
+    assert set(journal.statuses().values()) == {"done"}
+    assert all(c.cache_key() in entries for c in configs)
+
+    # Second pass: everything served from the journal, nothing simulated.
+    events = []
+    again = run_campaign(configs, journal=journal, jobs=1,
+                         progress=events.append)
+    assert events == []
+    assert {k: entry_fingerprint(v) for k, v in again.items()} \
+        == {k: entry_fingerprint(v) for k, v in entries.items()}
+
+
+def test_truncated_shard_requeues_only_that_point(tmp_path):
+    configs = _configs()
+    journal = CampaignJournal(tmp_path / "camp")
+    run_campaign(configs, journal=journal, jobs=1)
+
+    victim = configs[2].cache_key()
+    path = journal.point_path(victim)
+    path.write_text(path.read_text()[:37])  # torn write: invalid JSON
+
+    events = []
+    entries = run_campaign(configs, journal=journal, jobs=1,
+                           progress=events.append)
+    # Exactly the damaged point recomputed; the shard was quarantined,
+    # not deleted, and the journal healed back to all-done.
+    assert [e.config.cache_key() for e in events if e.kind == "start"] \
+        == [victim]
+    assert journal.quarantined == 1
+    assert list((tmp_path / "camp").glob("*.corrupt"))
+    assert set(journal.statuses().values()) == {"done"}
+    assert len(entries) == len(configs)
+
+
+def _spawn_sweep(camp, cache, n, jobs=2):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep",
+         "-w", "astar", "perlbench", "-e", "baseline", "phelps",
+         "-n", str(n), "--jobs", str(jobs),
+         "--manifest", str(camp), "--cache-dir", str(cache)],
+        cwd=REPO, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _wait_for_journal_activity(camp, proc, timeout=60.0):
+    """Block until at least one point shard exists (the sweep is mid-flight)."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            return  # finished before we could interfere — still valid
+        shards = [p for p in camp.glob("*.json") if p.name != "campaign.json"]
+        for p in shards:
+            try:
+                if json.loads(p.read_text())["status"] in ("running", "done"):
+                    return
+            except (ValueError, KeyError):
+                continue
+        time.sleep(0.02)
+    pytest.fail("sweep subprocess never started journaling")
+
+
+def test_sigkill_then_resume_bit_identical(tmp_path):
+    """The acceptance property: SIGKILL at a seeded-random point, resume,
+    results bit-identical to an uninterrupted sweep."""
+    n = 20_000
+    camp, cache = tmp_path / "camp", tmp_path / "cache"
+    proc = _spawn_sweep(camp, cache, n)
+    _wait_for_journal_activity(camp, proc)
+    # Seeded delay: the kill lands at a reproducible-ish arbitrary point
+    # mid-campaign rather than always at the first journal write.
+    time.sleep(random.Random(1234).uniform(0.05, 0.8))
+    if proc.poll() is None:
+        proc.kill()  # SIGKILL: no handlers, no flushing, a true crash
+    proc.wait(timeout=30)
+    proc.stdout.close(), proc.stderr.close()
+
+    journal = CampaignJournal(camp)
+    assert journal.load_manifest() is not None  # manifest survived the kill
+
+    # Resume through the CLI path and verify the journal converged.
+    assert main(["sweep", "--resume", str(camp), "--jobs", "2"]) == 0
+    statuses = journal.statuses()
+    assert set(statuses.values()) == {"done"}, statuses
+
+    configs = _configs(n)
+    reference = _reference_fingerprints(configs)
+    for config in configs:
+        key = config.cache_key()
+        entry = journal.read_point(key)["entry"]
+        assert entry_fingerprint(entry) == reference[key], config
+
+
+def test_sigint_exits_130_with_consistent_journal(tmp_path):
+    n = 60_000
+    camp, cache = tmp_path / "camp", tmp_path / "cache"
+    proc = _spawn_sweep(camp, cache, n)
+    _wait_for_journal_activity(camp, proc)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGINT)
+    rc = proc.wait(timeout=120)
+    stderr = proc.stderr.read().decode()
+    proc.stdout.close(), proc.stderr.close()
+    if rc == 0:
+        pytest.skip("sweep finished before SIGINT landed")
+    assert rc == 130, stderr
+
+    # Graceful stop: every shard parses, completed work is flushed as
+    # "done" with a full entry, nothing is torn, and the manifest records
+    # the interruption.
+    journal = CampaignJournal(camp)
+    manifest = journal.load_manifest()
+    assert manifest is not None
+    for point in manifest["points"]:
+        doc = journal.read_point(point["key"])
+        assert doc is not None and doc["status"] in ("pending", "running",
+                                                     "done")
+        if doc["status"] == "done":
+            assert doc["entry"]["cycles"] > 0
+    assert journal.quarantined == 0

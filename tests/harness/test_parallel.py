@@ -155,3 +155,50 @@ def test_all_attempts_fail_raises(monkeypatch):
     # Each config: start, retry, failed.
     assert sum(1 for e in events if e.kind == "failed") == 2
     assert sum(1 for e in events if e.kind == "retry") == 2
+
+
+def test_retry_delay_capped():
+    # The exponential envelope is clamped AFTER jitter: a deep attempt
+    # can never schedule past max_delay, and the cap itself is exact.
+    assert parallel.retry_delay(0, 12, 0.5) == 30.0
+    assert parallel.retry_delay(7, 12, 0.5, max_delay=2.5) == 2.5
+    # Determinism survives the cap (regression: the schedule must replay).
+    assert (parallel.retry_delay(3, 9, 0.5, max_delay=4.0)
+            == parallel.retry_delay(3, 9, 0.5, max_delay=4.0))
+    # Below the cap the jittered value passes through untouched.
+    assert parallel.retry_delay(0, 1, 0.5, max_delay=30.0) < 1.0
+
+
+def test_on_result_fires_per_completion():
+    configs = _configs()[:3]
+    seen = []
+    results = simulate_many(configs, jobs=2,
+                            on_result=lambda i, r: seen.append((i, r)))
+    # Every run reported exactly once, with the index of its input config.
+    assert sorted(i for i, _ in seen) == [0, 1, 2]
+    for i, r in seen:
+        assert r.config == configs[i]
+        assert r.stats == results[i].stats
+
+
+def test_serial_interrupt_raises_and_keeps_done(monkeypatch):
+    import os
+    import signal
+
+    from repro.harness import SweepInterrupted
+
+    flushed = []
+
+    def kick(p):
+        # Deliver a real SIGINT after the first run completes; the guard
+        # handler converts it to a flag, and the serial loop raises
+        # SweepInterrupted before dispatching the next point.
+        if p.kind == "done" and p.done_count == 1:
+            os.kill(os.getpid(), signal.SIGINT)
+
+    configs = _configs()[:3]
+    with pytest.raises(SweepInterrupted) as exc:
+        simulate_many(configs, jobs=1, progress=kick,
+                      on_result=lambda i, r: flushed.append(i))
+    assert exc.value.done == 1 and exc.value.total == 3
+    assert flushed == [0]  # the completed run was flushed before raising
