@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Live-telemetry tour: run a small campaign and watch it from outside.
+
+Launches a journaled sweep in a background thread with fast heartbeats,
+serves it over the stdlib HTTP telemetry endpoint, and — from the
+*outside*, exactly like `repro watch` / a Prometheus scraper would —
+polls the live view while the simulation runs, printing the dashboard
+table and a couple of scraped gauges per frame.
+
+    python examples/watch_campaign.py [--dir /tmp/livecamp] [-n 20000]
+
+Everything here is observable after the fact too: point `repro watch`
+or `repro serve` at the campaign directory once this exits.
+"""
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.harness import CampaignJournal, RunConfig, run_campaign
+from repro.obs import TelemetryServer, live_view, read_live, render_watch
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", default=None,
+                        help="campaign directory (default: a temp dir)")
+    parser.add_argument("-n", type=int, default=20_000,
+                        help="instructions per point")
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    root = Path(args.dir or tempfile.mkdtemp(prefix="livecamp-"))
+    configs = [RunConfig(workload=w, engine=e, max_instructions=args.n)
+               for w in ("astar", "sssp") for e in ("baseline", "phelps")]
+    journal = CampaignJournal(root)
+
+    def sweep():
+        run_campaign(configs, journal=journal, jobs=args.jobs,
+                     heartbeat_interval=0.2)
+
+    worker = threading.Thread(target=sweep, daemon=True)
+    worker.start()
+
+    with TelemetryServer(root, interval=0.2) as srv:
+        print(f"campaign dir : {root}")
+        print(f"endpoint     : {srv.url}  (/metrics /campaign /live /stream)")
+        while worker.is_alive():
+            time.sleep(0.5)
+            doc = read_live(root)
+            if doc is None:  # sweep still preparing the journal
+                continue
+            view = live_view(doc, now=time.time())
+            print("\n" + render_watch(view))
+            with urllib.request.urlopen(srv.url + "/metrics",
+                                        timeout=5) as resp:
+                gauges = [line for line in resp.read().decode().splitlines()
+                          if line.startswith("repro_campaign_points")]
+            print("scraped      : " + "  ".join(gauges))
+
+        worker.join()
+        with urllib.request.urlopen(srv.url + "/campaign", timeout=5) as resp:
+            final = json.loads(resp.read().decode())
+
+    print(f"\nfinal statuses: {final['counts']}")
+    print(f"replay the dashboard any time:  "
+          f"python -m repro watch {root} --once")
+
+
+if __name__ == "__main__":
+    main()

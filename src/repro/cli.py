@@ -12,7 +12,13 @@
     python -m repro sweep -w astar -e baseline phelps --manifest camp/
     python -m repro sweep --resume camp/
     python -m repro run astar -n 500000 --snapshot-interval 100000 --snapshot-dir snaps/
+    python -m repro sweep -w astar bfs -e baseline phelps --manifest camp/ --serve 8320
+    python -m repro watch camp/
+    python -m repro serve camp/ --port 8320
     python -m repro perf --out BENCH_perf.json
+    python -m repro perf --record            # append to benchmarks/perf_history/
+    python -m repro perf --compare           # newest vs previous history shard
+    python -m repro perf --explain-skip
     python -m repro costs
     python -m repro inspect astar
     python -m repro guard --matrix -n 30000
@@ -42,6 +48,7 @@ EXIT_HANG = 3            # forward-progress watchdog fired (SimulationHang)
 EXIT_DIVERGENCE = 4      # golden-model divergence (DivergenceError)
 EXIT_WORKER_FAILURE = 5  # simulate_many run failed every attempt
 EXIT_INVARIANT = 6       # cycle-level sanitizer violation (InvariantViolation)
+EXIT_PERF_REGRESSION = 7 # perf --compare found a same-host regression
 EXIT_INTERRUPTED = 130   # SIGINT/SIGTERM: graceful stop (128 + SIGINT)
 
 _EXIT_CODE_DOC = """\
@@ -57,6 +64,8 @@ exit codes:
      (SimulationFailed)
   6  invariant violation: the cycle-level sanitizer found inconsistent
      microarchitectural state (InvariantViolation)
+  7  perf regression: perf --compare found a same-host slowdown past the
+     measured noise floor plus margin
 130  interrupted: SIGINT/SIGTERM stopped a sweep/guard/sample gracefully
      after flushing completed results (128 + SIGINT; a second SIGINT
      hard-kills immediately)
@@ -213,10 +222,26 @@ def _cmd_sweep(args) -> int:
     print(f"sweep: {len(configs)} points (jobs={args.jobs or 'auto'}"
           + (f", journal={journal.root}" if journal is not None else "")
           + ")")
-    entries = run_campaign(configs, journal=journal, cache=cache,
-                           jobs=args.jobs, timeout=args.timeout,
-                           progress=_progress if not args.quiet else None,
-                           spec=spec_doc)
+    server = None
+    if args.serve is not None:
+        if journal is None:
+            print("sweep: --serve needs a campaign directory "
+                  "(--manifest or --resume)", file=sys.stderr)
+            return 2
+        from repro.obs.serve import TelemetryServer
+        server = TelemetryServer(journal.root, port=args.serve,
+                                 interval=args.heartbeat_interval).start()
+        print(f"sweep: telemetry at {server.url} "
+              f"(/metrics /campaign /live /stream)")
+    try:
+        entries = run_campaign(configs, journal=journal, cache=cache,
+                               jobs=args.jobs, timeout=args.timeout,
+                               progress=_progress if not args.quiet else None,
+                               spec=spec_doc,
+                               heartbeat_interval=args.heartbeat_interval)
+    finally:
+        if server is not None:
+            server.stop()
 
     rows = []
     for w in workloads:
@@ -287,7 +312,81 @@ def _cmd_sample(args) -> int:
 
 
 def _cmd_perf(args) -> int:
-    from repro.harness.perf import perf_smoke, write_perf_record
+    from repro.harness.perf import explain_skip, perf_smoke, write_perf_record
+    from repro.harness.perfhistory import (append_record, compare_records,
+                                           latest_record, list_records,
+                                           load_record)
+
+    if args.explain_skip:
+        rows = explain_skip()
+        print(ascii_table(
+            ["point", "cycles", "skipped", "frac", "walks", "vetoes",
+             "advances", "cyc/walk"],
+            [[r["label"], r["cycles"], r["idle_cycles_skipped"],
+              r["skipped_frac"], r["skip_walk_cycles"], r["skip_vetoes"],
+              r["skip_bulk_advances"], r["cycles_per_walk"] or "n/a"]
+             for r in rows]))
+        sick = [r["label"] for r in rows
+                if r["skip_walk_cycles"] > r["idle_cycles_skipped"] > 0]
+        if sick:
+            print(f"walks outweigh skipped cycles on: {', '.join(sick)} "
+                  f"(the fast path costs more than it saves there)")
+        return 0
+
+    if args.compare is not None or args.against:
+        # Pure comparison of existing records: never simulates.  The
+        # history shards sort oldest-first, so with no explicit paths
+        # this compares the two newest records.
+        history = [(p, load_record(p)) for p in list_records(args.history_dir)]
+        history = [(p, r) for p, r in history if r is not None]
+        if args.against:
+            new = load_record(args.against)
+            if new is None:
+                print(f"perf: cannot read record {args.against}",
+                      file=sys.stderr)
+                return 2
+        elif history:
+            _, new = history.pop()
+        else:
+            print(f"perf: no history under {args.history_dir} "
+                  f"(record one with --record)", file=sys.stderr)
+            return 2
+        if args.compare:
+            base = load_record(args.compare)
+            if base is None:
+                print(f"perf: cannot read baseline {args.compare}",
+                      file=sys.stderr)
+                return 2
+        elif history:
+            _, base = history[-1]
+        else:
+            print("perf: history has no record to use as baseline; pass "
+                  "an explicit path to --compare", file=sys.stderr)
+            return 2
+        report = compare_records(base, new, margin_pct=args.margin)
+        for d in report["points"]:
+            if d.get("verdict") == "incomparable":
+                print(f"  ?  {d['label']}: incomparable")
+                continue
+            mark = {"regression": "REG", "improvement": "imp",
+                    "ok": "ok "}[d["verdict"]]
+            print(f"  {mark} {d['label']}: {d['base_wall_seconds']:.2f}s -> "
+                  f"{d['new_wall_seconds']:.2f}s ({d['delta_pct']:+.1f}%, "
+                  f"noise {d['noise_pct']:.1f}% + margin "
+                  f"{report['margin_pct']:.1f}%)")
+        if not report["host_match"]:
+            print("perf: records come from different hosts — wall-clock "
+                  "deltas are advisory, not a gate", file=sys.stderr)
+        if args.compare_out:
+            atomic_write_json(args.compare_out, report, indent=1,
+                              sort_keys=True)
+            print(f"delta report -> {args.compare_out}")
+        if report["regressions"]:
+            print(f"perf: REGRESSION on {', '.join(report['regressions'])}",
+                  file=sys.stderr)
+            if report["host_match"]:
+                return EXIT_PERF_REGRESSION
+        return 0
 
     record = perf_smoke(rounds=args.rounds,
                         include_sampling=args.sampling)
@@ -311,7 +410,59 @@ def _cmd_perf(args) -> int:
     if args.out:
         write_perf_record(args.out, record)
         print(f"perf record -> {args.out}")
+    if args.record:
+        shard = append_record(args.history_dir, record,
+                              latest_path=args.out or "BENCH_perf.json")
+        print(f"history shard -> {shard}")
     return 0
+
+
+def _cmd_watch(args) -> int:
+    """Terminal dashboard tailing a campaign's live.json (or journal)."""
+    import time as time_mod
+
+    from repro.obs.live import journal_view, live_view, read_live, render_watch
+
+    def frame():
+        doc = read_live(args.dir)
+        if doc is not None:
+            return live_view(doc)
+        return journal_view(args.dir)
+
+    view = frame()
+    if view is None:
+        print(f"watch: no campaign under {args.dir} "
+              f"(expected live.json or campaign.json)", file=sys.stderr)
+        return 2
+    while True:
+        if not args.once:
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+        print(render_watch(view, limit=args.limit))
+        counts = view.get("counts") or {}
+        finished = counts.get("done", 0) + counts.get("failed", 0)
+        if args.once or (view.get("total") and finished >= view["total"]):
+            return 0
+        time_mod.sleep(args.interval)
+        view = frame() or view
+
+
+def _cmd_serve(args) -> int:
+    """Standalone telemetry endpoint over a campaign directory."""
+    import time as time_mod
+
+    from repro.obs.serve import TelemetryServer
+
+    server = TelemetryServer(args.dir, port=args.port,
+                             host=args.host, interval=args.interval).start()
+    print(f"serving {args.dir} at {server.url} "
+          f"(/metrics /campaign /live /stream; Ctrl-C stops)")
+    try:
+        while True:
+            time_mod.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.stop()
 
 
 def _cmd_stats(args) -> int:
@@ -534,7 +685,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "run key, e.g. benchmarks/results/cache)")
     sweep.add_argument("-q", "--quiet", action="store_true",
                        help="suppress per-run progress lines")
+    sweep.add_argument("--serve", type=int, metavar="PORT", default=None,
+                       help="serve live telemetry over HTTP while the "
+                            "sweep runs (/metrics, /campaign, /live, "
+                            "/stream; needs --manifest or --resume; "
+                            "port 0 = ephemeral)")
+    sweep.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       metavar="SEC",
+                       help="worker progress-heartbeat cadence in seconds "
+                            "(drives live.json and the watch/serve views)")
     sweep.set_defaults(fn=_cmd_sweep)
+
+    watch = sub.add_parser(
+        "watch", help="terminal dashboard tailing a campaign directory "
+                      "(live heartbeats, stalled-worker flags, ETA)")
+    watch.add_argument("dir", help="campaign directory (the --manifest/"
+                                   "--resume DIR of a sweep)")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds")
+    watch.add_argument("--once", action="store_true",
+                       help="print one frame and exit (no screen clearing)")
+    watch.add_argument("--limit", type=int, default=0,
+                       help="truncate the point table to this many rows "
+                            "(0 = all)")
+    watch.set_defaults(fn=_cmd_watch)
+
+    serve = sub.add_parser(
+        "serve", help="HTTP telemetry endpoint over a campaign directory "
+                      "(Prometheus /metrics, /campaign JSON, SSE /stream)")
+    serve.add_argument("dir", help="campaign directory to serve")
+    serve.add_argument("--port", type=int, default=8320,
+                       help="listen port (0 = ephemeral, printed at start)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default loopback only)")
+    serve.add_argument("--interval", type=float, default=1.0,
+                       help="SSE frame period in seconds")
+    serve.set_defaults(fn=_cmd_serve)
 
     sample = sub.add_parser(
         "sample", help="sampled simulation: BBV profile -> k-means regions "
@@ -565,14 +751,41 @@ def build_parser() -> argparse.ArgumentParser:
     sample.set_defaults(fn=_cmd_sample)
 
     perf = sub.add_parser(
-        "perf", help="best-of-N wall-clock perf smoke; records simulated "
-                     "instructions/second (BENCH_perf.json)")
+        "perf", help="best-of-N wall-clock perf smoke, append-only perf "
+                     "history, and noise-aware regression comparison",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     perf.add_argument("--rounds", type=int, default=3)
     perf.add_argument("--out", metavar="PATH", default=None,
                       help="write the JSON perf record here")
     perf.add_argument("--sampling", action="store_true",
                       help="also measure sampled-vs-full wall-clock "
                            "speedup and IPC error on one workload")
+    perf.add_argument("--record", action="store_true",
+                      help="append this measurement to the perf history "
+                           "(an immutable shard under --history-dir) and "
+                           "mirror the newest record to BENCH_perf.json")
+    perf.add_argument("--history-dir", metavar="DIR",
+                      default="benchmarks/perf_history",
+                      help="append-only perf-history directory")
+    perf.add_argument("--compare", nargs="?", const="", metavar="BASE",
+                      default=None,
+                      help="compare two existing records without "
+                           "simulating: BASE (or the second-newest "
+                           "history shard) against --against (or the "
+                           "newest); exits 7 on a same-host regression")
+    perf.add_argument("--against", metavar="PATH", default=None,
+                      help="the 'new' record for --compare (default: "
+                           "newest history shard)")
+    perf.add_argument("--margin", type=float, default=5.0,
+                      help="regression margin in percent, added on top "
+                           "of the measured best-of-N noise floor")
+    perf.add_argument("--compare-out", metavar="PATH", default=None,
+                      help="write the --compare delta report as JSON")
+    perf.add_argument("--explain-skip", action="store_true",
+                      help="run each perf point once and break down the "
+                           "idle-skip economics (quiescence walks, "
+                           "vetoes, bulk advances) instead of measuring")
     perf.set_defaults(fn=_cmd_perf)
 
     sub.add_parser("costs", help="print Table II").set_defaults(fn=_cmd_costs)

@@ -12,6 +12,7 @@ engine's speculative pointers (Phelps ``spec_head``) are restored from
 per-uop checkpoints taken at fetch (paper Section IV-B).
 """
 
+import time
 from collections import defaultdict, deque
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,11 @@ from repro.core.uop import Uop, UopState
 
 _RI_OPS = frozenset({Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
                      Opcode.SLTI, Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.LI})
+
+# Heartbeat cadence: consult the wall clock once per this many simulated
+# cycles (the pure-Python core sustains ~5-20k cycles/sec, so 256 cycles
+# is tens of milliseconds — far finer than any sane heartbeat interval).
+_HB_STRIDE = 256
 
 
 class Core:
@@ -95,6 +101,13 @@ class Core:
         self._thread_by_id: Dict[int, ThreadContext] = {}
         self._rebuild_thread_snapshot()
         self._tick_work = False
+        # Idle-skip negative-result latch: set when a quiescence walk (or
+        # an engine veto) yields no skip, cleared the next time any stage
+        # does real work.  Purely a wall-clock optimization — whether a
+        # quiescent stretch is skipped or naively ticked is architecturally
+        # identical — but it stops the walk from running (and failing)
+        # every idle cycle of a long stall.
+        self._skip_latched = False
 
         # Shared backend structures.
         self.iq_count = 0
@@ -199,6 +212,7 @@ class Core:
             self.oracle.undo.rewind(self.oracle, oldest_mark)
         self.wb_events.clear()
         self.ready_q.clear()
+        self._skip_latched = False
         for thread in self.threads:
             thread.blocked_loads = []
             thread.fetch_stalled_until = 0
@@ -935,17 +949,28 @@ class Core:
         return bound if bound > cycle else cycle
 
     def _try_idle_skip(self, horizon: int) -> None:
+        stats = self.stats
+        stats.skip_walk_cycles += 1
         target = self._idle_skip_target(horizon)
         skip = target - self.cycle
         if skip <= 0:
+            # Not quiescent: the walk's verdict cannot change until some
+            # stage does real work again, so latch the fast path off
+            # instead of re-walking (and re-failing) every idle tick.
+            self._skip_latched = True
             return
         skip = self.engine.idle_skip(self.cycle, target)
         if skip > 0:
             self.cycle += skip
-            self.stats.idle_cycles_skipped += skip
+            stats.idle_cycles_skipped += skip
+            stats.skip_bulk_advances += 1
+        else:
+            stats.skip_vetoes += 1
+            self._skip_latched = True
 
     def run(self, max_instructions: int = 1_000_000, max_cycles: int = 20_000_000,
-            snapshot_interval: int = 0, on_snapshot=None) -> SimStats:
+            snapshot_interval: int = 0, on_snapshot=None,
+            on_heartbeat=None, heartbeat_interval: float = 1.0) -> SimStats:
         """Simulate until HALT retires, ``max_instructions`` main-thread
         instructions retire, or ``max_cycles`` elapse.
 
@@ -963,6 +988,14 @@ class Core:
         happens even with ``on_snapshot=None`` so an uninterrupted run and
         a resumed run see identical perturbations — the basis of the
         cycle-exact resume contract (see :mod:`repro.core.snapshot`).
+
+        ``on_heartbeat`` (when given) is called with the core roughly
+        every ``heartbeat_interval`` wall-clock seconds.  The callback
+        must only *read* core state — it is out-of-band telemetry (live
+        progress streaming) and must never perturb the simulation; runs
+        with and without heartbeats are bit-identical by construction.
+        The wall clock is only consulted every ``_HB_STRIDE`` cycles, so
+        the disabled path costs one ``is None`` test per tick.
         """
         fast = self.config.enable_cycle_skip
         tick = self.tick
@@ -973,12 +1006,27 @@ class Core:
         next_snap = None
         if snapshot_interval > 0:
             next_snap = ((main.retired // snapshot_interval) + 1) * snapshot_interval
+        hb = on_heartbeat
+        if hb is not None:
+            hb_last = time.monotonic()
+            hb_countdown = _HB_STRIDE
         while (not self.halted and main.retired < max_instructions
                and self.cycle < max_cycles):
             tick()
-            if (fast and not self._tick_work and not self.halted
-                    and not self.ready_q):
-                self._try_idle_skip(max_cycles)
+            if fast and not self._tick_work and not self.halted \
+                    and not self.ready_q:
+                if not self._skip_latched:
+                    self._try_idle_skip(max_cycles)
+            elif self._skip_latched and self._tick_work:
+                self._skip_latched = False
+            if hb is not None:
+                hb_countdown -= 1
+                if hb_countdown <= 0:
+                    hb_countdown = _HB_STRIDE
+                    now = time.monotonic()
+                    if now - hb_last >= heartbeat_interval:
+                        hb_last = now
+                        hb(self)
             if wd:
                 if main.retired != wd_retired:
                     wd_retired = main.retired

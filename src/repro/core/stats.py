@@ -40,6 +40,15 @@ class SimStats:
     # skipped cycles are still *counted* in ``cycles`` — this records how
     # much simulator work the fast path avoided, not a timing change.
     idle_cycles_skipped: int = 0
+    # Idle-skip self-diagnosis (``perf --explain-skip``): how many
+    # quiescence walks ran (each costs about one naive tick of wall
+    # work), how many ended in an engine veto, and how many actually
+    # jumped the clock.  ``skip_walk_cycles`` rivaling
+    # ``idle_cycles_skipped`` means the fast path costs more than it
+    # saves on that workload.
+    skip_walk_cycles: int = 0
+    skip_vetoes: int = 0
+    skip_bulk_advances: int = 0
     halted: bool = False
     memory: Dict = field(default_factory=dict)
     engine: Dict = field(default_factory=dict)

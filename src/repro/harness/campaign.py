@@ -35,6 +35,7 @@ from repro.harness.parallel import (Progress, SweepInterrupted,
                                     simulate_many)
 from repro.harness.runcache import entry_from_result
 from repro.harness.simulator import RunConfig
+from repro.obs.live import LIVE_NAME, LiveStatus
 from repro.utils.shards import atomic_write_json, quarantine_shard
 
 __all__ = ["CampaignJournal", "entry_fingerprint", "run_campaign"]
@@ -200,7 +201,9 @@ def run_campaign(configs: Sequence[RunConfig],
                  retries: int = 1,
                  progress: Optional[Callable[[Progress], None]] = None,
                  events=None,
-                 spec: Optional[Dict] = None) -> Dict[str, Dict]:
+                 spec: Optional[Dict] = None,
+                 live: Optional[LiveStatus] = None,
+                 heartbeat_interval: float = 1.0) -> Dict[str, Dict]:
     """Run a point set with journal + cache flushing; returns key -> entry.
 
     The one sweep path for fresh runs, cache-warm reruns, and resumes:
@@ -217,11 +220,26 @@ def run_campaign(configs: Sequence[RunConfig],
 
     ``journal``/``cache`` are both optional — with neither, this is a
     plain ``simulate_many`` returning entries keyed by config.
+
+    Live telemetry: a journaled campaign automatically maintains
+    ``live.json`` beside the journal — worker heartbeats (every
+    ``heartbeat_interval`` seconds) and status transitions fold into one
+    atomically-published document that ``repro watch`` / ``repro serve``
+    tail.  Pass ``live`` to use a pre-built :class:`~repro.obs.live.
+    LiveStatus` (e.g. at a custom path); telemetry is skipped entirely
+    when there is no journal and no explicit ``live``.
     """
     configs = list(configs)
     keys = [c.cache_key() for c in configs]
     total = len(configs)
     entries: Dict[str, Dict] = {}
+
+    if live is None and journal is not None:
+        live = LiveStatus(journal.root / LIVE_NAME,
+                          interval=heartbeat_interval)
+    if live is not None:
+        for config, key in zip(configs, keys):
+            live.point(key, config.workload, config.engine)
 
     if journal is not None:
         journal.prepare(configs, spec=spec)
@@ -229,6 +247,9 @@ def run_campaign(configs: Sequence[RunConfig],
             doc = journal.read_point(key)
             if doc and doc.get("status") == "done" and doc.get("entry") is not None:
                 entries[key] = doc["entry"]
+                if live is not None:
+                    live.mark(key, "done",
+                              wall_seconds=doc["entry"].get("wall_seconds"))
 
     to_run: List[int] = []
     for i, (config, key) in enumerate(zip(configs, keys)):
@@ -240,9 +261,14 @@ def run_campaign(configs: Sequence[RunConfig],
                 entries[key] = hit
                 if journal is not None:
                     journal.mark(key, "done", entry=hit, source="cache")
+                if live is not None:
+                    live.mark(key, "done",
+                              wall_seconds=hit.get("wall_seconds"))
                 continue
         to_run.append(i)
 
+    if live is not None:
+        live.write(force=True)
     if not to_run:
         return entries
 
@@ -256,6 +282,15 @@ def run_campaign(configs: Sequence[RunConfig],
                 journal.note_attempt(key)
             elif p.kind == "failed":
                 journal.mark(key, "failed", error=p.error)
+        if live is not None:
+            if p.kind in ("start", "retry"):
+                live.mark(key, "running")
+            elif p.kind == "failed":
+                live.mark(key, "failed", error=p.error,
+                          wall_seconds=p.wall_seconds)
+            elif p.kind == "done":
+                live.mark(key, "done", wall_seconds=p.wall_seconds)
+            live.write()
         if progress is not None:
             progress(p)
 
@@ -270,15 +305,26 @@ def run_campaign(configs: Sequence[RunConfig],
                          attempts_taken=result.attempts,
                          last_error=result.last_error)
 
+    heartbeat = None
+    if live is not None:
+        def heartbeat(index: int, payload: Dict) -> None:
+            live.beat(run_keys[index], payload)
+            live.write()
+
     try:
         simulate_many(run_configs, jobs=jobs, timeout=timeout,
                       retries=retries, progress=_progress,
-                      on_result=_on_result)
+                      on_result=_on_result, heartbeat=heartbeat,
+                      heartbeat_interval=heartbeat_interval)
     except SweepInterrupted:
         done = len(entries)
         if events is not None:
             events.campaign_interrupted(done, total)
         if journal is not None:
             journal.note_interrupted(done, total)
+        if live is not None:
+            live.write(force=True)
         raise SweepInterrupted(done, total) from None
+    if live is not None:
+        live.write(force=True)
     return entries

@@ -204,7 +204,8 @@ class SimulationFailed(RuntimeError):
         super().__init__("simulation run(s) failed:\n" + "\n".join(lines))
 
 
-def _worker(index: int, attempt: int, config: RunConfig, out_q) -> None:
+def _worker(index: int, attempt: int, config: RunConfig, out_q,
+            heartbeat_interval: Optional[float] = None) -> None:
     # Forked inside the parent's interrupt_guard, the child inherits its
     # cooperative handlers: SIGTERM would set a flag instead of killing,
     # so ``proc.terminate()`` (timeouts, interruption cleanup) would hang
@@ -217,20 +218,34 @@ def _worker(index: int, attempt: int, config: RunConfig, out_q) -> None:
     except ValueError:  # pragma: no cover - non-main-thread start
         pass
     _maybe_inject_worker_fault(index, attempt)
+    # Messages share the one result channel, tagged by kind: "hb" frames
+    # stream progress mid-run, the single "res" frame ends the attempt.
     try:
-        result = simulate(config)
+        if heartbeat_interval is not None:
+            def on_heartbeat(payload):
+                out_q.put(("hb", index, attempt, payload))
+
+            result = simulate(config, on_heartbeat=on_heartbeat,
+                              heartbeat_interval=heartbeat_interval)
+        else:
+            result = simulate(config)
         # The hub's registry holds lambdas over live core objects; the
         # stats snapshot is already serialized into result.stats.
         result = dataclasses.replace(result, obs=None)
-        out_q.put((index, attempt, True, result, None))
+        out_q.put(("res", index, attempt, True, result, None))
     except BaseException as exc:  # ship *any* worker death to the parent
-        out_q.put((index, attempt, False, None, repr(exc)))
+        out_q.put(("res", index, attempt, False, None, repr(exc)))
 
 
 def _simulate_serial(configs: Sequence[RunConfig],
                      progress: Optional[Callable[[Progress], None]],
-                     on_result: Optional[Callable[[int, SimResult], None]] = None
-                     ) -> List[SimResult]:
+                     on_result: Optional[Callable[[int, SimResult], None]] = None,
+                     heartbeat: Optional[Callable[[int, Dict], None]] = None,
+                     heartbeat_interval: float = 1.0) -> List[SimResult]:
+    # The serial path mirrors the pool's observable behavior exactly —
+    # same Progress kinds, same heartbeat callbacks (delivered inline
+    # rather than over a queue) — so ``watch``/``live.json`` cannot tell
+    # a ``jobs=1`` sweep from a parallel one.
     results: List[SimResult] = []
     total = len(configs)
     with interrupt_guard() as istate:
@@ -240,7 +255,14 @@ def _simulate_serial(configs: Sequence[RunConfig],
             if progress:
                 progress(Progress("start", i, config, len(results), total))
             start = time.time()
-            result = simulate(config)
+            if heartbeat is not None:
+                def on_heartbeat(payload, _i=i):
+                    heartbeat(_i, payload)
+
+                result = simulate(config, on_heartbeat=on_heartbeat,
+                                  heartbeat_interval=heartbeat_interval)
+            else:
+                result = simulate(config)
             results.append(result)
             if on_result:
                 on_result(i, result)
@@ -258,8 +280,9 @@ def simulate_many(configs: Sequence[RunConfig],
                   poll_interval: float = 0.05,
                   backoff: float = 0.5,
                   max_delay: float = 30.0,
-                  on_result: Optional[Callable[[int, SimResult], None]] = None
-                  ) -> List[SimResult]:
+                  on_result: Optional[Callable[[int, SimResult], None]] = None,
+                  heartbeat: Optional[Callable[[int, Dict], None]] = None,
+                  heartbeat_interval: float = 1.0) -> List[SimResult]:
     """Run every config and return results in input order.
 
     ``jobs=None`` uses ``os.cpu_count()``; ``jobs<=1`` (or a single
@@ -277,6 +300,14 @@ def simulate_many(configs: Sequence[RunConfig],
     durable state is flushed the moment a result exists, which is what
     makes interruption and crashes lose nothing that finished.
 
+    ``heartbeat(index, payload)`` streams per-run progress: when set,
+    each worker emits a heartbeat payload (see
+    :class:`~repro.obs.live.HeartbeatTicker`) at most every
+    ``heartbeat_interval`` seconds over the same channel results use,
+    tagged so the two never interleave incorrectly.  Heartbeats are pure
+    telemetry — results remain bit-identical with them on or off, in
+    both the pool and the serial path.
+
     SIGINT/SIGTERM during the sweep stops dispatching, flushes every
     completed result, terminates in-flight workers, and raises
     :class:`SweepInterrupted`; a second SIGINT hard-kills.
@@ -288,7 +319,8 @@ def simulate_many(configs: Sequence[RunConfig],
         jobs = os.cpu_count() or 1
     jobs = min(jobs, len(configs))
     if jobs <= 1:
-        return _simulate_serial(configs, progress, on_result)
+        return _simulate_serial(configs, progress, on_result,
+                                heartbeat, heartbeat_interval)
 
     ctx = mp.get_context()
     out_q = ctx.Queue()
@@ -303,9 +335,12 @@ def simulate_many(configs: Sequence[RunConfig],
     last_errors: Dict[int, str] = {}
     done_count = 0
 
+    hb_interval = heartbeat_interval if heartbeat is not None else None
+
     def _spawn(index: int, attempt: int) -> None:
         proc = ctx.Process(target=_worker,
-                           args=(index, attempt, configs[index], out_q),
+                           args=(index, attempt, configs[index], out_q,
+                                 hb_interval),
                            daemon=True)
         proc.start()
         now = time.time()
@@ -353,16 +388,29 @@ def simulate_many(configs: Sequence[RunConfig],
                 return pending.pop(pos)
         return None
 
+    def _dispatch(msg) -> None:
+        """Route one tagged queue frame: heartbeats to the callback,
+        results to :func:`_reap`.  Frames from attempts already reaped
+        (e.g. a timed-out worker flushing before dying) are dropped."""
+        if msg[0] == "hb":
+            _, index, attempt, payload = msg
+            if (heartbeat is not None and index in running
+                    and running[index]["attempt"] == attempt):
+                heartbeat(index, payload)
+            return
+        _, index, attempt, ok, result, error = msg
+        if index in running and running[index]["attempt"] == attempt:
+            _reap(index, ok, result, error)
+
     def _flush_completed() -> None:
-        """Drain results already on the queue (workers that finished but
+        """Drain frames already on the queue (workers that finished but
         were not yet reaped) so an interruption loses nothing done."""
         while True:
             try:
-                qi, qat, qok, qres, qerr = out_q.get_nowait()
+                msg = out_q.get_nowait()
             except queue_mod.Empty:
                 return
-            if qi in running and running[qi]["attempt"] == qat:
-                _reap(qi, qok, qres, qerr)
+            _dispatch(msg)
 
     try:
         with interrupt_guard() as istate:
@@ -377,14 +425,11 @@ def simulate_many(configs: Sequence[RunConfig],
                     _, index, attempt = entry
                     _spawn(index, attempt)
                 try:
-                    index, attempt, ok, result, error = out_q.get(timeout=poll_interval)
+                    msg = out_q.get(timeout=poll_interval)
                 except queue_mod.Empty:
                     pass
                 else:
-                    # Ignore late reports from attempts already reaped (e.g. a
-                    # timed-out worker that flushed its result before dying).
-                    if index in running and running[index]["attempt"] == attempt:
-                        _reap(index, ok, result, error)
+                    _dispatch(msg)
                     continue
                 now = time.time()
                 for index, info in list(running.items()):
@@ -395,15 +440,15 @@ def simulate_many(configs: Sequence[RunConfig],
                               f"timeout after {timeout:.1f}s")
                     elif not info["proc"].is_alive():
                         # Died without reporting (e.g. hard kill): drain any
-                        # late queue item first, then treat as a crash.
+                        # late queue frame first (possibly one of its own
+                        # final heartbeats), then treat as a crash.
                         try:
-                            qi, qat, qok, qres, qerr = out_q.get_nowait()
+                            msg = out_q.get_nowait()
                         except queue_mod.Empty:
                             _reap(index, False, None,
                                   f"worker exited with code {info['proc'].exitcode}")
                         else:
-                            if qi in running and running[qi]["attempt"] == qat:
-                                _reap(qi, qok, qres, qerr)
+                            _dispatch(msg)
     finally:
         for info in running.values():
             info["proc"].terminate()

@@ -23,9 +23,9 @@ from repro.harness.simulator import RunConfig, simulate
 from repro.memory.hierarchy import MemoryConfig
 from repro.utils.shards import atomic_write_json
 
-__all__ = ["PERF_POINTS", "SAMPLING_POINT", "measure_guard_overhead",
-           "measure_point", "measure_sampling", "perf_smoke",
-           "write_perf_record"]
+__all__ = ["PERF_POINTS", "SAMPLING_POINT", "explain_skip",
+           "measure_guard_overhead", "measure_point", "measure_sampling",
+           "perf_smoke", "write_perf_record"]
 
 # Fixed measurement points: a helper-thread-heavy run (the engine hot
 # path), a stall-heavy baseline run, and a slow-DRAM variant where more
@@ -41,13 +41,22 @@ PERF_POINTS: List[Dict] = [
 ]
 
 
-def _best_of(config: RunConfig, rounds: int) -> Tuple[float, object]:
+def _best_of(config: RunConfig, rounds: int) -> Tuple[float, object, List[float]]:
+    """Best wall, its result, and every round's wall (the noise record).
+
+    The per-round walls are what make regression comparison noise-aware
+    (:mod:`repro.harness.perfhistory`): the spread of N identical runs is
+    the measured noise floor of this host at this moment, so a later
+    comparison knows how big a delta is *meaningful*.
+    """
     best_wall, best_result = None, None
+    walls: List[float] = []
     for _ in range(max(1, rounds)):
         result = simulate(config)
+        walls.append(round(result.wall_seconds, 4))
         if best_wall is None or result.wall_seconds < best_wall:
             best_wall, best_result = result.wall_seconds, result
-    return best_wall, best_result
+    return best_wall, best_result, walls
 
 
 def measure_point(workload: str, engine: str, instructions: int,
@@ -58,8 +67,8 @@ def measure_point(workload: str, engine: str, instructions: int,
                          memory=MemoryConfig(**memory) if memory else None)
     naive_cfg = dataclasses.replace(
         fast_cfg, core=CoreConfig(enable_cycle_skip=False))
-    fast_wall, fast = _best_of(fast_cfg, rounds)
-    naive_wall, naive = _best_of(naive_cfg, rounds)
+    fast_wall, fast, fast_walls = _best_of(fast_cfg, rounds)
+    naive_wall, naive, naive_walls = _best_of(naive_cfg, rounds)
     s = fast.stats
     assert (s.cycles, s.retired) == (naive.stats.cycles, naive.stats.retired), \
         "cycle-skip fast path diverged from the naive loop"
@@ -71,8 +80,13 @@ def measure_point(workload: str, engine: str, instructions: int,
         "cycles": s.cycles,
         "retired": s.retired,
         "idle_cycles_skipped": s.idle_cycles_skipped,
+        "skip_walk_cycles": s.skip_walk_cycles,
+        "skip_vetoes": s.skip_vetoes,
+        "skip_bulk_advances": s.skip_bulk_advances,
         "wall_seconds_best": round(fast_wall, 4),
         "wall_seconds_best_no_skip": round(naive_wall, 4),
+        "wall_seconds_rounds": fast_walls,
+        "wall_seconds_rounds_no_skip": naive_walls,
         "instr_per_sec": round(s.retired / fast_wall) if fast_wall else None,
         "cycles_per_sec": round(s.cycles / fast_wall) if fast_wall else None,
         "cycle_skip_speedup": round(naive_wall / fast_wall, 3) if fast_wall else None,
@@ -93,7 +107,7 @@ def measure_guard_overhead(rounds: int = 3, workload: str = "astar",
         cfg = RunConfig(workload=workload, engine="baseline",
                         max_instructions=instructions,
                         core=CoreConfig(guard_level=level))
-        wall, _ = _best_of(cfg, rounds)
+        wall, _, _ = _best_of(cfg, rounds)
         walls[level] = wall
     off = walls["off"]
     return {
@@ -109,6 +123,42 @@ def measure_guard_overhead(rounds: int = 3, workload: str = "astar",
         "full_overhead_pct": round((walls["full"] / off - 1) * 100, 2)
         if off else None,
     }
+
+
+def explain_skip(points: Optional[Sequence[Dict]] = None) -> List[Dict]:
+    """Idle-skip self-diagnosis: one run per perf point, counters only.
+
+    For each point (default :data:`PERF_POINTS`) this runs the fast path
+    once and reports the quiescence-walk economics — walks attempted,
+    engine vetoes, successful bulk advances, and cycles actually skipped.
+    A point where ``skip_walk_cycles`` rivals ``idle_cycles_skipped`` is
+    paying more for the walks than the skips buy back (the shape of the
+    sssp-slow-dram 0.96x regression this diagnosed); healthy points skip
+    hundreds of cycles per walk.
+    """
+    rows: List[Dict] = []
+    for point in (points or PERF_POINTS):
+        point = dict(point)
+        label = point.pop("label", None)
+        memory = point.pop("memory", None)
+        cfg = RunConfig(workload=point["workload"], engine=point["engine"],
+                        max_instructions=point["instructions"],
+                        memory=MemoryConfig(**memory) if memory else None)
+        s = simulate(cfg).stats
+        walks = s.skip_walk_cycles
+        rows.append({
+            "label": label or f"{point['workload']}-{point['engine']}",
+            "cycles": s.cycles,
+            "idle_cycles_skipped": s.idle_cycles_skipped,
+            "skipped_frac": round(s.idle_cycles_skipped / s.cycles, 3)
+            if s.cycles else 0.0,
+            "skip_walk_cycles": walks,
+            "skip_vetoes": s.skip_vetoes,
+            "skip_bulk_advances": s.skip_bulk_advances,
+            "cycles_per_walk": round(s.idle_cycles_skipped / walks, 1)
+            if walks else None,
+        })
+    return rows
 
 
 # The sampled-vs-full measurement point: a GAP workload long enough that

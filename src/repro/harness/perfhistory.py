@@ -1,0 +1,175 @@
+"""Append-only perf history and noise-aware regression comparison.
+
+``BENCH_perf.json`` used to be a single overwritten snapshot — a perf
+regression could land and the only evidence was gone by the next run.
+This module turns it into a trajectory:
+
+* :func:`append_record` files each perf record as an immutable shard
+  under ``benchmarks/perf_history/`` (named ``perf-<unix>-<digest>.json``
+  so lexicographic order is chronological and identical records collide
+  onto one name), optionally mirroring the newest record to
+  ``BENCH_perf.json`` so existing tooling keeps working;
+* :func:`compare_records` computes *noise-aware* deltas between two
+  records: each side's best-of-N round spread is its measured noise
+  floor, and only a slowdown that clears both floors plus a safety
+  margin counts as a regression.  Wall-clock is host-dependent, so the
+  report carries a ``host_match`` flag — cross-host comparisons are
+  advisory, never a gate.
+
+The CLI surface is ``repro perf --record`` (measure + append) and
+``repro perf --compare [BASE]`` (pure comparison, no simulation), which
+exits :data:`repro.cli.EXIT_PERF_REGRESSION` on a same-host regression.
+"""
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.shards import atomic_write_json
+
+__all__ = ["append_record", "compare_records", "latest_record",
+           "list_records", "load_record", "record_name",
+           "DEFAULT_HISTORY_DIR", "DEFAULT_NOISE_PCT"]
+
+DEFAULT_HISTORY_DIR = "benchmarks/perf_history"
+
+# Noise floor assumed for records that predate per-round walls (the old
+# schema kept only the best).  5% is generous for best-of-3 on a quiet
+# host and conservative on a noisy one — old-schema comparisons only
+# flag gross regressions, which is the right failure direction.
+DEFAULT_NOISE_PCT = 5.0
+
+
+def record_name(record: Dict) -> str:
+    """Shard filename: zero-padded timestamp + content digest.
+
+    The timestamp prefix makes ``sorted(names)`` chronological; the
+    digest suffix keeps two records from the same second distinct while
+    making a byte-identical re-append idempotent.
+    """
+    stamp = int(record.get("generated_unix", 0))
+    payload = json.dumps(record, sort_keys=True, default=str)
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:8]
+    return f"perf-{stamp:010d}-{digest}.json"
+
+
+def append_record(history_dir, record: Dict,
+                  latest_path=None) -> pathlib.Path:
+    """File one perf record into the history; returns the shard path.
+
+    ``latest_path`` (conventionally the repo-root ``BENCH_perf.json``)
+    additionally receives a copy when this record is the newest in the
+    history — appending an *older* record (backfilling) never clobbers
+    the latest pointer.
+    """
+    root = pathlib.Path(history_dir)
+    path = root / record_name(record)
+    atomic_write_json(path, record, indent=1, sort_keys=True)
+    if latest_path is not None:
+        newest = list_records(root)[-1]
+        if newest == path:
+            atomic_write_json(latest_path, record, indent=1, sort_keys=True)
+    return path
+
+
+def list_records(history_dir) -> List[pathlib.Path]:
+    """History shard paths, oldest first (empty when no history)."""
+    root = pathlib.Path(history_dir)
+    if not root.is_dir():
+        return []
+    return sorted(p for p in root.glob("perf-*.json")
+                  if not p.name.endswith(".corrupt"))
+
+
+def load_record(path) -> Optional[Dict]:
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError,
+            OSError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def latest_record(history_dir) -> Optional[Tuple[pathlib.Path, Dict]]:
+    """Newest readable record in the history, with its path."""
+    for path in reversed(list_records(history_dir)):
+        doc = load_record(path)
+        if doc is not None:
+            return path, doc
+    return None
+
+
+# ----------------------------------------------------------------------
+# Comparison.
+# ----------------------------------------------------------------------
+def _spread_pct(point: Dict, rounds_key: str, best_key: str) -> Optional[float]:
+    """Relative best-of-N spread: (max - min) / min, as a percent."""
+    rounds = point.get(rounds_key)
+    if not rounds or min(rounds) <= 0:
+        return None
+    return (max(rounds) - min(rounds)) / min(rounds) * 100.0
+
+
+def _point_delta(base: Dict, new: Dict, margin_pct: float) -> Dict:
+    base_wall = base.get("wall_seconds_best")
+    new_wall = new.get("wall_seconds_best")
+    out = {
+        "label": new.get("label") or base.get("label"),
+        "base_wall_seconds": base_wall,
+        "new_wall_seconds": new_wall,
+    }
+    if not base_wall or new_wall is None:
+        out["verdict"] = "incomparable"
+        return out
+    delta_pct = (new_wall - base_wall) / base_wall * 100.0
+    spreads = [s for s in
+               (_spread_pct(base, "wall_seconds_rounds", "wall_seconds_best"),
+                _spread_pct(new, "wall_seconds_rounds", "wall_seconds_best"))
+               if s is not None]
+    noise_pct = max(spreads) if spreads else DEFAULT_NOISE_PCT
+    threshold = noise_pct + margin_pct
+    if delta_pct > threshold:
+        verdict = "regression"
+    elif delta_pct < -threshold:
+        verdict = "improvement"
+    else:
+        verdict = "ok"
+    out.update({
+        "delta_pct": round(delta_pct, 2),
+        "noise_pct": round(noise_pct, 2),
+        "threshold_pct": round(threshold, 2),
+        "verdict": verdict,
+    })
+    return out
+
+
+def compare_records(base: Dict, new: Dict,
+                    margin_pct: float = 5.0) -> Dict:
+    """Noise-aware delta report between two perf records.
+
+    Points pair up by ``label``; a point is a *regression* only when its
+    wall-clock slowdown exceeds the larger of the two records' measured
+    best-of-N spreads plus ``margin_pct``.  ``host_match`` is False when
+    the records came from different machines/interpreters — their walls
+    are still reported, but callers must treat cross-host regressions as
+    advisory (the CLI does not gate on them).
+    """
+    base_points = {p.get("label"): p for p in base.get("points", ())}
+    new_points = {p.get("label"): p for p in new.get("points", ())}
+    deltas = [_point_delta(base_points[label], new_points[label], margin_pct)
+              for label in new_points if label in base_points]
+    deltas.sort(key=lambda d: -(d.get("delta_pct") or 0.0))
+    return {
+        "schema": 1,
+        "margin_pct": margin_pct,
+        "host_match": base.get("host") == new.get("host"),
+        "base_generated_unix": base.get("generated_unix"),
+        "new_generated_unix": new.get("generated_unix"),
+        "points": deltas,
+        "regressions": [d["label"] for d in deltas
+                        if d.get("verdict") == "regression"],
+        "improvements": [d["label"] for d in deltas
+                         if d.get("verdict") == "improvement"],
+        "missing_labels": sorted(set(base_points) - set(new_points)),
+    }

@@ -274,7 +274,18 @@ def _replay_divergence(config: RunConfig, blob: bytes) -> dict:
     return bundle
 
 
-def simulate(config: RunConfig) -> SimResult:
+def simulate(config: RunConfig,
+             on_heartbeat=None,
+             heartbeat_interval: float = 1.0) -> SimResult:
+    """Run one config; optionally stream progress heartbeats.
+
+    ``on_heartbeat(payload)`` fires at most every ``heartbeat_interval``
+    seconds with a :class:`~repro.obs.live.HeartbeatTicker` payload
+    (retired, cycles, cycles/sec, phase, guard).  Heartbeats are
+    out-of-band telemetry: they read core state but never touch it, so a
+    heartbeat-enabled run is bit-identical to a silent one and nothing
+    heartbeat-related participates in ``cache_key()``.
+    """
     core, obs, program = _build_core(config)
     if config.start_instruction > 0:
         _boot_from_checkpoint(core, config, program)
@@ -311,12 +322,23 @@ def simulate(config: RunConfig) -> SimResult:
             nonlocal last_blob
             last_blob = b
 
+    hb_hook = None
+    if on_heartbeat is not None:
+        from repro.obs.live import HeartbeatTicker
+
+        ticker = HeartbeatTicker(config.max_instructions)
+
+        def hb_hook(c, _ticker=ticker, _emit=on_heartbeat):
+            _emit(_ticker.payload(c))
+
     start = time.time()
     try:
         stats = core.run(max_instructions=config.max_instructions,
                          max_cycles=config.max_cycles,
                          snapshot_interval=config.snapshot_interval,
-                         on_snapshot=on_snapshot)
+                         on_snapshot=on_snapshot,
+                         on_heartbeat=hb_hook,
+                         heartbeat_interval=heartbeat_interval)
     except DivergenceError as exc:
         if last_blob is not None and exc.report.replay is None:
             exc.report.replay = _replay_divergence(config, last_blob)

@@ -21,9 +21,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.obs.events import (EventTrace, Event, pipeline_trace_events,
                               to_chrome_trace, write_chrome_trace)
+from repro.obs.live import (HeartbeatTicker, LiveStatus, live_view,
+                            read_campaign, read_live, render_watch)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                NullRegistry, flatten)
 from repro.obs.profile import StageProfiler
+from repro.obs.promtext import render_prometheus
 from repro.obs.timeseries import DEFAULT_WATCHES, EpochSampler
 
 __all__ = [
@@ -43,7 +46,24 @@ __all__ = [
     "write_chrome_trace",
     "pipeline_trace_events",
     "DEFAULT_WATCHES",
+    "HeartbeatTicker",
+    "LiveStatus",
+    "TelemetryServer",
+    "live_view",
+    "read_live",
+    "read_campaign",
+    "render_watch",
+    "render_prometheus",
 ]
+
+
+def __getattr__(name):
+    # TelemetryServer drags in http.server; load it on first use so plain
+    # simulation runs never pay for the HTTP stack.
+    if name == "TelemetryServer":
+        from repro.obs.serve import TelemetryServer
+        return TelemetryServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -96,6 +116,14 @@ class Observability:
             "full_squashes": core.stats.full_squashes,
             "idle_cycles_skipped": core.stats.idle_cycles_skipped,
             "threads": len(core.threads),
+            # Idle-skip self-diagnosis (flattens to core.skip.*): walks
+            # run, engine vetoes, and successful clock jumps — the data
+            # behind ``perf --explain-skip``.
+            "skip": {
+                "walk_cycles": core.stats.skip_walk_cycles,
+                "vetoes": core.stats.skip_vetoes,
+                "bulk_advances": core.stats.skip_bulk_advances,
+            },
         })
         self.registry.register_provider(
             "memory", core.hierarchy.stats)

@@ -1,0 +1,194 @@
+"""Stdlib-only HTTP telemetry endpoint for live campaigns.
+
+:class:`TelemetryServer` wraps ``http.server.ThreadingHTTPServer`` in a
+daemon thread and serves a running (or finished) campaign directory:
+
+* ``/metrics``  — Prometheus text exposition: the optional metric
+  registry's snapshot plus campaign point-state gauges
+  (``repro_campaign_points{status="done"}``) and heartbeat staleness;
+* ``/campaign`` — the journal's view as JSON (manifest + per-point
+  status shards, read-only — matches ``sweep --resume``'s notion of
+  state exactly because it reads the same shards);
+* ``/live``     — the derived :func:`~repro.obs.live.live_view` of
+  ``live.json`` (heartbeat ages and stalled flags computed per request);
+* ``/stream``   — Server-Sent Events: one ``data:`` frame of the live
+  view every ``interval`` seconds, for dashboards that want push;
+* ``/``         — a plain-text index of the above.
+
+The server only ever *reads* the campaign directory (no quarantining, no
+repair — see :func:`~repro.obs.live.read_campaign`), so it is safe to
+point at a directory another process is actively sweeping, which is the
+whole point: ``repro sweep --manifest DIR --serve PORT`` runs it beside
+the sweep, and ``repro serve DIR`` tails any campaign after the fact.
+
+Port 0 binds an ephemeral port (the bound port is on ``.port`` after
+:meth:`start`), which is how tests avoid collisions.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.obs.live import live_view, read_campaign, read_live
+from repro.obs.promtext import CONTENT_TYPE, prom_line, render_prometheus
+
+__all__ = ["TelemetryServer"]
+
+_INDEX = """repro telemetry endpoint
+  /metrics   Prometheus text exposition
+  /campaign  campaign journal as JSON
+  /live      live heartbeat view as JSON
+  /stream    Server-Sent Events progress stream
+"""
+
+
+class TelemetryServer:
+    """Serve one campaign directory's telemetry over HTTP.
+
+    ``registry`` is an optional :class:`~repro.obs.metrics.MetricsRegistry`
+    (or anything with ``.snapshot()``): when the server runs inside the
+    sweep process, passing the process-wide registry puts simulator
+    internals on ``/metrics`` next to the campaign gauges.  All state is
+    re-read per request — the server holds no cache to go stale.
+    """
+
+    def __init__(self, campaign_dir, registry=None, host: str = "127.0.0.1",
+                 port: int = 0, interval: float = 1.0):
+        self.campaign_dir = campaign_dir
+        self.registry = registry
+        self.interval = float(interval)
+        self._httpd = ThreadingHTTPServer((host, port), self._handler_class())
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ control
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-telemetry", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- views
+    def _live_doc(self) -> Optional[Dict]:
+        doc = read_live(self.campaign_dir)
+        return live_view(doc) if doc is not None else None
+
+    def _campaign_doc(self) -> Optional[Dict]:
+        return read_campaign(self.campaign_dir)
+
+    def _metrics_text(self) -> str:
+        snapshot = self.registry.snapshot() if self.registry is not None else {}
+        extra = []
+        camp = self._campaign_doc()
+        if camp is not None:
+            for status in ("pending", "running", "done", "failed"):
+                extra.append(prom_line(
+                    "repro_campaign_points",
+                    camp["counts"].get(status, 0), {"status": status}))
+        live = self._live_doc()
+        if live is not None:
+            extra.append(prom_line("repro_campaign_stalled_points",
+                                   live.get("stalled", 0)))
+            extra.append(prom_line("repro_campaign_live_updated_unix",
+                                   live.get("updated_unix", 0)))
+            ages = [p["heartbeat_age"] for p in live["points"].values()
+                    if p.get("status") == "running"
+                    and p.get("heartbeat_age") is not None]
+            if ages:
+                extra.append(prom_line("repro_campaign_heartbeat_age_max",
+                                       max(ages)))
+        return render_prometheus(snapshot, extra_lines=extra)
+
+    # ----------------------------------------------------------- handler
+    def _handler_class(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Observability must not spam the sweep's stderr.
+            def log_message(self, fmt, *args):
+                pass
+
+            def _send(self, code: int, content_type: str,
+                      body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_json(self, doc) -> None:
+                if doc is None:
+                    self._send(404, "application/json",
+                               b'{"error": "no such campaign data"}\n')
+                else:
+                    body = json.dumps(doc, indent=1, sort_keys=True)
+                    self._send(200, "application/json",
+                               body.encode() + b"\n")
+
+            def do_GET(self):
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                try:
+                    if path == "/":
+                        self._send(200, "text/plain; charset=utf-8",
+                                   _INDEX.encode())
+                    elif path == "/metrics":
+                        self._send(200, CONTENT_TYPE,
+                                   server._metrics_text().encode())
+                    elif path == "/campaign":
+                        self._send_json(server._campaign_doc())
+                    elif path == "/live":
+                        self._send_json(server._live_doc())
+                    elif path == "/stream":
+                        self._stream()
+                    else:
+                        self._send(404, "text/plain; charset=utf-8",
+                                   b"not found\n")
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # client went away; nothing to clean up
+
+            def _stream(self) -> None:
+                self.send_response(200)
+                self.send_header("Content-Type", "text/event-stream")
+                self.send_header("Cache-Control", "no-cache")
+                self.end_headers()
+                while True:
+                    doc = server._live_doc()
+                    if doc is None:
+                        camp = server._campaign_doc()
+                        doc = {"counts": camp["counts"],
+                               "total": camp["total"]} if camp else {}
+                    frame = ("data: " + json.dumps(doc, sort_keys=True)
+                             + "\n\n")
+                    self.wfile.write(frame.encode())
+                    self.wfile.flush()
+                    counts = doc.get("counts") or {}
+                    finished = (counts.get("done", 0)
+                                + counts.get("failed", 0))
+                    if doc.get("total") and finished >= doc["total"]:
+                        return  # campaign over: end the stream cleanly
+                    time.sleep(server.interval)
+
+        return Handler

@@ -67,3 +67,41 @@ def test_skip_disabled_by_config():
     cfg = RunConfig(workload="sssp", engine="baseline", max_instructions=N,
                     core=CoreConfig(enable_cycle_skip=False))
     assert simulate(cfg).stats.idle_cycles_skipped == 0
+
+
+def test_skip_counters_account_for_every_walk():
+    """Self-diagnosis counters (perf --explain-skip): every quiescence
+    walk either bulk-advances, is vetoed, or found no quiescence; walks
+    that advance must account for all skipped cycles."""
+    fast, naive = _pair("sssp", "baseline")
+    assert fast.skip_walk_cycles > 0
+    assert fast.skip_bulk_advances <= fast.skip_walk_cycles
+    assert fast.skip_vetoes <= fast.skip_walk_cycles
+    assert fast.idle_cycles_skipped > 0
+    assert fast.skip_bulk_advances > 0
+    for s in (naive,):
+        assert (s.skip_walk_cycles, s.skip_vetoes, s.skip_bulk_advances) \
+            == (0, 0, 0)
+
+
+def test_failed_walks_latch_instead_of_respinning():
+    """The sssp-slow-dram regression fix: a walk that finds no quiescence
+    latches the fast path off until real work recurs, so walk count stays
+    far below the idle-cycle count instead of rivaling it."""
+    mem = dict(dram_latency=400, enable_l1_prefetcher=False,
+               enable_l2_prefetcher=False)
+    fast, _ = _pair("sssp", "baseline", memory=MemoryConfig(**mem))
+    assert fast.idle_cycles_skipped > fast.cycles // 4
+    # Pre-latch this workload ran one walk per idle tick (tens of
+    # thousands); with the latch each walk must pay for itself many
+    # times over in skipped cycles.
+    assert fast.skip_walk_cycles * 10 < fast.idle_cycles_skipped
+
+
+def test_skip_counters_surface_in_metrics_registry():
+    cfg = RunConfig(workload="sssp", engine="baseline", max_instructions=N,
+                    observe=True)
+    m = simulate(cfg).stats.metrics
+    assert m["core.skip.walk_cycles"] > 0
+    assert m["core.skip.bulk_advances"] > 0
+    assert m["core.skip.vetoes"] >= 0

@@ -77,6 +77,35 @@ def test_campaign_completes_then_resume_skips_all(tmp_path):
         == {k: entry_fingerprint(v) for k, v in entries.items()}
 
 
+def test_live_status_written_beside_journal(tmp_path):
+    """Any journaled campaign publishes live.json automatically; after
+    the run its statuses agree with the journal (the /campaign vs /live
+    fidelity property, without a server in the loop)."""
+    from repro.obs.live import live_view, read_live
+
+    configs = _configs()
+    journal = CampaignJournal(tmp_path / "camp")
+    run_campaign(configs, journal=journal, jobs=2, heartbeat_interval=0.05)
+
+    doc = read_live(tmp_path / "camp")
+    assert doc is not None and doc["schema"] == 1
+    assert doc["total"] == len(configs)
+    statuses = {k: p["status"] for k, p in doc["points"].items()}
+    assert statuses == journal.statuses()
+    assert set(statuses.values()) == {"done"}
+    # Heartbeats flowed: at least one point recorded pipeline progress.
+    assert any(p.get("hb") for p in doc["points"].values())
+    # Finished campaigns never read as stalled, however old the file.
+    view = live_view(doc, now=time.time() + 3600)
+    assert view["stalled"] == 0
+    assert view["counts"].get("done") == len(configs)
+
+    # Resume pass (all cache hits): live.json rewritten, still coherent.
+    run_campaign(configs, journal=journal, jobs=1)
+    doc = read_live(tmp_path / "camp")
+    assert {p["status"] for p in doc["points"].values()} == {"done"}
+
+
 def test_truncated_shard_requeues_only_that_point(tmp_path):
     configs = _configs()
     journal = CampaignJournal(tmp_path / "camp")

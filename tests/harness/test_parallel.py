@@ -58,6 +58,40 @@ def test_serial_fallback_progress_and_order():
     assert all(isinstance(e, Progress) for e in events)
 
 
+def _collect_heartbeats(jobs):
+    configs = _configs()[:2]
+    beats = []
+    results = simulate_many(configs, jobs=jobs,
+                            heartbeat=lambda i, p: beats.append((i, p)),
+                            heartbeat_interval=0.01)
+    return configs, beats, results
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_heartbeats_stream_from_both_paths(jobs):
+    """Satellite: the serial fallback must emit the same heartbeat shape
+    as the pool path, so live.json/watch behave identically at jobs=1."""
+    configs, beats, _ = _collect_heartbeats(jobs)
+    assert beats, "no heartbeats arrived"
+    indices = {i for i, _ in beats}
+    assert indices <= set(range(len(configs)))
+    for _, payload in beats:
+        assert {"unix", "phase", "cycles", "retired", "instructions",
+                "cycles_per_sec", "guard", "halted"} <= payload.keys()
+        assert payload["instructions"] == N
+        assert 0 < payload["retired"] <= N
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_heartbeats_do_not_perturb_results(jobs):
+    """Telemetry is out-of-band: stats with heartbeats on are bit-
+    identical to a silent run (the acceptance bit-identity property)."""
+    configs, _, with_hb = _collect_heartbeats(jobs)
+    silent = simulate_many(configs, jobs=jobs)
+    for a, b in zip(with_hb, silent):
+        assert a.stats == b.stats
+
+
 def test_empty_and_single_config():
     assert simulate_many([], jobs=8) == []
     [only] = simulate_many(

@@ -1,0 +1,108 @@
+"""Append-only perf history and the noise-aware regression gate."""
+
+import copy
+import json
+
+from repro.harness.perfhistory import (DEFAULT_NOISE_PCT, append_record,
+                                       compare_records, latest_record,
+                                       list_records, load_record,
+                                       record_name)
+
+HOST = {"python": "3.11.0", "platform": "linux", "machine": "x86_64"}
+
+
+def _record(unix, walls=None):
+    walls = walls or {"astar-phelps": 2.0}
+    return {
+        "schema": 1, "generated_unix": unix, "rounds": 3, "host": dict(HOST),
+        "points": [{"label": label, "wall_seconds_best": w,
+                    "wall_seconds_rounds": [w, w * 1.02, w * 1.04]}
+                   for label, w in walls.items()],
+    }
+
+
+class TestHistoryStore:
+    def test_names_sort_chronologically(self):
+        names = [record_name(_record(u)) for u in (5, 50, 500, 5000)]
+        assert names == sorted(names)
+
+    def test_append_is_idempotent_for_identical_records(self, tmp_path):
+        rec = _record(100)
+        p1 = append_record(tmp_path / "hist", rec)
+        p2 = append_record(tmp_path / "hist", rec)
+        assert p1 == p2
+        assert len(list_records(tmp_path / "hist")) == 1
+
+    def test_latest_mirror_tracks_newest_only(self, tmp_path):
+        hist, latest = tmp_path / "hist", tmp_path / "BENCH_perf.json"
+        append_record(hist, _record(200), latest_path=latest)
+        append_record(hist, _record(300), latest_path=latest)
+        assert json.loads(latest.read_text())["generated_unix"] == 300
+        # Backfilling an older record must not clobber the mirror.
+        append_record(hist, _record(100), latest_path=latest)
+        assert json.loads(latest.read_text())["generated_unix"] == 300
+        assert len(list_records(hist)) == 3
+
+    def test_latest_record_skips_unreadable_shards(self, tmp_path):
+        hist = tmp_path / "hist"
+        append_record(hist, _record(100))
+        newest = append_record(hist, _record(200))
+        newest.write_text("{ torn")
+        path, rec = latest_record(hist)
+        assert rec["generated_unix"] == 100
+        assert load_record(newest) is None
+
+
+class TestCompare:
+    def test_slowdown_past_noise_is_regression(self, tmp_path):
+        base = _record(100, {"astar-phelps": 2.0, "sssp-slow-dram": 3.0})
+        new = _record(200, {"astar-phelps": 2.0, "sssp-slow-dram": 4.5})
+        report = compare_records(base, new)
+        assert report["regressions"] == ["sssp-slow-dram"]
+        assert report["host_match"]
+        point = report["points"][0]
+        assert point["label"] == "sssp-slow-dram"
+        assert point["delta_pct"] == 50.0
+
+    def test_delta_inside_noise_floor_is_ok(self):
+        base = _record(100, {"astar-phelps": 2.0})
+        new = _record(200, {"astar-phelps": 2.1})  # +5% < 4% noise + 5% margin
+        report = compare_records(base, new)
+        assert report["regressions"] == []
+        assert report["points"][0]["verdict"] == "ok"
+
+    def test_speedup_past_threshold_is_improvement(self):
+        base = _record(100, {"astar-phelps": 2.0})
+        new = _record(200, {"astar-phelps": 1.5})
+        report = compare_records(base, new)
+        assert report["improvements"] == ["astar-phelps"]
+
+    def test_noise_floor_uses_worst_spread(self):
+        base = _record(100, {"astar-phelps": 2.0})
+        base["points"][0]["wall_seconds_rounds"] = [2.0, 2.0, 2.6]  # 30%
+        new = _record(200, {"astar-phelps": 2.4})  # +20% < 30% + margin
+        report = compare_records(base, new)
+        assert report["points"][0]["verdict"] == "ok"
+        assert report["points"][0]["noise_pct"] == 30.0
+
+    def test_old_schema_records_get_default_noise(self):
+        base = _record(100, {"astar-phelps": 2.0})
+        new = _record(200, {"astar-phelps": 2.5})
+        for rec in (base, new):
+            del rec["points"][0]["wall_seconds_rounds"]
+        report = compare_records(base, new)
+        assert report["points"][0]["noise_pct"] == DEFAULT_NOISE_PCT
+        assert report["points"][0]["verdict"] == "regression"  # +25%
+
+    def test_host_mismatch_flagged(self):
+        base = _record(100)
+        new = _record(200)
+        new["host"]["machine"] = "arm64"
+        assert compare_records(base, new)["host_match"] is False
+
+    def test_label_sets_tracked(self):
+        base = _record(100, {"astar-phelps": 2.0, "gone": 1.0})
+        new = _record(200, {"astar-phelps": 2.0, "fresh": 1.0})
+        report = compare_records(base, new)
+        assert report["missing_labels"] == ["gone"]
+        assert [p["label"] for p in report["points"]] == ["astar-phelps"]

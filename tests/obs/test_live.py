@@ -1,0 +1,203 @@
+"""Live campaign telemetry: heartbeat payloads, live.json, watch view.
+
+The load-bearing properties: stalled-worker detection happens at *read*
+time from stored timestamps (a SIGKILLed worker cannot announce its own
+death), live.json writes are atomic and throttled, and heartbeat payloads
+only read core state.
+"""
+
+import json
+import time
+
+from repro.core import Core
+from repro.obs.live import (HeartbeatTicker, LiveStatus, journal_view,
+                            live_view, read_campaign, read_live,
+                            render_watch)
+from repro.workloads import build_workload
+
+
+def _beat(unix, retired=500, instructions=1000, cps=5000.0):
+    return {"unix": unix, "phase": "run", "cycles": retired * 2,
+            "retired": retired, "instructions": instructions,
+            "cycles_per_sec": cps, "retired_per_sec": cps / 2,
+            "guard": "off", "halted": False}
+
+
+def _status(tmp_path, interval=1.0):
+    ls = LiveStatus(tmp_path / "live.json", interval=interval)
+    ls.point("k1", "astar", "phelps")
+    ls.point("k2", "sssp", "baseline")
+    return ls
+
+
+class TestHeartbeatTicker:
+    def test_payload_reads_core_state(self):
+        core = Core(build_workload("astar"))
+        core.run(max_instructions=2000)
+        ticker = HeartbeatTicker(total_instructions=2000)
+        p = ticker.payload(core)
+        assert p["cycles"] == core.cycle
+        assert p["retired"] == core.main.retired
+        assert p["instructions"] == 2000
+        assert p["guard"] == "off"
+        # First beat has no previous sample to derive a rate from.
+        assert p["cycles_per_sec"] is None
+
+    def test_second_payload_derives_rate(self):
+        core = Core(build_workload("astar"))
+        core.run(max_instructions=1000)
+        ticker = HeartbeatTicker()
+        ticker.payload(core)
+        time.sleep(0.02)
+        core.run(max_instructions=2000)
+        p = ticker.payload(core)
+        assert p["cycles_per_sec"] is not None and p["cycles_per_sec"] > 0
+
+
+class TestLiveStatus:
+    def test_write_is_atomic_json(self, tmp_path):
+        ls = _status(tmp_path)
+        ls.mark("k1", "running")
+        assert ls.write(force=True)
+        doc = json.loads((tmp_path / "live.json").read_text())
+        assert doc["schema"] == 1
+        assert doc["total"] == 2
+        assert doc["counts"] == {"running": 1, "pending": 1}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_write_throttles_between_transitions(self, tmp_path):
+        ls = _status(tmp_path, interval=10.0)  # write_interval = 5s
+        assert ls.write()
+        assert not ls.write()      # throttled
+        ls.mark("k1", "running")   # transition resets the throttle
+        assert ls.write()
+        assert ls.write(force=True)
+
+    def test_transitions_record_timing_and_errors(self, tmp_path):
+        ls = _status(tmp_path)
+        ls.mark("k1", "running")
+        assert ls.points["k1"]["attempts"] == 1
+        assert ls.points["k1"]["started_unix"] is not None
+        ls.mark("k1", "failed", error="boom", wall_seconds=1.25)
+        assert ls.points["k1"]["error"] == "boom"
+        ls.mark("k1", "running")   # retry clears the error
+        assert ls.points["k1"]["attempts"] == 2
+        assert ls.points["k1"]["error"] is None
+        ls.mark("k1", "done", wall_seconds=2.5)
+        assert ls.points["k1"]["wall_seconds"] == 2.5
+
+    def test_read_live_roundtrip(self, tmp_path):
+        ls = _status(tmp_path)
+        ls.beat("k1", _beat(time.time()))
+        ls.write(force=True)
+        doc = read_live(tmp_path)
+        assert doc["points"]["k1"]["hb"]["retired"] == 500
+        assert read_live(tmp_path / "absent") is None
+
+
+class TestLiveView:
+    def test_fresh_heartbeat_not_stalled(self, tmp_path):
+        ls = _status(tmp_path)
+        now = time.time()
+        ls.mark("k1", "running")
+        ls.beat("k1", _beat(now))
+        v = live_view(ls.snapshot(), now=now + 0.5)
+        p = v["points"]["k1"]
+        assert not p["stalled"]
+        assert 0.4 < p["heartbeat_age"] < 0.6
+        assert p["progress"] == 0.5
+
+    def test_silent_running_point_goes_stalled(self, tmp_path):
+        """A killed worker is flagged the moment its heartbeat age crosses
+        the threshold — derived at read time, no writer involved."""
+        ls = _status(tmp_path)
+        now = time.time()
+        ls.mark("k1", "running")
+        ls.beat("k1", _beat(now))
+        # Default threshold is 2 x heartbeat_interval (interval=1.0).
+        assert not live_view(ls.snapshot(), now=now + 1.5)["points"]["k1"]["stalled"]
+        v = live_view(ls.snapshot(), now=now + 2.5)
+        assert v["points"]["k1"]["stalled"]
+        assert v["stalled"] == 1
+
+    def test_stalled_before_first_heartbeat_uses_start_time(self, tmp_path):
+        ls = _status(tmp_path)
+        ls.mark("k1", "running")  # stamps started_unix, no beat ever
+        start = ls.points["k1"]["started_unix"]
+        v = live_view(ls.snapshot(), now=start + 3.0)
+        assert v["points"]["k1"]["stalled"]
+
+    def test_done_points_never_stall(self, tmp_path):
+        ls = _status(tmp_path)
+        ls.mark("k1", "running")
+        ls.beat("k1", _beat(time.time()))
+        ls.mark("k1", "done", wall_seconds=1.0)
+        v = live_view(ls.snapshot(), now=time.time() + 100)
+        assert not v["points"]["k1"]["stalled"]
+
+    def test_eta_scales_with_remaining_work(self, tmp_path):
+        ls = _status(tmp_path)
+        ls.mark("k1", "done", wall_seconds=10.0)
+        # k2 pending: one done point at 10s -> ETA ~10s for the one left.
+        v = live_view(ls.snapshot())
+        assert v["eta_seconds"] == 10.0
+        ls.mark("k2", "done", wall_seconds=10.0)
+        assert live_view(ls.snapshot())["eta_seconds"] is None
+
+
+class TestRenderWatch:
+    def test_frame_shows_status_and_stall_flag(self, tmp_path):
+        ls = _status(tmp_path)
+        now = time.time()
+        ls.mark("k1", "running")
+        ls.beat("k1", _beat(now))
+        ls.mark("k2", "done", wall_seconds=2.0)
+        text = render_watch(live_view(ls.snapshot(), now=now + 5.0))
+        assert "astar/phelps" in text
+        assert "STALLED" in text
+        assert "1/2 finished" in text
+
+    def test_limit_truncates(self, tmp_path):
+        ls = LiveStatus(tmp_path / "live.json")
+        for i in range(10):
+            ls.point(f"k{i}", "astar", "baseline")
+        text = render_watch(live_view(ls.snapshot()), limit=3)
+        assert "... 7 more" in text
+
+
+class TestReadCampaign:
+    def _journal(self, tmp_path):
+        root = tmp_path / "camp"
+        root.mkdir()
+        (root / "campaign.json").write_text(json.dumps({
+            "schema": 1,
+            "points": [{"key": "a", "workload": "astar", "engine": "phelps"},
+                       {"key": "b", "workload": "sssp", "engine": "baseline"}],
+        }))
+        (root / "a.json").write_text(json.dumps(
+            {"key": "a", "status": "done", "attempts": 1,
+             "entry": {"wall_seconds": 3.0}}))
+        # b has no shard: counts as pending.
+        return root
+
+    def test_reads_manifest_and_shards(self, tmp_path):
+        camp = read_campaign(self._journal(tmp_path))
+        assert camp["counts"] == {"done": 1, "pending": 1}
+        assert camp["points"]["a"]["wall_seconds"] == 3.0
+
+    def test_never_quarantines_corrupt_shards(self, tmp_path):
+        """Observers must not mutate the store they observe: a torn shard
+        reads as pending and stays exactly where it is."""
+        root = self._journal(tmp_path)
+        (root / "b.json").write_text("{ torn")
+        camp = read_campaign(root)
+        assert camp["points"]["b"]["status"] == "pending"
+        assert (root / "b.json").exists()
+        assert not list(root.glob("*.corrupt"))
+
+    def test_journal_view_renders_without_live_json(self, tmp_path):
+        view = journal_view(self._journal(tmp_path))
+        assert view["counts"]["done"] == 1
+        assert view["eta_seconds"] == 3.0
+        assert "astar/phelps" in render_watch(view)
+        assert journal_view(tmp_path / "nope") is None

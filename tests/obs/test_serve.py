@@ -1,0 +1,99 @@
+"""The HTTP telemetry endpoint: routes, formats, journal fidelity.
+
+Servers bind port 0 (ephemeral) so parallel test runs never collide.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import LiveStatus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.serve import TelemetryServer
+
+
+@pytest.fixture
+def campaign(tmp_path):
+    root = tmp_path / "camp"
+    root.mkdir()
+    (root / "campaign.json").write_text(json.dumps({
+        "schema": 1,
+        "points": [{"key": "a", "workload": "astar", "engine": "phelps"},
+                   {"key": "b", "workload": "sssp", "engine": "baseline"}],
+    }))
+    (root / "a.json").write_text(json.dumps(
+        {"key": "a", "status": "done", "attempts": 1,
+         "entry": {"wall_seconds": 1.0}}))
+    (root / "b.json").write_text(json.dumps(
+        {"key": "b", "status": "running", "attempts": 1}))
+    ls = LiveStatus(root / "live.json", interval=0.5)
+    ls.point("a", "astar", "phelps")
+    ls.point("b", "sssp", "baseline")
+    ls.mark("a", "done", wall_seconds=1.0)
+    ls.mark("b", "running")
+    ls.beat("b", {"unix": time.time(), "phase": "run", "cycles": 100,
+                  "retired": 50, "instructions": 100,
+                  "cycles_per_sec": 1000.0, "retired_per_sec": 500.0,
+                  "guard": "off", "halted": False})
+    ls.write(force=True)
+    return root
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.read().decode()
+
+
+def test_metrics_exposition(campaign):
+    reg = MetricsRegistry()
+    reg.counter("core.cycles").inc(9)
+    with TelemetryServer(campaign, registry=reg) as srv:
+        text = _get(srv.url + "/metrics")
+    assert "repro_core_cycles 9" in text
+    assert 'repro_campaign_points{status="done"} 1' in text
+    assert 'repro_campaign_points{status="running"} 1' in text
+    assert "repro_campaign_heartbeat_age_max" in text
+
+
+def test_campaign_route_matches_journal(campaign):
+    with TelemetryServer(campaign) as srv:
+        doc = json.loads(_get(srv.url + "/campaign"))
+    assert doc["counts"] == {"done": 1, "running": 1}
+    assert doc["points"]["a"]["status"] == "done"
+    assert doc["points"]["b"]["status"] == "running"
+
+
+def test_live_route_derives_ages(campaign):
+    with TelemetryServer(campaign) as srv:
+        doc = json.loads(_get(srv.url + "/live"))
+    assert doc["points"]["b"]["heartbeat_age"] is not None
+    assert doc["points"]["b"]["stalled"] is False
+
+
+def test_stream_emits_sse_frames(campaign):
+    with TelemetryServer(campaign, interval=0.05) as srv:
+        with urllib.request.urlopen(srv.url + "/stream", timeout=5) as resp:
+            assert resp.headers["Content-Type"] == "text/event-stream"
+            line = resp.readline().decode()
+    assert line.startswith("data: ")
+    frame = json.loads(line[len("data: "):])
+    assert frame["points"]["b"]["status"] == "running"
+
+
+def test_unknown_route_404s(campaign):
+    with TelemetryServer(campaign) as srv:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/nope")
+        assert err.value.code == 404
+
+
+def test_missing_campaign_404s(tmp_path):
+    with TelemetryServer(tmp_path / "nothing") as srv:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/campaign")
+        assert err.value.code == 404
+        # /metrics still serves (empty registry, no campaign gauges).
+        assert _get(srv.url + "/metrics").endswith("\n")
