@@ -1,0 +1,290 @@
+"""Pre-columnar reference implementations of the core's storage structures.
+
+These are the object-graph versions the columnar refactor replaced,
+preserved verbatim so the A/B cycle-exactness harness
+(:mod:`repro.harness.abcompare`) can run a genuine pre-refactor engine at
+runtime and so the unit equivalence tests can drive old and new
+implementations side by side.  ``CoreConfig(columnar=False)`` makes
+:class:`~repro.core.pipeline.Core` (and the memory hierarchy) instantiate
+these instead of the columnar versions.
+
+Behavioural contract: every class here is observationally identical to its
+columnar twin — same allocation order, same LRU behaviour, same stats —
+so the two engines produce bit-identical cycle counts, SimStats, and
+commit streams.  Do not "improve" these; they are the baseline.
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.registers import NUM_REGS
+from repro.memory.cache import CacheStats
+
+ZERO_REG = 0  # physical register 0 is the architected constant zero
+PRED_ALWAYS = 0  # predicate physical register 0 = pred0 = unconditional
+
+
+class LegacyPhysRegFile:
+    """Integer physical registers with values, ready bits, and wakeup lists."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.value: List[int] = [0] * size
+        self.ready: List[bool] = [False] * size
+        self._waiters: Dict[int, List] = {}
+        # Register 0 is the constant zero, always ready.
+        self.ready[ZERO_REG] = True
+
+    def mark_not_ready(self, reg: int) -> None:
+        if reg != ZERO_REG:
+            self.ready[reg] = False
+
+    def write(self, reg: int, value: int) -> List:
+        """Write back a result; returns the wakeup list of waiting uops."""
+        if reg == ZERO_REG:
+            return []
+        self.value[reg] = value
+        self.ready[reg] = True
+        return self._waiters.pop(reg, [])
+
+    def subscribe(self, reg: int, waiter) -> bool:
+        """Register a waiter; returns False if the reg was already ready."""
+        if self.ready[reg]:
+            return False
+        self._waiters.setdefault(reg, []).append(waiter)
+        return True
+
+    def read(self, reg: int) -> int:
+        return 0 if reg == ZERO_REG else self.value[reg]
+
+    def drop_waiters(self, predicate: Callable) -> None:
+        """Remove waiters matching ``predicate`` (used on squash)."""
+        for reg in list(self._waiters):
+            kept = [w for w in self._waiters[reg] if not predicate(w)]
+            if kept:
+                self._waiters[reg] = kept
+            else:
+                del self._waiters[reg]
+
+
+class LegacyPredRegFile(LegacyPhysRegFile):
+    """Predicate physical registers (paper Section V-H)."""
+
+    def __init__(self, size: int = 128):
+        super().__init__(size)
+        self.value[PRED_ALWAYS] = 0b10  # enabled, direction unused
+
+    @staticmethod
+    def pack(enabled: bool, taken: bool) -> int:
+        return (int(enabled) << 1) | int(taken)
+
+    def consumer_enabled(self, reg: int, enabling_direction: bool) -> bool:
+        if reg == PRED_ALWAYS:
+            return True
+        v = self.value[reg]
+        return bool(v & 0b10) and bool(v & 0b01) == enabling_direction
+
+    def write_pred(self, reg: int, enabled: bool, taken: bool) -> List:
+        if reg == PRED_ALWAYS:
+            raise ValueError("pred0 is constant")
+        return super().write(reg, self.pack(enabled, taken))
+
+
+class LegacySharedPhysPool:
+    """Quota-based physical register allocation (shared pool, list-backed)."""
+
+    def __init__(self, size: int, reserved: int = 1):
+        self.size = size
+        self.reserved = reserved
+        self._free: List[int] = list(range(reserved, size))
+        self._held = {}  # thread_id -> count
+
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def free_list(self) -> List[int]:
+        return list(self._free)
+
+    def held_by(self, thread_id: int) -> int:
+        return self._held.get(thread_id, 0)
+
+    def held_total(self) -> int:
+        return sum(self._held.values())
+
+    def can_allocate(self, thread_id: int, quota: int) -> bool:
+        return bool(self._free) and self.held_by(thread_id) < quota
+
+    def allocate(self, thread_id: int, quota: int) -> Optional[int]:
+        if not self.can_allocate(thread_id, quota):
+            return None
+        reg = self._free.pop()
+        self._held[thread_id] = self.held_by(thread_id) + 1
+        return reg
+
+    def release(self, thread_id: int, reg: int) -> None:
+        self._free.append(reg)
+        count = self.held_by(thread_id) - 1
+        if count < 0:
+            raise RuntimeError(f"thread {thread_id} released more registers than held")
+        self._held[thread_id] = count
+
+    def release_all_for(self, thread_id: int, regs) -> None:
+        for reg in regs:
+            self.release(thread_id, reg)
+
+
+class LegacyRenameMapTable:
+    """Logical -> physical mapping for one thread (plain-list version)."""
+
+    def __init__(self, num_logical: int = NUM_REGS, zero_phys: int = ZERO_REG):
+        self.num_logical = num_logical
+        self._zero = zero_phys
+        self.map: List[int] = [zero_phys] * num_logical
+
+    def lookup(self, logical: int) -> int:
+        return self.map[logical]
+
+    def set(self, logical: int, phys: int) -> int:
+        if logical == 0:
+            raise ValueError("logical register 0 is constant")
+        old = self.map[logical]
+        self.map[logical] = phys
+        return old
+
+    def snapshot(self) -> List[int]:
+        return list(self.map)
+
+    def restore(self, snap: List[int]) -> None:
+        self.map = list(snap)
+
+    def mapped_physical(self) -> List[int]:
+        return [p for p in self.map if p != self._zero]
+
+
+class LegacyBranchTargetBuffer:
+    """Set-associative PC -> target cache (list-of-entry-objects version)."""
+
+    def __init__(self, sets: int = 1024, ways: int = 4):
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        self._sets = sets
+        self._ways = ways
+        # Per set: list of [tag, target], most-recently-used first.
+        self._table: List[List[List[int]]] = [[] for _ in range(sets)]
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) & (self._sets - 1)
+
+    def lookup(self, pc: int) -> Optional[int]:
+        s = self._table[self._set_index(pc)]
+        for i, (tag, target) in enumerate(s):
+            if tag == pc:
+                if i:
+                    s.insert(0, s.pop(i))
+                return target
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        s = self._table[self._set_index(pc)]
+        for i, entry in enumerate(s):
+            if entry[0] == pc:
+                entry[1] = target
+                if i:
+                    s.insert(0, s.pop(i))
+                return
+        s.insert(0, [pc, target])
+        if len(s) > self._ways:
+            s.pop()
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "prefetched")
+
+    def __init__(self, tag: int, dirty: bool = False, prefetched: bool = False):
+        self.tag = tag
+        self.dirty = dirty
+        self.prefetched = prefetched
+
+
+class LegacyCache:
+    """A single cache level with per-line ``_Line`` objects (tags only)."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64, name: str = "cache"):
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("size must be a multiple of ways*line")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: number of sets ({self.num_sets}) must be a power of two")
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # Per set: list of lines, MRU first.
+        self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def block_addr(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def _set_index(self, block: int) -> int:
+        return block & self._set_mask
+
+    def _tag(self, block: int) -> int:
+        return block >> (self.num_sets.bit_length() - 1)
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> bool:
+        block = self.block_addr(addr)
+        s = self._sets[self._set_index(block)]
+        tag = self._tag(block)
+        return any(line.tag == tag for line in s)
+
+    def access(self, addr: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        block = self.block_addr(addr)
+        set_idx = self._set_index(block)
+        s = self._sets[set_idx]
+        tag = self._tag(block)
+        for i, line in enumerate(s):
+            if line.tag == tag:
+                self.stats.hits += 1
+                if is_write:
+                    line.dirty = True
+                if i:
+                    s.insert(0, s.pop(i))
+                return True, None
+        self.stats.misses += 1
+        writeback = self._fill(set_idx, tag, dirty=is_write, prefetched=False)
+        return False, writeback
+
+    def fill(self, addr: int, prefetched: bool = False) -> Optional[int]:
+        block = self.block_addr(addr)
+        set_idx = self._set_index(block)
+        tag = self._tag(block)
+        s = self._sets[set_idx]
+        for i, line in enumerate(s):
+            if line.tag == tag:
+                return None  # already present
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return self._fill(set_idx, tag, dirty=False, prefetched=prefetched)
+
+    def _fill(self, set_idx: int, tag: int, dirty: bool, prefetched: bool) -> Optional[int]:
+        s = self._sets[set_idx]
+        s.insert(0, _Line(tag, dirty=dirty, prefetched=prefetched))
+        if len(s) > self.ways:
+            victim = s.pop()
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                return (victim.tag << (self.num_sets.bit_length() - 1)) | set_idx
+        return None
+
+    def invalidate_all(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+
+
+__all__ = [
+    "LegacyPhysRegFile", "LegacyPredRegFile", "LegacySharedPhysPool",
+    "LegacyRenameMapTable", "LegacyBranchTargetBuffer", "LegacyCache",
+]

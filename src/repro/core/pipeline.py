@@ -16,6 +16,8 @@ import time
 from collections import defaultdict, deque
 from typing import Dict, List, Optional, Tuple
 
+from operator import attrgetter
+
 from repro.frontend import (
     BranchTargetBuffer,
     IndirectTargetPredictor,
@@ -23,9 +25,9 @@ from repro.frontend import (
     TageSCL,
 )
 from repro.isa.executor import ArchState
-from repro.isa.opcodes import LaneClass, Opcode, exec_latency
+from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
-from repro.isa.semantics import eval_alu, eval_branch, mem_effective_address
+from repro.isa.semantics import mem_effective_address
 from repro.memory import MemoryConfig, MemoryHierarchy
 from repro.utils.bits import to_i64
 
@@ -33,12 +35,13 @@ from repro.core.config import CoreConfig, PartitionPlan
 from repro.core.engine_api import NullEngine, PreExecutionEngine
 from repro.core.freelist import SharedPhysPool
 from repro.core.regfile import PhysRegFile, PredRegFile, PRED_ALWAYS, ZERO_REG
+from repro.core.rename import RenameMapTable
 from repro.core.stats import SimStats
 from repro.core.thread import MainFetchUnit, ThreadContext, ThreadKind
 from repro.core.uop import Uop, UopState
 
-_RI_OPS = frozenset({Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
-                     Opcode.SLTI, Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.LI})
+# Age-ordered issue priority: oldest fetch, then thread id, then sequence.
+_ISSUE_ORDER = attrgetter("fetch_cycle", "thread_id", "seq")
 
 # Heartbeat cadence: consult the wall clock once per this many simulated
 # cycles (the pure-Python core sustains ~5-20k cycles/sec, so 256 cycles
@@ -63,20 +66,57 @@ class Core:
         cfg = self.config
         self.cycle = 0
         self.halted = False
+        # Frontend depth is a config @property; cache it as a plain int for
+        # the per-cycle fetch/dispatch paths (pipeline_stages never changes
+        # after construction).
+        self._fe_depth = cfg.frontend_latency
 
-        self.prf = PhysRegFile(cfg.prf_size)
-        self.pred_prf = PredRegFile(cfg.pred_prf_size)
-        self.pool = SharedPhysPool(cfg.prf_size, reserved=1)
-        self.pred_pool = SharedPhysPool(cfg.pred_prf_size, reserved=1)
+        # Storage engine: columnar structure-of-arrays state (default) or
+        # the pre-refactor object-graph twins (A/B equivalence baseline).
+        if cfg.columnar:
+            prf_cls, pred_prf_cls = PhysRegFile, PredRegFile
+            pool_cls, btb_cls = SharedPhysPool, BranchTargetBuffer
+            self._rename_cls = RenameMapTable
+        else:
+            from repro.core.legacy import (
+                LegacyBranchTargetBuffer,
+                LegacyPhysRegFile,
+                LegacyPredRegFile,
+                LegacyRenameMapTable,
+                LegacySharedPhysPool,
+            )
 
-        self.hierarchy = MemoryHierarchy(mem_config)
+            prf_cls, pred_prf_cls = LegacyPhysRegFile, LegacyPredRegFile
+            pool_cls, btb_cls = LegacySharedPhysPool, LegacyBranchTargetBuffer
+            self._rename_cls = LegacyRenameMapTable
+
+        self.prf = prf_cls(cfg.prf_size)
+        self.pred_prf = pred_prf_cls(cfg.pred_prf_size)
+        self.pool = pool_cls(cfg.prf_size, reserved=1)
+        self.pred_pool = pool_cls(cfg.pred_prf_size, reserved=1)
+
+        self.hierarchy = MemoryHierarchy(mem_config, columnar=cfg.columnar)
         # Committed architectural memory (main-thread retired stores only).
         self.mem: Dict[int, int] = {a: to_i64(v) for a, v in program.data.items()}
 
         self.predictor = predictor if predictor is not None else TageSCL()
-        self.btb = BranchTargetBuffer()
+        self.btb = btb_cls()
         self.ras = ReturnAddressStack()
         self.indirect = IndirectTargetPredictor()
+
+        # Execute-stage dispatch table, indexed by ``Instruction.exec_kind``
+        # (see repro.isa.opcodes.DECODE); K_NONE uops never reach execute.
+        self._exec_handlers = (
+            self._exec_alu_ri,   # K_ALU_RI
+            self._exec_alu_rr,   # K_ALU_RR
+            self._exec_load,     # K_LOAD
+            self._exec_store,    # K_STORE
+            self._exec_cbr,      # K_CBR
+            self._exec_pred,     # K_PRED
+            self._exec_jal,      # K_JAL
+            self._exec_jalr,     # K_JALR
+            self._exec_mov,      # K_MOV
+        )
 
         self.oracle: Optional[ArchState] = None
         if cfg.perfect_branch_prediction:
@@ -86,7 +126,8 @@ class Core:
         # are added/removed by the engine across full squashes.
         self.plan = PartitionPlan(cfg, "MT_ONLY")
         self.main = ThreadContext(0, ThreadKind.MAIN, MainFetchUnit(program),
-                                  self.plan.share("MT"))
+                                  self.plan.share("MT"),
+                                  rename_cls=self._rename_cls)
         self.main.read_value = self._read_committed
         self.main.commit_store = self._commit_store_main
         self.main.resume_pc = program.entry
@@ -259,7 +300,8 @@ class Core:
 
     def add_helper_thread(self, kind: ThreadKind, fetch_unit, role: str) -> ThreadContext:
         share = self.plan.share(role)
-        ctx = ThreadContext(self._next_thread_id, kind, fetch_unit, share)
+        ctx = ThreadContext(self._next_thread_id, kind, fetch_unit, share,
+                            rename_cls=self._rename_cls)
         self._next_thread_id += 1
         ctx.read_value = self._read_committed  # engine typically overrides
         ctx.commit_store = lambda addr, value: None
@@ -384,40 +426,51 @@ class Core:
     def _fetch_thread(self, thread: ThreadContext) -> None:
         if thread.fetch_halted or thread.wait_for_moves:
             return
-        if self.cycle < thread.fetch_stalled_until:
+        cycle = self.cycle
+        if cycle < thread.fetch_stalled_until:
             return
-        cfg = self.config
+        fq = thread.frontend_q
         width = thread.share.fetch_width
         # Bounded frontend buffer: width * frontend depth.
-        if len(thread.frontend_q) >= width * (cfg.frontend_latency + 1):
+        if len(fq) >= width * (self._fe_depth + 1):
             return
 
         if thread.kind is ThreadKind.MAIN:
             inst0 = thread.fetch.peek()
             if inst0 is not None:
-                ready = self.hierarchy.ifetch(inst0.pc, self.cycle)
-                if ready > self.cycle + 1:
+                ready = self.hierarchy.ifetch(inst0.pc, cycle)
+                if ready > cycle + 1:
                     thread.fetch_stalled_until = ready
                     return
 
+        # ``thread.fetch`` is looked up per iteration on purpose: the
+        # engine's ``note_fetched`` hook may retarget the helper's fetch
+        # unit mid-group.
+        predict = self._predict
+        note_fetched = self.engine.note_fetched
+        alloc_seq = thread.alloc_seq
+        tid = thread.id
+        ready_at = cycle + self._fe_depth
         fetched = 0
         while fetched < width:
-            inst = thread.fetch.peek()
+            fetch = thread.fetch
+            inst = fetch.peek()
             if inst is None:
                 break
-            uop = Uop(inst, thread.id, thread.alloc_seq(), self.cycle)
-            thread.fetch.annotate_uop(uop)
-            taken, target = self._predict(thread, uop)
-            thread.frontend_q.append((self.cycle + cfg.frontend_latency, uop))
-            self.engine.note_fetched(thread, uop)
+            uop = Uop(inst, tid, alloc_seq(), cycle)
+            fetch.annotate_uop(uop)
+            taken, target = predict(thread, uop)
+            fq.append((ready_at, uop))
+            note_fetched(thread, uop)
             thread.fetch.advance(taken, target)
             fetched += 1
-            self._tick_work = True
             if inst.opcode is Opcode.HALT:
                 thread.fetch_halted = True
                 break
             if taken:
-                break  # fetch group ends at a predicted-taken transfer
+                break
+        if fetched:
+            self._tick_work = True  # fetch group ends at a predicted-taken transfer
 
     def _predict(self, thread: ThreadContext, uop: Uop) -> Tuple[bool, Optional[int]]:
         """Next-PC selection; records prediction state on the uop."""
@@ -433,6 +486,12 @@ class Core:
                 if not self.oracle.halted:
                     uop.oracle_outcome = self.oracle.step()
                 uop.oracle_mark_after = self.oracle.undo.mark()
+
+        if not inst.is_branch:
+            # Non-transfer instruction: never redirects fetch.  (PRED uops
+            # compute a predicate at execute but do not steer the frontend.)
+            uop.pred_taken, uop.pred_target = False, None
+            return False, None
 
         taken, target = False, None
         if inst.is_cond_branch:
@@ -477,83 +536,108 @@ class Core:
     # Dispatch (rename + queue insertion).
     # ------------------------------------------------------------------
     def _dispatch_thread(self, thread: ThreadContext) -> None:
+        fq = thread.frontend_q
+        if not fq:
+            return
         cfg = self.config
+        cycle = self.cycle
+        iq_size = cfg.iq_size
+        pred_quota = cfg.pred_fl_size // 2
+        tid = thread.id
+        prf_quota = thread.share.prf_quota
+        pool = self.pool
+        pred_pool = self.pred_pool
+        prf = self.prf
+        pred_prf = self.pred_prf
+        prf_ready = prf.ready
+        rob = thread.rob
+        rob_cap = thread.share.rob
+        lq, sq = thread.lq, thread.sq
+        # ``map`` rebinds only at squash-recovery / helper-teardown
+        # boundaries, never inside a dispatch group, so one load suffices.
+        rmt_map = thread.rmt.map
+        dispatched_state = UopState.DISPATCHED
+        done_state = UopState.DONE
         for _ in range(thread.share.dispatch_width):
-            if not thread.frontend_q:
+            if not fq:
                 return
-            ready_cycle, uop = thread.frontend_q[0]
-            if ready_cycle > self.cycle or uop.squashed:
+            ready_cycle, uop = fq[0]
+            if ready_cycle > cycle or uop.squashed:
                 if uop.squashed:
-                    thread.frontend_q.popleft()
+                    fq.popleft()
                     continue
                 return
             inst = uop.inst
-            needs_iq = inst.opcode not in (Opcode.NOP, Opcode.HALT)
-            if thread.rob_full():
+            needs_iq = inst.needs_iq
+            if len(rob) >= rob_cap:
                 return
-            if needs_iq and self.iq_count >= cfg.iq_size:
+            if needs_iq and self.iq_count >= iq_size:
                 return
-            if inst.is_load and thread.lq.full():
+            is_load = inst.is_load
+            is_store = inst.is_store
+            if is_load and lq.full():
                 return
-            if inst.is_store and thread.sq.full():
+            if is_store and sq.full():
                 return
             dest = inst.dest_reg
-            if dest is not None and not self.pool.can_allocate(thread.id, thread.share.prf_quota):
+            if dest is not None and not pool.can_allocate(tid, prf_quota):
                 return
-            if inst.is_pred_producer and not self.pred_pool.can_allocate(
-                    thread.id, cfg.pred_fl_size // 2):
+            if inst.is_pred_producer and not pred_pool.can_allocate(
+                    tid, pred_quota):
                 return
 
-            thread.frontend_q.popleft()
+            fq.popleft()
             self._tick_work = True
 
-            # Source rename.
+            # Source rename: direct reads on the rename-map column.
             if inst.opcode is Opcode.MOV_LIVEIN:
                 if uop.livein_value is None:
                     # Live-in copy from the *main thread's* rename map.
-                    uop.phys_srcs = [self.main.rmt.lookup(inst.rs1)]
+                    uop.phys_srcs = [self.main.rmt.map[inst.rs1]]
                 else:
                     uop.phys_srcs = []
             else:
-                uop.phys_srcs = [thread.rmt.lookup(s) for s in inst.src_regs]
+                uop.phys_srcs = [rmt_map[s] for s in inst.src_regs]
             if inst.pred_rs is not None:
-                uop.pred_phys_src = thread.pred_rmt.lookup(inst.pred_rs)
+                uop.pred_phys_src = thread.pred_rmt.map[inst.pred_rs]
             if inst.pred_rs2 is not None:
-                uop.pred_phys_src2 = thread.pred_rmt.lookup(inst.pred_rs2)
+                uop.pred_phys_src2 = thread.pred_rmt.map[inst.pred_rs2]
 
             # Destination rename.
             if dest is not None:
-                phys = self.pool.allocate(thread.id, thread.share.prf_quota)
+                phys = pool.allocate(tid, prf_quota)
                 uop.old_phys_dest = thread.rmt.set(dest, phys)
                 uop.phys_dest = phys
-                self.prf.mark_not_ready(phys)
+                prf.mark_not_ready(phys)
             if inst.is_pred_producer:
-                pphys = self.pred_pool.allocate(thread.id, cfg.pred_fl_size // 2)
+                pphys = pred_pool.allocate(tid, pred_quota)
                 uop.old_pred_phys_dest = thread.pred_rmt.set(inst.pred_rd, pphys)
                 uop.pred_phys_dest = pphys
-                self.pred_prf.mark_not_ready(pphys)
+                pred_prf.mark_not_ready(pphys)
 
-            thread.rob.append(uop)
-            if inst.is_load:
-                thread.lq.insert(uop)
-            elif inst.is_store:
-                thread.sq.insert(uop)
+            rob.append(uop)
+            if is_load:
+                lq.insert(uop)
+            elif is_store:
+                sq.insert(uop)
 
             if not needs_iq:
-                uop.state = UopState.DONE
+                uop.state = done_state
                 continue
 
-            uop.state = UopState.DISPATCHED
+            uop.state = dispatched_state
             self.iq_count += 1
             pending = 0
             for phys in uop.phys_srcs:
-                if self.prf.subscribe(phys, uop):
+                # Ready-column test first: ``subscribe`` only does work
+                # for not-yet-ready producers.
+                if not prf_ready[phys] and prf.subscribe(phys, uop):
                     pending += 1
             if uop.pred_phys_src is not None:
-                if self.pred_prf.subscribe(uop.pred_phys_src, uop):
+                if pred_prf.subscribe(uop.pred_phys_src, uop):
                     pending += 1
             if uop.pred_phys_src2 is not None:
-                if self.pred_prf.subscribe(uop.pred_phys_src2, uop):
+                if pred_prf.subscribe(uop.pred_phys_src2, uop):
                     pending += 1
             uop.pending = pending
             if pending == 0:
@@ -563,41 +647,51 @@ class Core:
     # Issue + execute.
     # ------------------------------------------------------------------
     def _issue(self) -> None:
-        cfg = self.config
-        lanes = {LaneClass.SIMPLE: cfg.lanes_simple,
-                 LaneClass.MEM: cfg.lanes_mem,
-                 LaneClass.COMPLEX: cfg.lanes_complex}
-        budget = cfg.issue_width
-
         # Retry previously blocked helper loads first (oldest first).
-        candidates = []
+        candidates = None
         for thread in self._thread_tuple:
             if thread.blocked_loads:
+                if candidates is None:
+                    candidates = []
                 candidates.extend(thread.blocked_loads)
                 thread.blocked_loads = []
-        candidates.extend(self.ready_q)
+        if candidates is None:
+            candidates = self.ready_q
+            if not candidates:
+                return  # nothing issuable this cycle
+        else:
+            candidates.extend(self.ready_q)
         self.ready_q = []
-        candidates = [u for u in candidates if u.state is UopState.DISPATCHED]
-        candidates.sort(key=lambda u: (u.fetch_cycle, u.thread_id, u.seq))
 
+        cfg = self.config
+        # Lane budget column, indexed by ``Instruction.lane_id``
+        # (LANE_SIMPLE/LANE_MEM/LANE_COMPLEX/LANE_NONE).
+        lanes = [cfg.lanes_simple, cfg.lanes_mem, cfg.lanes_complex, 0]
+        budget = cfg.issue_width
+        dispatched = UopState.DISPATCHED
+        candidates = [u for u in candidates if u.state is dispatched]
+        candidates.sort(key=_ISSUE_ORDER)
+
+        thread_by_id = self._thread_by_id
+        execute = self._execute
         leftover = []
         for uop in candidates:
-            if uop.state is not UopState.DISPATCHED:
+            if uop.state is not dispatched:
                 continue  # squashed by a recovery triggered earlier this cycle
             if budget <= 0:
                 leftover.append(uop)
                 continue
-            lane = uop.inst.lane
-            if lanes.get(lane, 0) <= 0:
+            lane_id = uop.inst.lane_id
+            if lanes[lane_id] <= 0:
                 leftover.append(uop)
                 continue
-            thread = self._thread(uop.thread_id)
+            thread = thread_by_id[uop.thread_id]
             if uop.inst.is_load and not self._load_may_issue(thread, uop):
                 thread.blocked_loads.append(uop)
                 continue
-            lanes[lane] -= 1
+            lanes[lane_id] -= 1
             budget -= 1
-            self._execute(thread, uop)
+            execute(thread, uop)
         self.ready_q.extend(leftover)
 
     def _thread(self, thread_id: int) -> ThreadContext:
@@ -611,94 +705,105 @@ class Core:
         return True
 
     def _execute(self, thread: ThreadContext, uop: Uop) -> None:
-        inst = uop.inst
-        op = inst.opcode
+        """Execute-stage entry point: dispatch on the instruction's
+        precomputed integer ``exec_kind`` instead of an opcode if-chain.
+        Stays a method (rather than inlining the table walk into
+        :meth:`_issue`) so the profiler/tracer wrappers keep a single
+        interception point."""
         uop.state = UopState.ISSUED
         self._tick_work = True
         self.iq_count -= 1
-        read = self.prf.read
+        self._exec_handlers[uop.inst.exec_kind](thread, uop)
 
-        if op is Opcode.LD:
-            base = read(uop.phys_srcs[0])
-            addr = mem_effective_address(base, inst.imm)
-            uop.mem_addr = addr
-            fwd = thread.sq.forward_source(uop.seq, addr)
-            if fwd is not None:
-                uop.result = fwd.store_value
-                uop.forward_seq = fwd.seq
-                done = self.cycle + self.config.store_forward_latency
-            else:
-                spec_value = (thread.spec_cache.read(addr)
-                              if thread.spec_cache is not None else None)
-                if spec_value is not None:
-                    # Helper-thread hit in the tiny speculative D$ (IV-A).
-                    uop.result = to_i64(spec_value)
-                    done = self.cycle + self.config.store_forward_latency + 1
-                else:
-                    uop.result = to_i64(thread.read_value(addr))
-                    done = self.hierarchy.load(inst.pc, addr, self.cycle)
-            self._schedule_wb(uop, done)
-            return
+    def _exec_alu_ri(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        srcs = uop.phys_srcs
+        a = self.prf.value[srcs[0]] if srcs else 0  # LI has no sources
+        uop.result = inst.alu_fn(a, inst.imm)
+        self._schedule_wb(uop, self.cycle + inst.latency)
 
-        if op is Opcode.SD:
-            base = read(uop.phys_srcs[0])
-            value = read(uop.phys_srcs[1])
-            addr = mem_effective_address(base, inst.imm)
-            uop.mem_addr = addr
-            uop.store_value = value
-            if uop.pred_phys_src is not None:
-                uop.pred_enabled = self._pred_enabled(uop)
-            victim = thread.lq.find_violation(uop)
-            if victim is not None:
-                thread.load_violations += 1
-                self._recover_to(thread, victim, victim.pc, inclusive=True)
-            self._schedule_wb(uop, self.cycle + 1)
-            return
+    def _exec_alu_rr(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        value = self.prf.value
+        srcs = uop.phys_srcs
+        uop.result = inst.alu_fn(value[srcs[0]], value[srcs[1]])
+        self._schedule_wb(uop, self.cycle + inst.latency)
 
-        if op is Opcode.PRED:
-            a, b = read(uop.phys_srcs[0]), read(uop.phys_srcs[1])
-            uop.taken = eval_branch(inst.origin_opcode, a, b)
-            uop.pred_enabled = self._pred_enabled(uop)
-            self._schedule_wb(uop, self.cycle + 1)
-            return
-
-        if inst.is_cond_branch:
-            a, b = read(uop.phys_srcs[0]), read(uop.phys_srcs[1])
-            uop.taken = eval_branch(op, a, b)
-            uop.actual_target = inst.imm if uop.taken else inst.pc + 4
-            self._schedule_wb(uop, self.cycle + 1)
-            return
-
-        if op is Opcode.JAL:
-            uop.result = inst.pc + 4
-            uop.taken = True
-            uop.actual_target = inst.imm
-            self._schedule_wb(uop, self.cycle + 1)
-            return
-
-        if op is Opcode.JALR:
-            base = read(uop.phys_srcs[0])
-            uop.result = inst.pc + 4
-            uop.taken = True
-            uop.actual_target = (base + inst.imm) & ~1
-            self._schedule_wb(uop, self.cycle + 1)
-            return
-
-        if op is Opcode.MOV_LIVEIN:
-            if uop.livein_value is not None:
-                uop.result = to_i64(uop.livein_value)
-            else:
-                uop.result = read(uop.phys_srcs[0])
-            self._schedule_wb(uop, self.cycle + 1)
-            return
-
-        # ALU (register-register or register-immediate).
-        if op in _RI_OPS:
-            a = 0 if op is Opcode.LI else read(uop.phys_srcs[0])
-            uop.result = eval_alu(op, a, inst.imm)
+    def _exec_load(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        base = self.prf.value[uop.phys_srcs[0]]
+        addr = mem_effective_address(base, inst.imm)
+        uop.mem_addr = addr
+        fwd = thread.sq.forward_source(uop.seq, addr)
+        if fwd is not None:
+            uop.result = fwd.store_value
+            uop.forward_seq = fwd.seq
+            done = self.cycle + self.config.store_forward_latency
         else:
-            uop.result = eval_alu(op, read(uop.phys_srcs[0]), read(uop.phys_srcs[1]))
-        self._schedule_wb(uop, self.cycle + exec_latency(op))
+            spec_value = (thread.spec_cache.read(addr)
+                          if thread.spec_cache is not None else None)
+            if spec_value is not None:
+                # Helper-thread hit in the tiny speculative D$ (IV-A).
+                uop.result = to_i64(spec_value)
+                done = self.cycle + self.config.store_forward_latency + 1
+            else:
+                uop.result = to_i64(thread.read_value(addr))
+                done = self.hierarchy.load(inst.pc, addr, self.cycle)
+        self._schedule_wb(uop, done)
+
+    def _exec_store(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        value = self.prf.value
+        srcs = uop.phys_srcs
+        base = value[srcs[0]]
+        addr = mem_effective_address(base, inst.imm)
+        uop.mem_addr = addr
+        uop.store_value = value[srcs[1]]
+        if uop.pred_phys_src is not None:
+            uop.pred_enabled = self._pred_enabled(uop)
+        victim = thread.lq.find_violation(uop)
+        if victim is not None:
+            thread.load_violations += 1
+            self._recover_to(thread, victim, victim.pc, inclusive=True)
+        self._schedule_wb(uop, self.cycle + 1)
+
+    def _exec_cbr(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        value = self.prf.value
+        srcs = uop.phys_srcs
+        uop.taken = inst.branch_fn(value[srcs[0]], value[srcs[1]])
+        uop.actual_target = inst.imm if uop.taken else inst.pc + 4
+        self._schedule_wb(uop, self.cycle + 1)
+
+    def _exec_pred(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        value = self.prf.value
+        srcs = uop.phys_srcs
+        uop.taken = inst.branch_fn(value[srcs[0]], value[srcs[1]])
+        uop.pred_enabled = self._pred_enabled(uop)
+        self._schedule_wb(uop, self.cycle + 1)
+
+    def _exec_jal(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        uop.result = inst.pc + 4
+        uop.taken = True
+        uop.actual_target = inst.imm
+        self._schedule_wb(uop, self.cycle + 1)
+
+    def _exec_jalr(self, thread: ThreadContext, uop: Uop) -> None:
+        inst = uop.inst
+        base = self.prf.value[uop.phys_srcs[0]]
+        uop.result = inst.pc + 4
+        uop.taken = True
+        uop.actual_target = (base + inst.imm) & ~1
+        self._schedule_wb(uop, self.cycle + 1)
+
+    def _exec_mov(self, thread: ThreadContext, uop: Uop) -> None:
+        if uop.livein_value is not None:
+            uop.result = to_i64(uop.livein_value)
+        else:
+            uop.result = self.prf.value[uop.phys_srcs[0]]
+        self._schedule_wb(uop, self.cycle + 1)
 
     def _pred_enabled(self, uop: Uop) -> bool:
         """Predication rule (Section V-H), with the optional second source
@@ -895,8 +1000,7 @@ class Core:
         inst = uop.inst
         if thread.rob_full():
             return True
-        needs_iq = inst.opcode not in (Opcode.NOP, Opcode.HALT)
-        if needs_iq and self.iq_count >= self.config.iq_size:
+        if inst.needs_iq and self.iq_count >= self.config.iq_size:
             return True
         if inst.is_load and thread.lq.full():
             return True
@@ -917,7 +1021,7 @@ class Core:
         if self.ready_q or cycle in self.wb_events:
             return cycle
         bound = horizon
-        cfg = self.config
+        fe_depth = self._fe_depth
         for thread in self._thread_tuple:
             if thread.blocked_loads:
                 return cycle
@@ -939,7 +1043,7 @@ class Core:
             if cycle < thread.fetch_stalled_until:
                 if thread.fetch_stalled_until < bound:
                     bound = thread.fetch_stalled_until
-            elif (len(fq) < thread.share.fetch_width * (cfg.frontend_latency + 1)
+            elif (len(fq) < thread.share.fetch_width * (fe_depth + 1)
                   and thread.fetch.peek() is not None):
                 return cycle  # could fetch this cycle
         if self.wb_events:

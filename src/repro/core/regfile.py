@@ -1,18 +1,31 @@
 """Physical register files: integer PRF and the 2-bit predicate PRF.
 
+Columnar layout: the register file is two flat preallocated columns —
+``value`` (signed-64 ints) and ``ready`` (bools) — indexed by physical
+register number, plus a sparse wakeup dict.  The hot path reads the
+``value`` column directly (``core.prf.value[phys]``); physical register 0
+is the architected constant zero and is never written, so the column read
+needs no zero-register branch.
+
 Wakeup is event-driven: consumers subscribe to a physical register; when
 its producer writes back, subscribers are notified (their pending-source
 count drops; at zero they enter the ready queue).
+
+The pre-refactor implementation lives in :mod:`repro.core.legacy` for the
+A/B equivalence harness.
 """
 
-from typing import Callable, Dict, List, Optional
+from array import array
+from typing import Callable, Dict, List
 
 ZERO_REG = 0  # physical register 0 is the architected constant zero
 PRED_ALWAYS = 0  # predicate physical register 0 = pred0 = unconditional
 
 
 class PhysRegFile:
-    """Integer physical registers with values, ready bits, and wakeup lists."""
+    """Integer physical registers as flat value/ready columns."""
+
+    __slots__ = ("size", "value", "ready", "_waiters")
 
     def __init__(self, size: int):
         self.size = size
@@ -42,7 +55,8 @@ class PhysRegFile:
         return True
 
     def read(self, reg: int) -> int:
-        return 0 if reg == ZERO_REG else self.value[reg]
+        # value[ZERO_REG] is invariantly 0, so no zero-register branch.
+        return self.value[reg]
 
     def drop_waiters(self, predicate: Callable) -> None:
         """Remove waiters matching ``predicate`` (used on squash)."""
@@ -53,6 +67,30 @@ class PhysRegFile:
             else:
                 del self._waiters[reg]
 
+    # ------------------------------------------------------------------
+    # Compact serialization: the columns pickle as packed bytes, not
+    # element-wise int lists.  Snapshots are taken at drained boundaries,
+    # so the wakeup dict is (almost always) empty; it is carried verbatim
+    # when it is not.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = {
+            "size": self.size,
+            "value": array("q", self.value).tobytes(),
+            "ready": bytes(self.ready),
+        }
+        if self._waiters:
+            state["waiters"] = self._waiters
+        return state
+
+    def __setstate__(self, state):
+        self.size = state["size"]
+        values = array("q")
+        values.frombytes(state["value"])
+        self.value = values.tolist()
+        self.ready = [bool(b) for b in state["ready"]]
+        self._waiters = state.get("waiters", {})
+
 
 class PredRegFile(PhysRegFile):
     """Predicate physical registers (paper Section V-H).
@@ -61,6 +99,8 @@ class PredRegFile(PhysRegFile):
     (enabled); ``lsb`` = the producer's taken/not-taken outcome.  Register 0
     is ``pred0`` — the always-enabled predicate for unguarded instructions.
     """
+
+    __slots__ = ()
 
     def __init__(self, size: int = 128):
         super().__init__(size)
@@ -84,3 +124,8 @@ class PredRegFile(PhysRegFile):
         if reg == PRED_ALWAYS:
             raise ValueError("pred0 is constant")
         return super().write(reg, self.pack(enabled, taken))
+
+    def read(self, reg: int) -> int:
+        # pred0's packed value (0b10) is meaningful, unlike the integer
+        # zero register — keep the base column read.
+        return self.value[reg]

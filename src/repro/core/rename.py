@@ -1,5 +1,11 @@
-"""Rename map tables (speculative RMT and committed AMT)."""
+"""Rename map tables (speculative RMT and committed AMT).
 
+The table is one flat int column (``map``) indexed by logical register;
+lookups and updates are single indexed operations.  The pre-refactor
+version lives in :mod:`repro.core.legacy` for the A/B equivalence tests.
+"""
+
+from array import array
 from typing import List
 
 from repro.isa.registers import NUM_REGS
@@ -13,6 +19,8 @@ class RenameMapTable:
     same class serves the predicate rename tables (pred-RMT), where entry 0
     is ``pred0``.
     """
+
+    __slots__ = ("num_logical", "_zero", "map")
 
     def __init__(self, num_logical: int = NUM_REGS, zero_phys: int = ZERO_REG):
         self.num_logical = num_logical
@@ -38,4 +46,19 @@ class RenameMapTable:
 
     def mapped_physical(self) -> List[int]:
         """Physical registers currently mapped (excluding the zero reg)."""
-        return [p for p in self.map if p != self._zero]
+        zero = self._zero
+        return [p for p in self.map if p != zero]
+
+    def __getstate__(self):
+        return {
+            "num_logical": self.num_logical,
+            "zero": self._zero,
+            "map": array("q", self.map).tobytes(),
+        }
+
+    def __setstate__(self, state):
+        self.num_logical = state["num_logical"]
+        self._zero = state["zero"]
+        mapped = array("q")
+        mapped.frombytes(state["map"])
+        self.map = mapped.tolist()

@@ -75,7 +75,22 @@ class MainFetchUnit(FetchUnit):
 
 
 class ThreadContext:
-    """All per-thread microarchitectural state."""
+    """All per-thread microarchitectural state.
+
+    ``__slots__`` keeps the per-thread record flat — every attribute is
+    declared here, and the per-cycle stage loops touch them without a
+    ``__dict__`` indirection.  ``rename_cls`` selects the rename-table
+    implementation (columnar by default; the legacy twin under
+    ``CoreConfig(columnar=False)``).
+    """
+
+    __slots__ = (
+        "id", "kind", "fetch", "share", "rmt", "amt", "pred_rmt", "rob",
+        "frontend_q", "lq", "sq", "next_seq", "fetch_halted",
+        "fetch_stalled_until", "wait_for_moves", "resume_pc", "spec_cache",
+        "blocked_loads", "retired", "retired_stores", "retired_branches",
+        "mispredicts", "load_violations", "read_value", "commit_store",
+    )
 
     def __init__(
         self,
@@ -84,14 +99,15 @@ class ThreadContext:
         fetch_unit: FetchUnit,
         share: PartitionShare,
         num_pred_logical: int = 32,
+        rename_cls=RenameMapTable,
     ):
         self.id = thread_id
         self.kind = kind
         self.fetch = fetch_unit
         self.share = share
-        self.rmt = RenameMapTable()
-        self.amt = RenameMapTable()  # committed map (value capture at retire)
-        self.pred_rmt = RenameMapTable(num_logical=num_pred_logical)
+        self.rmt = rename_cls()
+        self.amt = rename_cls()  # committed map (value capture at retire)
+        self.pred_rmt = rename_cls(num_logical=num_pred_logical)
         self.rob: Deque[Uop] = deque()
         self.frontend_q: Deque[tuple] = deque()  # (ready_cycle, uop)
         self.lq = LoadQueue(share.lq)

@@ -19,6 +19,7 @@ regular functions of control history are predicted nearly perfectly, while
 unpredictable no matter the history length.
 """
 
+from array import array
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -56,10 +57,21 @@ class TageConfig:
 
 
 class _TaggedTable:
-    """One TAGE component table."""
+    """One TAGE component table.
+
+    Index/tag hashing is memoised per ``(pc, masked-history)`` pair: loop
+    workloads revisit a small set of branch PCs under recurring history
+    patterns, so the XOR-fold chains (six ``fold_bits`` calls per probe)
+    collapse to one dict hit.  The cache is a pure-function memo — it never
+    changes results — and is bounded (cleared when it outgrows its cap) and
+    dropped from pickles.
+    """
 
     __slots__ = ("entries", "index_bits", "tag_bits", "history_len",
-                 "tags", "ctrs", "useful", "_mask")
+                 "tags", "ctrs", "useful", "_mask", "_hist_mask", "_memo",
+                 "_pc_fold")
+
+    _MEMO_CAP = 1 << 16
 
     def __init__(self, entries: int, tag_bits: int, history_len: int):
         if entries & (entries - 1):
@@ -69,24 +81,68 @@ class _TaggedTable:
         self.tag_bits = tag_bits
         self.history_len = history_len
         self._mask = entries - 1
+        # ``fold_bits`` truncates its input to 64 bits, so histories longer
+        # than that cannot influence the hash — clamping the memo key's
+        # mask to 64 bits is exact and stops >64-bit tables from
+        # fragmenting their cache across hash-identical histories.
+        self._hist_mask = (1 << min(history_len, 64)) - 1
+        self._memo = {}
+        self._pc_fold = {}
         self.tags = [0] * entries
         self.ctrs = [4] * entries  # 3-bit, 0..7, taken when >= 4
         self.useful = [0] * entries
 
-    def index(self, pc: int, history: int) -> int:
-        h = history & ((1 << self.history_len) - 1)
+    def _hash(self, pc: int, h: int) -> tuple:
         # Two differently-folded history images (one shifted) so that short
-        # histories cannot cancel out of the index.
-        return (fold_bits(pc >> 2, self.index_bits)
-                ^ fold_bits(h, self.index_bits)
-                ^ (fold_bits(h, max(1, self.index_bits - 2)) << 1)) & self._mask
-
-    def tag(self, pc: int, history: int) -> int:
-        h = history & ((1 << self.history_len) - 1)
-        t = (fold_bits(pc >> 2, self.tag_bits)
+        # histories cannot cancel out of the index.  The PC folds do not
+        # depend on the history, so they memoise per PC.
+        pcf = self._pc_fold.get(pc)
+        if pcf is None:
+            pcf = self._pc_fold[pc] = (fold_bits(pc >> 2, self.index_bits),
+                                       fold_bits(pc >> 2, self.tag_bits))
+        idx = (pcf[0]
+               ^ fold_bits(h, self.index_bits)
+               ^ (fold_bits(h, max(1, self.index_bits - 2)) << 1)) & self._mask
+        t = (pcf[1]
              ^ fold_bits(h, self.tag_bits)
              ^ (fold_bits(h, self.tag_bits - 1) << 1))
-        return t & ((1 << self.tag_bits) - 1) or 1  # tag 0 means "invalid"
+        tag = t & ((1 << self.tag_bits) - 1) or 1  # tag 0 means "invalid"
+        return idx, tag
+
+    def index_tag(self, pc: int, history: int) -> tuple:
+        """Memoised (index, tag) for a probe."""
+        key = (pc, history & self._hist_mask)
+        hit = self._memo.get(key)
+        if hit is None:
+            memo = self._memo
+            if len(memo) >= self._MEMO_CAP:
+                memo.clear()
+            hit = memo[key] = self._hash(key[0], key[1])
+        return hit
+
+    def index(self, pc: int, history: int) -> int:
+        return self.index_tag(pc, history)[0]
+
+    def tag(self, pc: int, history: int) -> int:
+        return self.index_tag(pc, history)[1]
+
+    def __getstate__(self):
+        return {
+            "entries": self.entries,
+            "tag_bits": self.tag_bits,
+            "history_len": self.history_len,
+            "tags": array("i", self.tags).tobytes(),
+            "ctrs": bytes(self.ctrs),
+            "useful": bytes(self.useful),
+        }
+
+    def __setstate__(self, state):
+        self.__init__(state["entries"], state["tag_bits"], state["history_len"])
+        tags = array("i")
+        tags.frombytes(state["tags"])
+        self.tags = tags.tolist()
+        self.ctrs = list(state["ctrs"])
+        self.useful = list(state["useful"])
 
 
 class _LoopEntry:
@@ -122,6 +178,15 @@ class TageSCL(BranchPredictor):
         # Loop predictor: committed state per PC, speculative iteration dict.
         self._loops: Dict[int, _LoopEntry] = {}
         self._loop_spec_iter: Dict[int, int] = {}
+        # Copy-on-write checkpoint cache: the pipeline checkpoints the
+        # predictor on every fetched uop, but speculative state only
+        # mutates on branches, so consecutive checkpoints share one frozen
+        # (ghr, dict-copy) tuple.  Invalidated by every mutation of the
+        # ghr or the speculative loop iterators; ``restore`` copies, so a
+        # shared checkpoint is never mutated through the live dict.
+        self._ckpt = None
+        # Per-PC fold memo for the statistical corrector (pure function).
+        self._sc_fold: Dict[int, int] = {}
         # Stats observable by tests.
         self.predictions = 0
         self.provider_hits = 0
@@ -133,11 +198,8 @@ class TageSCL(BranchPredictor):
         return (pc >> 2) & self._base_mask
 
     def _tage_lookup(self, pc: int) -> Tuple[bool, dict]:
-        lookups = []
-        for table in self._tables:
-            idx = table.index(pc, self._ghr)
-            tag = table.tag(pc, self._ghr)
-            lookups.append((idx, tag))
+        ghr = self._ghr
+        lookups = [table.index_tag(pc, ghr) for table in self._tables]
         # Provider = longest-history hit; alt = next-longest.
         provider, alt = None, None
         for t in range(len(self._tables) - 1, -1, -1):
@@ -187,8 +249,12 @@ class TageSCL(BranchPredictor):
 
     def _sc_lookup(self, pc: int, tage_pred: bool, info: dict) -> Tuple[bool, dict]:
         """Statistical corrector: may invert a weak TAGE prediction."""
-        i1 = fold_bits(pc >> 2, 10)
-        i2 = (fold_bits(pc >> 2, 10) ^ fold_bits(self._ghr & 0xFF, 10)) & 1023
+        i1 = self._sc_fold.get(pc)
+        if i1 is None:
+            i1 = self._sc_fold[pc] = fold_bits(pc >> 2, 10)
+        # fold_bits(v, 10) is the identity for v < 1024, so the folded
+        # 8-bit history image is just the raw low history byte.
+        i2 = (i1 ^ (self._ghr & 0xFF)) & 1023
         total = self._sc_pc[i1] + self._sc_hist[i2] + (5 if tage_pred else -5)
         sc_pred = total >= 0
         use_sc = abs(total) > self._sc_threshold and sc_pred != tage_pred
@@ -225,6 +291,7 @@ class TageSCL(BranchPredictor):
     # Speculative history.
     # ------------------------------------------------------------------
     def spec_update(self, pc: int, taken: bool) -> None:
+        self._ckpt = None
         self._ghr = ((self._ghr << 1) | int(taken)) & self._ghr_mask
         if self.config.use_loop and pc in self._loops:
             entry = self._loops[pc]
@@ -232,9 +299,13 @@ class TageSCL(BranchPredictor):
             self._loop_spec_iter[pc] = cur + 1 if taken else 0
 
     def checkpoint(self) -> Any:
-        return (self._ghr, dict(self._loop_spec_iter))
+        ckpt = self._ckpt
+        if ckpt is None:
+            ckpt = self._ckpt = (self._ghr, dict(self._loop_spec_iter))
+        return ckpt
 
     def restore(self, state: Any) -> None:
+        self._ckpt = None
         self._ghr, self._loop_spec_iter = state[0], dict(state[1])
 
     # ------------------------------------------------------------------
@@ -335,6 +406,7 @@ class TageSCL(BranchPredictor):
             self._sc_hist[sc["i2"]] = max(-31, min(31, self._sc_hist[sc["i2"]] + delta))
 
     def _update_loop(self, pc: int, taken: bool) -> None:
+        self._ckpt = None  # may mutate _loop_spec_iter (eviction below)
         entry = self._loops.get(pc)
         if entry is None:
             if not taken:
@@ -371,3 +443,24 @@ class TageSCL(BranchPredictor):
             self._update_sc(taken, info)
         if self.config.use_loop:
             self._update_loop(pc, taken)
+
+    # ------------------------------------------------------------------
+    # Compact serialization: counter columns pickle as packed bytes, and
+    # the pure-function memos are dropped (rebuilt on demand).
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_base"] = bytes(state["_base"])
+        state["_sc_pc"] = array("b", state["_sc_pc"]).tobytes()
+        state["_sc_hist"] = array("b", state["_sc_hist"]).tobytes()
+        state["_sc_fold"] = {}
+        state["_ckpt"] = None
+        return state
+
+    def __setstate__(self, state):
+        state["_base"] = list(state["_base"])
+        for key in ("_sc_pc", "_sc_hist"):
+            col = array("b")
+            col.frombytes(state[key])
+            state[key] = col.tolist()
+        self.__dict__.update(state)

@@ -5,6 +5,12 @@ object), so direct branch targets are always known; the BTB is still
 modelled because Phelps' Delinquent Branch Table training and the fetch
 unit's loop-bound checks use its hit/miss behaviour, and because indirect
 jumps (JALR) genuinely need target prediction.
+
+Columnar layout: each BTB set is a pair of parallel flat int lists
+(tags / targets, MRU first) probed with C-speed ``list.index``; the RAS
+checkpoint is copy-on-write, so the per-fetched-uop checkpoint is a cached
+shared list invalidated only when the stack actually mutates.  The
+pre-refactor BTB lives in :mod:`repro.core.legacy`.
 """
 
 from typing import List, Optional
@@ -18,56 +24,81 @@ class BranchTargetBuffer:
             raise ValueError("sets must be a power of two")
         self._sets = sets
         self._ways = ways
-        # Per set: list of [tag, target], most-recently-used first.
-        self._table: List[List[List[int]]] = [[] for _ in range(sets)]
+        # Parallel per-set columns, most-recently-used first.
+        self._tags: List[List[int]] = [[] for _ in range(sets)]
+        self._targets: List[List[int]] = [[] for _ in range(sets)]
 
     def _set_index(self, pc: int) -> int:
         return (pc >> 2) & (self._sets - 1)
 
     def lookup(self, pc: int) -> Optional[int]:
         """Predicted target for ``pc``, or None on miss."""
-        s = self._table[self._set_index(pc)]
-        for i, (tag, target) in enumerate(s):
-            if tag == pc:
-                if i:
-                    s.insert(0, s.pop(i))
-                return target
-        return None
+        idx = (pc >> 2) & (self._sets - 1)
+        tags = self._tags[idx]
+        try:
+            i = tags.index(pc)
+        except ValueError:
+            return None
+        targets = self._targets[idx]
+        if i:
+            tags.insert(0, tags.pop(i))
+            targets.insert(0, targets.pop(i))
+            return targets[0]
+        return targets[i]
 
     def insert(self, pc: int, target: int) -> None:
-        s = self._table[self._set_index(pc)]
-        for i, entry in enumerate(s):
-            if entry[0] == pc:
-                entry[1] = target
-                if i:
-                    s.insert(0, s.pop(i))
-                return
-        s.insert(0, [pc, target])
-        if len(s) > self._ways:
-            s.pop()
+        idx = (pc >> 2) & (self._sets - 1)
+        tags = self._tags[idx]
+        targets = self._targets[idx]
+        try:
+            i = tags.index(pc)
+        except ValueError:
+            tags.insert(0, pc)
+            targets.insert(0, target)
+            if len(tags) > self._ways:
+                tags.pop()
+                targets.pop()
+            return
+        targets[i] = target
+        if i:
+            tags.insert(0, tags.pop(i))
+            targets.insert(0, targets.pop(i))
 
 
 class ReturnAddressStack:
-    """Fixed-depth RAS; overflow wraps (oldest entry lost)."""
+    """Fixed-depth RAS; overflow wraps (oldest entry lost).
+
+    ``checkpoint`` is copy-on-write: the main pipeline checkpoints the RAS
+    on *every* fetched uop, but the stack only mutates on call/return, so
+    consecutive checkpoints share one frozen copy.  ``restore`` copies the
+    incoming state, so shared checkpoint lists are never mutated.
+    """
 
     def __init__(self, depth: int = 32):
         self._depth = depth
         self._stack: List[int] = []
+        self._ckpt: Optional[List[int]] = None
 
     def push(self, return_pc: int) -> None:
+        self._ckpt = None
         self._stack.append(return_pc)
         if len(self._stack) > self._depth:
             self._stack.pop(0)
 
     def pop(self) -> Optional[int]:
         if self._stack:
+            self._ckpt = None
             return self._stack.pop()
         return None
 
     def checkpoint(self) -> List[int]:
-        return list(self._stack)
+        ckpt = self._ckpt
+        if ckpt is None:
+            ckpt = self._ckpt = list(self._stack)
+        return ckpt
 
     def restore(self, state: List[int]) -> None:
+        self._ckpt = None
         self._stack = list(state)
 
 

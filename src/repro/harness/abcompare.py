@@ -1,0 +1,198 @@
+"""A/B cycle-exactness harness: columnar vs legacy storage engines.
+
+The columnar refactor (``CoreConfig(columnar=True)``, the default) swaps
+every hot-path storage structure — register files, free lists, rename
+maps, BTB, caches — for flat structure-of-arrays twins.  The claim is
+that the swap is *observationally invisible*: the two engines produce
+bit-identical cycle counts, SimStats, and commit streams on every
+workload.  This module checks that claim at runtime:
+
+* :func:`ab_compare` runs one configuration twice — once per engine —
+  records a digest of the full commit stream (every retired uop's thread,
+  PC, opcode, result, memory address, store value, and branch outcome),
+  and diffs cycles, the complete :class:`~repro.core.stats.SimStats`
+  record, and the digests.
+* ``perturb_cycle`` injects a seeded one-cycle timing perturbation into
+  one side (the clock silently skips a cycle number, as a real timing bug
+  would).  The harness must flag the run as divergent — this is the
+  harness's own self-test (``tests/harness/test_abcompare.py``).
+
+CLI: ``python -m repro ab --workloads astar sssp --engines baseline phelps``.
+"""
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core import CoreConfig
+from repro.core.thread import ThreadKind
+from repro.harness.simulator import RunConfig, _build_core, _boot_from_checkpoint
+
+__all__ = ["ABRun", "ABReport", "ab_compare", "ab_matrix"]
+
+
+@dataclass
+class ABRun:
+    """One engine's half of an A/B comparison."""
+
+    columnar: bool
+    cycles: int
+    retired: int
+    commit_digest: str
+    commits: int
+    stats: dict
+    wall_seconds: float
+
+
+@dataclass
+class ABReport:
+    """The diff between the columnar and legacy runs of one config."""
+
+    workload: str
+    engine: str
+    instructions: int
+    columnar: ABRun
+    legacy: ABRun
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def match(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "engine": self.engine,
+            "instructions": self.instructions,
+            "match": self.match,
+            "mismatches": list(self.mismatches),
+            "cycles": [self.columnar.cycles, self.legacy.cycles],
+            "commit_digest": [self.columnar.commit_digest,
+                              self.legacy.commit_digest],
+            "wall_seconds": [self.columnar.wall_seconds,
+                             self.legacy.wall_seconds],
+        }
+
+    def summary(self) -> str:
+        verdict = "MATCH" if self.match else "DIVERGE"
+        speedup = (self.legacy.wall_seconds / self.columnar.wall_seconds
+                   if self.columnar.wall_seconds else 0.0)
+        line = (f"{self.workload}/{self.engine}: {verdict} "
+                f"cycles={self.columnar.cycles} commits={self.columnar.commits} "
+                f"columnar {self.columnar.wall_seconds:.2f}s vs legacy "
+                f"{self.legacy.wall_seconds:.2f}s ({speedup:.2f}x)")
+        if self.mismatches:
+            line += "\n  " + "\n  ".join(self.mismatches)
+        return line
+
+
+def _digest_commit(h, thread, uop) -> None:
+    """Fold one retired uop into the commit-stream digest.
+
+    Everything architecturally observable at retire participates: the
+    thread, program position, and the uop's computed effects.  Helper
+    threads are included — their retires race the main thread in real
+    runs, so a reordering is a divergence even at equal cycle counts.
+    """
+    inst = uop.inst
+    h.update((
+        f"{thread.id}|{thread.kind.value}|{uop.seq}|{inst.pc}|"
+        f"{inst.opcode.value}|{uop.result}|{uop.mem_addr}|"
+        f"{uop.store_value}|{uop.taken}|{uop.pred_enabled}\n"
+    ).encode())
+
+
+def _run_side(config: RunConfig, columnar: bool,
+              perturb_cycle: Optional[int] = None) -> ABRun:
+    """Run one engine; returns its cycles/stats/commit digest."""
+    core_cfg = config.core or CoreConfig()
+    side_cfg = dataclasses.replace(
+        config, core=dataclasses.replace(core_cfg, columnar=columnar))
+    core, _obs, program = _build_core(side_cfg)
+    if side_cfg.start_instruction > 0:
+        _boot_from_checkpoint(core, side_cfg, program)
+
+    digest = hashlib.sha256()
+    commits = 0
+    orig_retire = core._retire_uop
+
+    def digesting_retire(thread, uop):
+        nonlocal commits
+        commits += 1
+        _digest_commit(digest, thread, uop)
+        return orig_retire(thread, uop)
+
+    core._retire_uop = digesting_retire
+
+    if perturb_cycle is not None:
+        # Seeded timing-bug injection: one extra cycle elapses at the
+        # first tick at or past ``perturb_cycle`` — exactly the footprint
+        # of an off-by-one stall bug.  (``>=`` with a one-shot latch, so
+        # an idle-skip jump over the exact cycle number cannot mask it.)
+        orig_tick = core.tick
+        fired = []
+
+        def perturbed_tick():
+            orig_tick()
+            if not fired and core.cycle >= perturb_cycle:
+                fired.append(True)
+                core.cycle += 1
+
+        core.tick = perturbed_tick
+
+    start = time.perf_counter()
+    stats = core.run(max_instructions=side_cfg.max_instructions,
+                     max_cycles=side_cfg.max_cycles)
+    wall = time.perf_counter() - start
+    return ABRun(columnar=columnar, cycles=stats.cycles, retired=stats.retired,
+                 commit_digest=digest.hexdigest(), commits=commits,
+                 stats=dataclasses.asdict(stats), wall_seconds=wall)
+
+
+def ab_compare(config: RunConfig,
+               perturb_cycle: Optional[int] = None,
+               perturb_side: str = "legacy") -> ABReport:
+    """Run ``config`` on both storage engines and diff every observable.
+
+    ``perturb_cycle`` (tests only) injects a one-cycle perturbation into
+    ``perturb_side`` (``"legacy"`` or ``"columnar"``); a correct harness
+    must report the resulting divergence.
+    """
+    col = _run_side(config, columnar=True,
+                    perturb_cycle=(perturb_cycle
+                                   if perturb_side == "columnar" else None))
+    leg = _run_side(config, columnar=False,
+                    perturb_cycle=(perturb_cycle
+                                   if perturb_side == "legacy" else None))
+
+    mismatches: List[str] = []
+    if col.cycles != leg.cycles:
+        mismatches.append(f"cycles: columnar={col.cycles} legacy={leg.cycles}")
+    if col.commit_digest != leg.commit_digest:
+        mismatches.append(
+            f"commit stream: columnar={col.commit_digest[:12]} "
+            f"legacy={leg.commit_digest[:12]} "
+            f"({col.commits} vs {leg.commits} commits)")
+    for key in sorted(set(col.stats) | set(leg.stats)):
+        a, b = col.stats.get(key), leg.stats.get(key)
+        if a != b:
+            mismatches.append(f"stats.{key}: columnar={a!r} legacy={b!r}")
+    return ABReport(workload=config.workload, engine=config.engine,
+                    instructions=config.max_instructions,
+                    columnar=col, legacy=leg, mismatches=mismatches)
+
+
+def ab_matrix(workloads, engines, max_instructions: int = 30_000,
+              phelps_config=None) -> List[ABReport]:
+    """A/B-compare every workload x engine pair; returns all reports."""
+    reports = []
+    for workload in workloads:
+        for engine in engines:
+            cfg = RunConfig(workload=workload, engine=engine,
+                            max_instructions=max_instructions,
+                            phelps_config=(phelps_config
+                                           if engine == "phelps" else None))
+            reports.append(ab_compare(cfg))
+    return reports

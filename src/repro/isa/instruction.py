@@ -6,13 +6,15 @@ from typing import List, Optional, Tuple
 
 from repro.isa.opcodes import (
     COND_BRANCH_OPS,
+    DECODE,
+    LANE_BY_ID,
     LaneClass,
     Opcode,
     RI_ALU_OPS,
     RR_ALU_OPS,
     COMPLEX_OPS,
-    lane_class,
 )
+from repro.isa.semantics import ALU_FUNCS, BRANCH_FUNCS
 
 
 @dataclass
@@ -30,6 +32,15 @@ class Instruction:
     destination predicate register of a PRED; ``pred_rs`` is the logical
     source predicate register of a PRED or guarded store (0 = ``pred0`` =
     unconditional); ``pred_dir`` is the enabling direction bit.
+
+    Decode happens once, here: everything derivable from the opcode and
+    register operands (classification flags, lane, execution kind and
+    latency, operand lists, the bound ALU/branch evaluation function) is
+    precomputed in ``__post_init__`` and read as plain attributes on the
+    per-cycle hot path.  Only ``imm``-dependent views stay properties,
+    because the assembler patches ``imm`` during label fixup after
+    construction.  ``dataclasses.replace`` (and :meth:`copy`) re-runs
+    ``__post_init__``, so copies with a different opcode re-decode.
     """
 
     opcode: Opcode
@@ -53,83 +64,62 @@ class Instruction:
     capture_regs: Tuple[int, ...] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
-    # Classification properties.
+    # One-time decode.  These are plain attributes, not dataclass fields:
+    # __eq__ / __repr__ / replace() see only the real fields above.
     # ------------------------------------------------------------------
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.opcode in COND_BRANCH_OPS
+    def __post_init__(self) -> None:
+        op = self.opcode
+        self.is_cond_branch = op in COND_BRANCH_OPS
+        self.is_jump = op is Opcode.JAL or op is Opcode.JALR
+        self.is_branch = self.is_cond_branch or self.is_jump
+        self.is_load = op is Opcode.LD
+        self.is_store = op is Opcode.SD
+        self.is_mem = self.is_load or self.is_store
+        self.is_pred_producer = op is Opcode.PRED
+        self.exec_kind, self.lane_id, self.latency = DECODE[op]
+        self.lane = LANE_BY_ID[self.lane_id]
+        self.needs_iq = op is not Opcode.NOP and op is not Opcode.HALT
 
-    @property
-    def is_jump(self) -> bool:
-        return self.opcode in (Opcode.JAL, Opcode.JALR)
+        # Logical integer destination, or None (x0 writes are discarded).
+        if (op is Opcode.SD or op is Opcode.NOP or op is Opcode.HALT
+                or op is Opcode.PRED or self.is_cond_branch or self.rd == 0):
+            self.dest_reg = None
+        else:
+            self.dest_reg = self.rd
 
-    @property
-    def is_branch(self) -> bool:
-        """Any control-transfer instruction."""
-        return self.is_cond_branch or self.is_jump
+        # Logical integer source registers actually read.
+        if op in RR_ALU_OPS or op in COMPLEX_OPS:
+            srcs = [self.rs1, self.rs2]
+        elif op in RI_ALU_OPS:
+            srcs = [] if op is Opcode.LI else [self.rs1]
+        elif op is Opcode.LD:
+            srcs = [self.rs1]
+        elif op is Opcode.SD:
+            srcs = [self.rs1, self.rs2]  # rs1 = base, rs2 = data
+        elif self.is_cond_branch or op is Opcode.PRED:
+            srcs = [self.rs1, self.rs2]
+        elif op is Opcode.JALR or op is Opcode.MOV_LIVEIN:
+            srcs = [self.rs1]
+        else:
+            srcs = []
+        self.src_regs = srcs
 
-    @property
-    def is_load(self) -> bool:
-        return self.opcode is Opcode.LD
+        # Bound evaluation functions (module-level, so they pickle by name).
+        self.alu_fn = ALU_FUNCS.get(op)
+        if op is Opcode.PRED:
+            self.branch_fn = (BRANCH_FUNCS[self.origin_opcode]
+                              if self.origin_opcode in BRANCH_FUNCS else None)
+        else:
+            self.branch_fn = BRANCH_FUNCS.get(op)
 
-    @property
-    def is_store(self) -> bool:
-        return self.opcode is Opcode.SD
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opcode in (Opcode.LD, Opcode.SD)
-
-    @property
-    def is_pred_producer(self) -> bool:
-        return self.opcode is Opcode.PRED
-
+    # ------------------------------------------------------------------
+    # imm-dependent views (the assembler patches ``imm`` after
+    # construction during label fixup, so these cannot be precomputed).
+    # ------------------------------------------------------------------
     @property
     def is_backward_branch(self) -> bool:
         """A conditional branch whose taken-target precedes it (loop branch)."""
         return self.is_cond_branch and self.imm is not None and self.imm <= self.pc
-
-    @property
-    def lane(self) -> LaneClass:
-        if self.opcode is Opcode.PRED:
-            return LaneClass.SIMPLE
-        if self.opcode is Opcode.MOV_LIVEIN:
-            return LaneClass.SIMPLE
-        return lane_class(self.opcode)
-
-    # ------------------------------------------------------------------
-    # Register operand views.
-    # ------------------------------------------------------------------
-    @property
-    def dest_reg(self) -> Optional[int]:
-        """Logical integer destination, or None (x0 writes are discarded)."""
-        if self.opcode in (Opcode.SD, Opcode.NOP, Opcode.HALT, Opcode.PRED):
-            return None
-        if self.opcode in COND_BRANCH_OPS:
-            return None
-        if self.rd == 0:
-            return None
-        return self.rd
-
-    @property
-    def src_regs(self) -> List[int]:
-        """Logical integer source registers actually read."""
-        op = self.opcode
-        if op in RR_ALU_OPS or op in COMPLEX_OPS:
-            return [self.rs1, self.rs2]
-        if op in RI_ALU_OPS:
-            return [] if op is Opcode.LI else [self.rs1]
-        if op is Opcode.LD:
-            return [self.rs1]
-        if op is Opcode.SD:
-            return [self.rs1, self.rs2]  # rs1 = base, rs2 = data
-        if op in COND_BRANCH_OPS or op is Opcode.PRED:
-            return [self.rs1, self.rs2]
-        if op is Opcode.JALR:
-            return [self.rs1]
-        if op is Opcode.MOV_LIVEIN:
-            return [self.rs1]
-        return []
 
     @property
     def branch_target(self) -> Optional[int]:

@@ -127,3 +127,74 @@ EXEC_LATENCY = {
 def exec_latency(opcode: Opcode) -> int:
     """Fixed execution latency for non-memory opcodes (loads are variable)."""
     return EXEC_LATENCY.get(opcode, 1)
+
+
+# ----------------------------------------------------------------------
+# Static decode table.
+#
+# The out-of-order core's execute stage dispatches on a small integer
+# *execution kind* instead of testing enum identities per uop; the kind,
+# lane id, and latency for every opcode are precomputed here once at
+# import and stamped onto each :class:`~repro.isa.instruction.Instruction`
+# at decode (``__post_init__``), so the per-cycle hot path never hashes an
+# ``Opcode`` member.
+# ----------------------------------------------------------------------
+
+# Integer lane ids (index into the issue stage's lane-budget column).
+LANE_SIMPLE, LANE_MEM, LANE_COMPLEX, LANE_NONE = 0, 1, 2, 3
+
+_LANE_IDS = {
+    LaneClass.SIMPLE: LANE_SIMPLE,
+    LaneClass.MEM: LANE_MEM,
+    LaneClass.COMPLEX: LANE_COMPLEX,
+    LaneClass.NONE: LANE_NONE,
+}
+
+LANE_BY_ID = (LaneClass.SIMPLE, LaneClass.MEM, LaneClass.COMPLEX, LaneClass.NONE)
+
+# Execution kinds (indices into the core's handler dispatch table).
+K_ALU_RI = 0   # register-immediate ALU (including LI)
+K_ALU_RR = 1   # register-register ALU (including MUL/DIV/REM)
+K_LOAD = 2
+K_STORE = 3
+K_CBR = 4      # conditional branch
+K_PRED = 5     # predicate producer
+K_JAL = 6
+K_JALR = 7
+K_MOV = 8      # MOV_LIVEIN
+K_NONE = 9     # NOP/HALT (never reach execute)
+
+
+def _exec_kind(op: Opcode) -> int:
+    if op in RI_ALU_OPS:
+        return K_ALU_RI
+    if op in RR_ALU_OPS or op in COMPLEX_OPS:
+        return K_ALU_RR
+    if op is Opcode.LD:
+        return K_LOAD
+    if op is Opcode.SD:
+        return K_STORE
+    if op in COND_BRANCH_OPS:
+        return K_CBR
+    if op is Opcode.PRED:
+        return K_PRED
+    if op is Opcode.JAL:
+        return K_JAL
+    if op is Opcode.JALR:
+        return K_JALR
+    if op is Opcode.MOV_LIVEIN:
+        return K_MOV
+    return K_NONE
+
+
+# opcode -> (exec_kind, lane_id, latency); PRED and MOV_LIVEIN issue to a
+# simple lane exactly as the old ``Instruction.lane`` property decided.
+DECODE = {
+    op: (
+        _exec_kind(op),
+        LANE_SIMPLE if op in (Opcode.PRED, Opcode.MOV_LIVEIN)
+        else _LANE_IDS[lane_class(op)],
+        exec_latency(op),
+    )
+    for op in Opcode
+}

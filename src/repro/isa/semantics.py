@@ -1,74 +1,187 @@
 """Pure evaluation functions — the single source of truth for instruction
 semantics, shared by the in-order functional executor and the out-of-order
-core's execute stage (execute-at-execute)."""
+core's execute stage (execute-at-execute).
+
+Hot-path layout: each operation is a dedicated module-level function (so
+it pickles by name and costs one call, no enum dispatch) and the public
+``eval_alu`` / ``eval_branch`` entry points are one dict lookup.  The
+out-of-order core skips even that lookup: decode stamps ``alu_fn`` /
+``branch_fn`` onto each :class:`~repro.isa.instruction.Instruction`.
+"""
 
 from repro.isa.opcodes import Opcode
 from repro.utils.bits import to_i64, to_u64
 
+_M64 = (1 << 64) - 1
+_S64 = 1 << 63
+_W64 = 1 << 64
 
+
+def _wrap(v: int) -> int:
+    """Inline two's-complement signed-64 truncation (== ``to_i64``)."""
+    v &= _M64
+    return v - _W64 if v & _S64 else v
+
+
+# ---------------------------------------------------------------- ALU ops
+def _alu_add(a, b):
+    v = (a + b) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_sub(a, b):
+    v = (a - b) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_and(a, b):
+    v = (a & b) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_or(a, b):
+    v = (a | b) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_xor(a, b):
+    v = (a ^ b) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_sll(a, b):
+    v = ((a & _M64) << (b & 63)) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_srl(a, b):
+    v = (a & _M64) >> (b & 63)
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_sra(a, b):
+    v = (a >> (b & 63)) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_slt(a, b):
+    return 1 if a < b else 0
+
+
+def _alu_sltu(a, b):
+    return 1 if (a & _M64) < (b & _M64) else 0
+
+
+def _alu_min(a, b):
+    return a if a < b else b
+
+
+def _alu_max(a, b):
+    return a if a > b else b
+
+
+def _alu_mul(a, b):
+    v = (a * b) & _M64
+    return v - _W64 if v & _S64 else v
+
+
+def _alu_div(a, b):
+    if b == 0:
+        return -1  # RISC-V semantics
+    q = abs(a) // abs(b)
+    return _wrap(-q if (a < 0) != (b < 0) else q)
+
+
+def _alu_rem(a, b):
+    if b == 0:
+        return _wrap(a)
+    r = abs(a) % abs(b)
+    return _wrap(-r if a < 0 else r)
+
+
+def _alu_li(a, b):
+    return _wrap(b)
+
+
+ALU_FUNCS = {
+    Opcode.ADD: _alu_add, Opcode.ADDI: _alu_add,
+    Opcode.SUB: _alu_sub,
+    Opcode.AND: _alu_and, Opcode.ANDI: _alu_and,
+    Opcode.OR: _alu_or, Opcode.ORI: _alu_or,
+    Opcode.XOR: _alu_xor, Opcode.XORI: _alu_xor,
+    Opcode.SLL: _alu_sll, Opcode.SLLI: _alu_sll,
+    Opcode.SRL: _alu_srl, Opcode.SRLI: _alu_srl,
+    Opcode.SRA: _alu_sra, Opcode.SRAI: _alu_sra,
+    Opcode.SLT: _alu_slt, Opcode.SLTI: _alu_slt,
+    Opcode.SLTU: _alu_sltu,
+    Opcode.MIN: _alu_min,
+    Opcode.MAX: _alu_max,
+    Opcode.MUL: _alu_mul,
+    Opcode.DIV: _alu_div,
+    Opcode.REM: _alu_rem,
+    Opcode.LI: _alu_li,
+}
+
+
+# ------------------------------------------------------------- branch ops
+def _br_eq(a, b):
+    return a == b
+
+
+def _br_ne(a, b):
+    return a != b
+
+
+def _br_lt(a, b):
+    return a < b
+
+
+def _br_ge(a, b):
+    return a >= b
+
+
+def _br_ltu(a, b):
+    return (a & _M64) < (b & _M64)
+
+
+def _br_geu(a, b):
+    return (a & _M64) >= (b & _M64)
+
+
+BRANCH_FUNCS = {
+    Opcode.BEQ: _br_eq,
+    Opcode.BNE: _br_ne,
+    Opcode.BLT: _br_lt,
+    Opcode.BGE: _br_ge,
+    Opcode.BLTU: _br_ltu,
+    Opcode.BGEU: _br_geu,
+}
+
+
+# ------------------------------------------------------------ public API
 def eval_alu(opcode: Opcode, a: int, b: int) -> int:
     """Evaluate an ALU operation on signed-64 operands; returns signed-64.
 
     ``b`` is the second register value or the immediate, as appropriate.
     """
-    if opcode in (Opcode.ADD, Opcode.ADDI):
-        return to_i64(a + b)
-    if opcode is Opcode.SUB:
-        return to_i64(a - b)
-    if opcode in (Opcode.AND, Opcode.ANDI):
-        return to_i64(a & b)
-    if opcode in (Opcode.OR, Opcode.ORI):
-        return to_i64(a | b)
-    if opcode in (Opcode.XOR, Opcode.XORI):
-        return to_i64(a ^ b)
-    if opcode in (Opcode.SLL, Opcode.SLLI):
-        return to_i64(to_u64(a) << (b & 63))
-    if opcode in (Opcode.SRL, Opcode.SRLI):
-        return to_i64(to_u64(a) >> (b & 63))
-    if opcode in (Opcode.SRA, Opcode.SRAI):
-        return to_i64(a >> (b & 63))
-    if opcode in (Opcode.SLT, Opcode.SLTI):
-        return 1 if a < b else 0
-    if opcode is Opcode.SLTU:
-        return 1 if to_u64(a) < to_u64(b) else 0
-    if opcode is Opcode.MIN:
-        return a if a < b else b
-    if opcode is Opcode.MAX:
-        return a if a > b else b
-    if opcode is Opcode.MUL:
-        return to_i64(a * b)
-    if opcode is Opcode.DIV:
-        if b == 0:
-            return -1  # RISC-V semantics
-        q = abs(a) // abs(b)
-        return to_i64(-q if (a < 0) != (b < 0) else q)
-    if opcode is Opcode.REM:
-        if b == 0:
-            return to_i64(a)
-        r = abs(a) % abs(b)
-        return to_i64(-r if a < 0 else r)
-    if opcode is Opcode.LI:
-        return to_i64(b)
-    raise ValueError(f"not an ALU opcode: {opcode}")
+    fn = ALU_FUNCS.get(opcode)
+    if fn is None:
+        raise ValueError(f"not an ALU opcode: {opcode}")
+    return fn(a, b)
 
 
 def eval_branch(opcode: Opcode, a: int, b: int) -> bool:
     """Evaluate a conditional-branch comparison (also used by PRED)."""
-    if opcode is Opcode.BEQ:
-        return a == b
-    if opcode is Opcode.BNE:
-        return a != b
-    if opcode is Opcode.BLT:
-        return a < b
-    if opcode is Opcode.BGE:
-        return a >= b
-    if opcode is Opcode.BLTU:
-        return to_u64(a) < to_u64(b)
-    if opcode is Opcode.BGEU:
-        return to_u64(a) >= to_u64(b)
-    raise ValueError(f"not a conditional branch opcode: {opcode}")
+    fn = BRANCH_FUNCS.get(opcode)
+    if fn is None:
+        raise ValueError(f"not a conditional branch opcode: {opcode}")
+    return fn(a, b)
 
 
 def mem_effective_address(base: int, offset: int) -> int:
     """Effective address of a load/store, aligned to the 8-byte word size."""
     return to_u64(base + offset) & ~7
+
+
+__all__ = ["ALU_FUNCS", "BRANCH_FUNCS", "eval_alu", "eval_branch",
+           "mem_effective_address", "to_i64", "to_u64"]

@@ -1,7 +1,19 @@
-"""Set-associative, write-back, write-allocate cache tag store with LRU."""
+"""Set-associative, write-back, write-allocate cache tag store with LRU.
 
-from dataclasses import dataclass, field
+Columnar layout: each set is one flat list of packed int words, MRU first.
+A word is ``(tag << 2) | (dirty << 1) | prefetched`` — probing a set is a
+scan over small ints (no per-line objects, no attribute loads), and a fill
+is a single int insert.  The pre-refactor per-line-object implementation
+lives in :mod:`repro.core.legacy` (``LegacyCache``) for the A/B
+equivalence harness; both keep identical LRU order and stats.
+"""
+
+from array import array
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
+
+_DIRTY = 0b10
+_PREFETCHED = 0b01
 
 
 @dataclass
@@ -19,15 +31,6 @@ class CacheStats:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
-
-
-class _Line:
-    __slots__ = ("tag", "dirty", "prefetched")
-
-    def __init__(self, tag: int, dirty: bool = False, prefetched: bool = False):
-        self.tag = tag
-        self.dirty = dirty
-        self.prefetched = prefetched
 
 
 class Cache:
@@ -49,8 +52,9 @@ class Cache:
             raise ValueError(f"{name}: number of sets ({self.num_sets}) must be a power of two")
         self._offset_bits = line_bytes.bit_length() - 1
         self._set_mask = self.num_sets - 1
-        # Per set: list of lines, MRU first.
-        self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        self._tag_shift = self.num_sets.bit_length() - 1
+        # Per set: packed line words ((tag << 2) | flags), MRU first.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -61,15 +65,18 @@ class Cache:
         return block & self._set_mask
 
     def _tag(self, block: int) -> int:
-        return block >> (self.num_sets.bit_length() - 1)
+        return block >> self._tag_shift
 
     # ------------------------------------------------------------------
     def lookup(self, addr: int) -> bool:
         """Probe without updating LRU or stats."""
-        block = self.block_addr(addr)
-        s = self._sets[self._set_index(block)]
-        tag = self._tag(block)
-        return any(line.tag == tag for line in s)
+        block = addr >> self._offset_bits
+        s = self._sets[block & self._set_mask]
+        tag = block >> self._tag_shift
+        for word in s:
+            if word >> 2 == tag:
+                return True
+        return False
 
     def access(self, addr: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
         """Demand access.  Returns (hit, writeback_block_addr_or_None).
@@ -78,45 +85,75 @@ class Cache:
         timing is the hierarchy's job) and the LRU victim, if dirty, is
         reported for writeback accounting.
         """
-        block = self.block_addr(addr)
-        set_idx = self._set_index(block)
+        block = addr >> self._offset_bits
+        set_idx = block & self._set_mask
         s = self._sets[set_idx]
-        tag = self._tag(block)
-        for i, line in enumerate(s):
-            if line.tag == tag:
+        tag = block >> self._tag_shift
+        for i in range(len(s)):
+            word = s[i]
+            if word >> 2 == tag:
                 self.stats.hits += 1
                 if is_write:
-                    line.dirty = True
+                    word |= _DIRTY
                 if i:
-                    s.insert(0, s.pop(i))
+                    del s[i]
+                    s.insert(0, word)
+                else:
+                    s[0] = word
                 return True, None
         self.stats.misses += 1
-        writeback = self._fill(set_idx, tag, dirty=is_write, prefetched=False)
+        writeback = self._fill(set_idx, tag, _DIRTY if is_write else 0)
         return False, writeback
 
     def fill(self, addr: int, prefetched: bool = False) -> Optional[int]:
         """Install a block (e.g. a prefetch fill); returns writeback block."""
-        block = self.block_addr(addr)
-        set_idx = self._set_index(block)
-        tag = self._tag(block)
-        s = self._sets[set_idx]
-        for i, line in enumerate(s):
-            if line.tag == tag:
+        block = addr >> self._offset_bits
+        set_idx = block & self._set_mask
+        tag = block >> self._tag_shift
+        for word in self._sets[set_idx]:
+            if word >> 2 == tag:
                 return None  # already present
         if prefetched:
             self.stats.prefetch_fills += 1
-        return self._fill(set_idx, tag, dirty=False, prefetched=prefetched)
+        return self._fill(set_idx, tag, _PREFETCHED if prefetched else 0)
 
-    def _fill(self, set_idx: int, tag: int, dirty: bool, prefetched: bool) -> Optional[int]:
+    def _fill(self, set_idx: int, tag: int, flags: int) -> Optional[int]:
         s = self._sets[set_idx]
-        s.insert(0, _Line(tag, dirty=dirty, prefetched=prefetched))
+        s.insert(0, (tag << 2) | flags)
         if len(s) > self.ways:
             victim = s.pop()
             self.stats.evictions += 1
-            if victim.dirty:
+            if victim & _DIRTY:
                 self.stats.writebacks += 1
-                return (victim.tag << (self.num_sets.bit_length() - 1)) | set_idx
+                return ((victim >> 2) << self._tag_shift) | set_idx
         return None
 
     def invalidate_all(self) -> None:
         self._sets = [[] for _ in range(self.num_sets)]
+
+    # ------------------------------------------------------------------
+    # Compact serialization: the packed set columns concatenate into one
+    # int64 buffer plus a per-set occupancy byte string.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        sets = state.pop("_sets")
+        lengths = bytes(len(s) for s in sets)
+        words = array("q")
+        for s in sets:
+            words.extend(s)
+        state["_packed_sets"] = (lengths, words.tobytes())
+        return state
+
+    def __setstate__(self, state):
+        lengths, blob = state.pop("_packed_sets")
+        words = array("q")
+        words.frombytes(blob)
+        flat = words.tolist()
+        sets = []
+        pos = 0
+        for n in lengths:
+            sets.append(flat[pos:pos + n])
+            pos += n
+        state["_sets"] = sets
+        self.__dict__.update(state)

@@ -1,0 +1,157 @@
+"""Columnar storage structures vs their legacy object-graph twins.
+
+Each test drives one columnar class and its pre-refactor reference
+(:mod:`repro.core.legacy`) through the same randomized operation sequence
+and asserts identical observable behaviour at every step — allocation
+order, LRU order, wakeup lists, stats.  This is the unit-level half of
+the A/B cycle-exactness argument; the system-level half (whole cores run
+side by side) lives in ``tests/harness/test_abcompare.py``.
+"""
+
+import random
+
+from repro.core import legacy
+from repro.core.freelist import SharedPhysPool
+from repro.core.regfile import PhysRegFile, PredRegFile
+from repro.core.rename import RenameMapTable
+from repro.frontend.targets import BranchTargetBuffer
+from repro.memory.cache import Cache
+
+
+def test_regfile_equivalence():
+    rng = random.Random(7)
+    new, old = PhysRegFile(64), legacy.LegacyPhysRegFile(64)
+    for step in range(3000):
+        op = rng.randrange(5)
+        reg = rng.randrange(64)
+        if op == 0:
+            assert new.write(reg, step) == old.write(reg, step)
+        elif op == 1:
+            token = f"w{step}"
+            assert new.subscribe(reg, token) == old.subscribe(reg, token)
+        elif op == 2:
+            new.mark_not_ready(reg)
+            old.mark_not_ready(reg)
+        elif op == 3:
+            assert new.read(reg) == old.read(reg)
+        else:
+            parity = rng.randrange(2)
+
+            def drop(waiter, parity=parity):
+                return int(waiter[1:]) % 2 == parity
+
+            new.drop_waiters(drop)
+            old.drop_waiters(drop)
+        assert new.ready[reg] == old.ready[reg]
+    assert new.value == old.value
+    assert new.ready == old.ready
+    assert new._waiters == old._waiters
+
+
+def test_pred_regfile_equivalence():
+    rng = random.Random(19)
+    new, old = PredRegFile(32), legacy.LegacyPredRegFile(32)
+    for step in range(1500):
+        reg = rng.randrange(1, 32)
+        op = rng.randrange(3)
+        if op == 0:
+            enabled, taken = rng.random() < 0.5, rng.random() < 0.5
+            assert (new.write_pred(reg, enabled, taken)
+                    == old.write_pred(reg, enabled, taken))
+        elif op == 1:
+            direction = rng.random() < 0.5
+            probe = rng.randrange(32)  # includes pred0
+            assert (new.consumer_enabled(probe, direction)
+                    == old.consumer_enabled(probe, direction))
+        else:
+            assert new.read(reg) == old.read(reg)
+    assert new.value == old.value
+
+
+def test_shared_pool_equivalence():
+    rng = random.Random(11)
+    new = SharedPhysPool(96, reserved=2)
+    old = legacy.LegacySharedPhysPool(96, reserved=2)
+    quota = {0: 48, 1: 24, 2: 12}
+    held = {0: [], 1: [], 2: []}
+    for _ in range(5000):
+        tid = rng.randrange(3)
+        if rng.random() < 0.55 or not held[tid]:
+            a = new.allocate(tid, quota[tid])
+            b = old.allocate(tid, quota[tid])
+            assert a == b  # same register, same order, same quota refusals
+            if a is not None:
+                held[tid].append(a)
+        else:
+            reg = held[tid].pop(rng.randrange(len(held[tid])))
+            new.release(tid, reg)
+            old.release(tid, reg)
+        assert new.free_count() == old.free_count()
+        assert new.held_by(tid) == old.held_by(tid)
+        assert new.held_total() == old.held_total()
+    assert new.free_list() == old.free_list()
+
+
+def test_rename_map_equivalence():
+    rng = random.Random(3)
+    new, old = RenameMapTable(), legacy.LegacyRenameMapTable()
+    snaps = []
+    for _ in range(2000):
+        op = rng.randrange(4)
+        if op == 0:
+            logical = rng.randrange(1, new.num_logical)
+            phys = rng.randrange(1, 300)
+            assert new.set(logical, phys) == old.set(logical, phys)
+        elif op == 1:
+            logical = rng.randrange(new.num_logical)
+            assert new.lookup(logical) == old.lookup(logical)
+        elif op == 2 or not snaps:
+            snaps.append((new.snapshot(), old.snapshot()))
+        else:
+            a, b = snaps.pop(rng.randrange(len(snaps)))
+            assert a == b
+            new.restore(a)
+            old.restore(b)
+        assert new.mapped_physical() == old.mapped_physical()
+    assert new.map == old.map
+
+
+def test_btb_equivalence():
+    rng = random.Random(5)
+    new = BranchTargetBuffer(sets=16, ways=4)
+    old = legacy.LegacyBranchTargetBuffer(sets=16, ways=4)
+    pcs = [rng.randrange(1 << 18) * 4 for _ in range(200)]
+    for _ in range(5000):
+        pc = rng.choice(pcs)
+        if rng.random() < 0.5:
+            target = rng.randrange(1 << 18) * 4
+            new.insert(pc, target)
+            old.insert(pc, target)
+        else:
+            # lookup also exercises the MRU promotion on both sides
+            assert new.lookup(pc) == old.lookup(pc)
+
+
+def test_cache_equivalence():
+    rng = random.Random(13)
+    new = Cache(4096, ways=4, name="equiv")
+    old = legacy.LegacyCache(4096, ways=4, name="equiv")
+    addrs = [rng.randrange(1 << 18) for _ in range(400)]
+    for _ in range(6000):
+        addr = rng.choice(addrs)
+        roll = rng.random()
+        if roll < 0.6:
+            is_write = rng.random() < 0.3
+            assert (new.access(addr, is_write=is_write)
+                    == old.access(addr, is_write=is_write))
+        elif roll < 0.8:
+            prefetched = rng.random() < 0.5
+            assert (new.fill(addr, prefetched=prefetched)
+                    == old.fill(addr, prefetched=prefetched))
+        else:
+            assert new.lookup(addr) == old.lookup(addr)
+    assert new.stats == old.stats
+    new.invalidate_all()
+    old.invalidate_all()
+    assert not any(new.lookup(a) for a in addrs)
+    assert not any(old.lookup(a) for a in addrs)

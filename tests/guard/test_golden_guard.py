@@ -100,7 +100,8 @@ def test_invariant_violation_detected():
     assert core.guard.check_invariants() == []  # healthy at boot
     # Double-free one physical register: both the duplicate check and the
     # leak equation must notice on the first sweep.
-    core.pool._free.append(core.pool._free[0])
+    core.pool._stack.append(core.pool._stack[0])
+    core.pool._top += 1
     with pytest.raises(InvariantViolation) as exc:
         core.run(max_instructions=2000)
     report = exc.value.report

@@ -1,0 +1,46 @@
+"""A/B cycle-exactness harness: clean matches and the perturbation self-test.
+
+The harness guards the columnar refactor, so it has to be trustworthy in
+both directions: a clean run of both storage engines must MATCH, and a
+deliberately injected one-cycle timing bug must DIVERGE.  The second half
+is the harness's own self-test — a comparator that cannot see a seeded
+perturbation would pass broken refactors silently.
+"""
+
+import pytest
+
+from repro.harness.abcompare import ab_compare, ab_matrix
+from repro.harness.simulator import RunConfig
+
+
+def test_clean_run_matches():
+    report = ab_compare(RunConfig(workload="astar", max_instructions=5000))
+    assert report.match
+    assert report.mismatches == []
+    assert report.columnar.cycles == report.legacy.cycles
+    assert report.columnar.commit_digest == report.legacy.commit_digest
+    assert report.columnar.commits > 0
+    assert report.columnar.stats == report.legacy.stats
+    doc = report.to_dict()
+    assert doc["match"] is True
+    assert doc["cycles"][0] == doc["cycles"][1]
+    assert "MATCH" in report.summary()
+
+
+@pytest.mark.parametrize("side", ["legacy", "columnar"])
+def test_seeded_perturbation_is_detected(side):
+    # One silently skipped cycle number mid-run — the footprint of an
+    # off-by-one stall bug — must flip the verdict to DIVERGE.
+    report = ab_compare(RunConfig(workload="astar", max_instructions=5000),
+                        perturb_cycle=1500, perturb_side=side)
+    assert not report.match
+    assert report.mismatches
+    assert "DIVERGE" in report.summary()
+
+
+def test_matrix_covers_all_pairs():
+    reports = ab_matrix(["astar"], ["baseline"], max_instructions=3000)
+    assert len(reports) == 1
+    assert reports[0].workload == "astar"
+    assert reports[0].engine == "baseline"
+    assert reports[0].match
