@@ -486,22 +486,67 @@ def _cmd_ab(args) -> int:
     return 0
 
 
+def _remote_view(base_url: str):
+    """One dashboard frame fetched over HTTP: a ``repro serve`` telemetry
+    endpoint (``/live`` or ``/campaign``) or a campaign-service campaign
+    URL (``.../campaigns/<id>``) — whichever the URL turns out to be."""
+    import json as json_mod
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.live import live_view
+
+    base = base_url.rstrip("/")
+
+    def get(path):
+        try:
+            with urllib.request.urlopen(base + path, timeout=10) as resp:
+                return json_mod.loads(resp.read().decode())
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+
+    doc = get("/live")
+    if doc is not None and doc.get("points") is not None:
+        return doc  # already a derived live view
+    for path in ("/campaign", ""):
+        doc = get(path)
+        if doc is not None and doc.get("points") is not None:
+            return live_view({
+                "schema": 1, "source": "remote",
+                "total": doc.get("total", len(doc["points"])),
+                "counts": doc.get("counts", {}),
+                "points": doc["points"],
+            })
+    return None
+
+
 def _cmd_watch(args) -> int:
-    """Terminal dashboard tailing a campaign's live.json (or journal)."""
+    """Terminal dashboard tailing a campaign's live.json (or journal),
+    or — with --connect — a remote telemetry/service endpoint."""
     import time as time_mod
 
     from repro.obs.live import journal_view, live_view, read_live, render_watch
 
-    def frame():
-        doc = read_live(args.dir)
-        if doc is not None:
-            return live_view(doc)
-        return journal_view(args.dir)
+    if not args.connect and not args.dir:
+        print("watch: a campaign directory or --connect URL is required",
+              file=sys.stderr)
+        return 2
+    if args.connect:
+        def frame():
+            return _remote_view(args.connect)
+    else:
+        def frame():
+            doc = read_live(args.dir)
+            if doc is not None:
+                return live_view(doc)
+            return journal_view(args.dir)
 
     view = frame()
     if view is None:
-        print(f"watch: no campaign under {args.dir} "
-              f"(expected live.json or campaign.json)", file=sys.stderr)
+        where = args.connect or args.dir
+        print(f"watch: no campaign at {where} "
+              f"(expected live.json/campaign.json or a telemetry URL)",
+              file=sys.stderr)
         return 2
     while True:
         if not args.once:
@@ -532,6 +577,75 @@ def _cmd_serve(args) -> int:
         return 0
     finally:
         server.stop()
+
+
+def _parse_tenants(specs):
+    """``name=weight[:max_leased]`` strings -> {name: TenantPolicy}."""
+    from repro.service import TenantPolicy
+
+    tenants = {}
+    for spec in specs or ():
+        name, _, policy = spec.partition("=")
+        if not name or not policy:
+            raise ValueError(f"bad --tenant {spec!r} "
+                             f"(want name=weight[:max_leased])")
+        weight, _, cap = policy.partition(":")
+        tenants[name] = TenantPolicy(weight=float(weight),
+                                     max_leased=int(cap) if cap else None)
+    return tenants
+
+
+def _cmd_service(args) -> int:
+    """The campaign daemon: sweeps as a service over HTTP."""
+    from repro.service import CampaignService, ServiceConfig
+
+    try:
+        tenants = _parse_tenants(args.tenant)
+    except ValueError as exc:
+        print(f"service: {exc}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        root=args.root, host=args.host, port=args.port,
+        workers=args.workers, lease_seconds=args.lease_seconds,
+        cache_dir=args.cache_dir,
+        max_queued_points=args.max_queued_points,
+        max_active_campaigns=args.max_active,
+        max_attempts=args.max_attempts,
+        heartbeat_interval=args.heartbeat_interval,
+        tenants=tenants)
+    service = CampaignService(config).start()
+    print(f"campaign service at {service.url} "
+          f"(root={args.root}, workers={args.workers}; "
+          f"POST /campaigns submits, Ctrl-C stops)")
+    service.serve_forever()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    """One pull-model campaign worker (standalone or daemon-connected)."""
+    from repro.service import WorkerOptions, work_campaign_dir, work_service
+
+    if bool(args.connect) == bool(args.dir):
+        print("worker: exactly one of --connect URL or --dir DIR is "
+              "required", file=sys.stderr)
+        return 2
+    options = WorkerOptions(
+        worker_id=args.id or "",
+        lease_seconds=args.lease_seconds,
+        heartbeat_interval=args.heartbeat_interval,
+        poll_interval=args.poll_interval,
+        max_idle_polls=args.max_idle_polls,
+        max_points=args.max_points,
+        cache_dir=args.cache_dir,
+        log=not args.quiet)
+    if args.connect:
+        report = work_service(args.connect, options)
+    else:
+        report = work_campaign_dir(args.dir, options)
+    print(f"worker {report.worker_id}: {report.completed} completed "
+          f"({report.cache_hits} from cache), {report.failed} failed, "
+          f"{report.lease_lost} leases lost, {report.claimed} claims")
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -768,8 +882,13 @@ def build_parser() -> argparse.ArgumentParser:
     watch = sub.add_parser(
         "watch", help="terminal dashboard tailing a campaign directory "
                       "(live heartbeats, stalled-worker flags, ETA)")
-    watch.add_argument("dir", help="campaign directory (the --manifest/"
-                                   "--resume DIR of a sweep)")
+    watch.add_argument("dir", nargs="?", default=None,
+                       help="campaign directory (the --manifest/"
+                            "--resume DIR of a sweep)")
+    watch.add_argument("--connect", metavar="URL", default=None,
+                       help="watch a remote campaign over HTTP instead of "
+                            "a directory: a 'repro serve' endpoint or a "
+                            "campaign-service .../campaigns/<id> URL")
     watch.add_argument("--interval", type=float, default=1.0,
                        help="refresh period in seconds")
     watch.add_argument("--once", action="store_true",
@@ -790,6 +909,76 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--interval", type=float, default=1.0,
                        help="SSE frame period in seconds")
     serve.set_defaults(fn=_cmd_serve)
+
+    service = sub.add_parser(
+        "service", help="campaign daemon: submit sweeps over HTTP, "
+                        "executed by a leased multi-worker pool",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    service.add_argument("--root", metavar="DIR", default="campaigns",
+                         help="directory holding one campaign journal "
+                              "subdirectory per submission")
+    service.add_argument("--port", type=int, default=8330,
+                         help="listen port (0 = ephemeral, printed at "
+                              "start; a busy port degrades to ephemeral "
+                              "with a log line)")
+    service.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback only)")
+    service.add_argument("--workers", type=int, default=2,
+                         help="in-daemon worker pool size (0 = rely on "
+                              "external 'repro worker --connect' "
+                              "processes)")
+    service.add_argument("--lease-seconds", type=float, default=30.0,
+                         help="how long a worker's claim on a point is "
+                              "trusted without a renewal; the reaper "
+                              "requeues points past this")
+    service.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="sharded run cache: submissions dedupe "
+                              "against it and workers publish into it")
+    service.add_argument("--max-queued-points", type=int, default=100_000,
+                         help="back-pressure bound: submissions past this "
+                              "total queue depth get HTTP 429 + "
+                              "Retry-After")
+    service.add_argument("--max-active", type=int, default=4,
+                         help="campaigns executing concurrently; the rest "
+                              "queue in weighted-fair order")
+    service.add_argument("--max-attempts", type=int, default=3,
+                         help="per-point attempt cap for failed-point "
+                              "retries (0 = no retries)")
+    service.add_argument("--heartbeat-interval", type=float, default=1.0,
+                         help="worker heartbeat/lease-renewal cadence")
+    service.add_argument("--tenant", action="append", metavar="SPEC",
+                         help="tenant policy name=weight[:max_leased], "
+                              "repeatable (e.g. --tenant ci=2.0:4)")
+    service.set_defaults(fn=_cmd_service)
+
+    worker = sub.add_parser(
+        "worker", help="pull-model campaign worker: claim leased points "
+                       "from a daemon (--connect) or a campaign "
+                       "directory (--dir)")
+    worker.add_argument("--connect", metavar="URL", default=None,
+                        help="campaign-service base URL to pull work from")
+    worker.add_argument("--dir", metavar="DIR", default=None,
+                        help="drain one campaign directory directly "
+                             "(no daemon needed)")
+    worker.add_argument("--id", default=None,
+                        help="worker id recorded in leases "
+                             "(default: w<pid>)")
+    worker.add_argument("--lease-seconds", type=float, default=30.0)
+    worker.add_argument("--heartbeat-interval", type=float, default=1.0)
+    worker.add_argument("--poll-interval", type=float, default=0.5,
+                        help="idle wait between /schedule polls")
+    worker.add_argument("--max-idle-polls", type=int, default=0,
+                        help="exit after this many consecutive empty "
+                             "polls (0 = poll forever)")
+    worker.add_argument("--max-points", type=int, default=0,
+                        help="exit after claiming this many points "
+                             "(0 = unbounded)")
+    worker.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="run cache override (--dir mode; connected "
+                             "workers take the daemon's)")
+    worker.add_argument("-q", "--quiet", action="store_true")
+    worker.set_defaults(fn=_cmd_worker)
 
     sample = sub.add_parser(
         "sample", help="sampled simulation: BBV profile -> k-means regions "

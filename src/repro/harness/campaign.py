@@ -145,6 +145,19 @@ class CampaignJournal:
         atomic_write_json(self.point_path(key), doc, indent=1, sort_keys=True)
         return doc
 
+    def write_point(self, key: str, doc: Dict) -> Dict:
+        """Replace a point's shard wholesale (one atomic rename).
+
+        Unlike :meth:`mark` nothing from the on-disk shard is merged
+        back in — the lease layer (:mod:`repro.service.lease`) uses this
+        to *drop* stale lease fields when a point changes hands, which a
+        merge could silently resurrect.
+        """
+        doc = dict(doc)
+        doc["key"] = key
+        atomic_write_json(self.point_path(key), doc, indent=1, sort_keys=True)
+        return doc
+
     def note_attempt(self, key: str) -> None:
         """A worker just spawned for this point: running, attempts += 1."""
         doc = self.read_point(key) or {"key": key, "attempts": 0}
@@ -181,7 +194,17 @@ class CampaignJournal:
             elif doc.get("status") == "done" and doc.get("entry") is not None:
                 continue
             elif doc.get("status") in ("running", "failed"):
-                self.mark(key, "pending", requeued=True)
+                # Strip any lease and bump the generation: a resume must
+                # fence out a worker that still thinks it owns the point
+                # (its renewals raise LeaseLost against the new shard).
+                requeued = {k: v for k, v in doc.items()
+                            if k not in ("worker", "lease_expires_unix",
+                                         "lease_renewed_unix", "hb",
+                                         "error")}
+                requeued["status"] = "pending"
+                requeued["requeued"] = True
+                requeued["generation"] = int(doc.get("generation", 0)) + 1
+                self.write_point(key, requeued)
 
     def statuses(self) -> Dict[str, str]:
         """``key -> status`` for every point named in the manifest."""

@@ -112,6 +112,31 @@ class EventTrace:
         self.emit(0, "campaign_interrupted", "campaign", done=done,
                   total=total)
 
+    # Campaign service (repro.service): daemon lifecycle.  All host-level
+    # (cycle 0), like campaign_interrupted above.
+    def campaign_submitted(self, campaign: str, tenant: str,
+                           points: int) -> None:
+        self.emit(0, "campaign_submitted", "campaign", campaign=campaign,
+                  tenant=tenant, points=points)
+
+    def campaign_activated(self, campaign: str, points: int,
+                           deduped: int) -> None:
+        self.emit(0, "campaign_activated", "campaign", campaign=campaign,
+                  points=points, deduped=deduped)
+
+    def campaign_completed(self, campaign: str, status: str) -> None:
+        self.emit(0, "campaign_completed", "campaign", campaign=campaign,
+                  status=status)
+
+    def campaign_cancelled(self, campaign: str) -> None:
+        self.emit(0, "campaign_cancelled", "campaign", campaign=campaign)
+
+    def lease_reaped(self, campaign: str, key: str, reason: str) -> None:
+        """The service reaper requeued one point (dead worker, stale
+        claim, or a failed-point retry)."""
+        self.emit(0, "lease_reaped", "campaign", campaign=campaign,
+                  key=key, reason=reason)
+
     def epoch(self, cycle: int, index: int) -> None:
         self.emit(cycle, f"epoch_{index}", "epochs", index=index)
 

@@ -212,8 +212,10 @@ def read_campaign(campaign_dir) -> Optional[Dict]:
     except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError,
             OSError):
         return None
+    now = time.time()
     points: Dict[str, Dict] = {}
     counts: Dict[str, int] = {}
+    lease_expired = 0
     for meta in manifest.get("points", ()):
         key = meta.get("key")
         if not key:
@@ -224,6 +226,15 @@ def read_campaign(campaign_dir) -> Optional[Dict]:
                 OSError):
             shard = {}
         status = shard.get("status", "pending")
+        # Lease health is derived at read time from the shard's expiry —
+        # a dead worker cannot write its own obituary, so "running with a
+        # lapsed lease" is precisely how its corpse is distinguishable
+        # from a healthy (merely quiet) worker.
+        expires = shard.get("lease_expires_unix")
+        expired = bool(status == "running"
+                       and expires is not None and expires < now)
+        if expired:
+            lease_expired += 1
         points[key] = {
             "workload": meta.get("workload"),
             "engine": meta.get("engine"),
@@ -231,10 +242,15 @@ def read_campaign(campaign_dir) -> Optional[Dict]:
             "attempts": shard.get("attempts", 0),
             "error": shard.get("error"),
             "wall_seconds": (shard.get("entry") or {}).get("wall_seconds"),
+            "worker": shard.get("worker"),
+            "requeued": shard.get("requeued"),
+            "hb": shard.get("hb"),
+            "lease_expires_unix": expires,
+            "lease_expired": expired,
         }
         counts[status] = counts.get(status, 0) + 1
     return {"manifest": manifest, "points": points, "counts": counts,
-            "total": len(points)}
+            "total": len(points), "lease_expired": lease_expired}
 
 
 def live_view(doc: Dict, now: Optional[float] = None,
@@ -258,6 +274,7 @@ def live_view(doc: Dict, now: Optional[float] = None,
     view = {k: v for k, v in doc.items() if k != "points"}
     points: Dict[str, Dict] = {}
     stalled = 0
+    lease_expired = 0
     walls: List[float] = []
     remaining = 0.0
     n_running = 0
@@ -267,7 +284,16 @@ def live_view(doc: Dict, now: Optional[float] = None,
         last = hb.get("unix") or p.get("started_unix")
         age = round(now - last, 3) if last is not None else None
         p["heartbeat_age"] = age
+        # A lapsed lease (journal-derived docs carry the expiry) is a
+        # *diagnosed* dead worker awaiting the reaper — report it as its
+        # own state, distinct from the mere silence of "stalled".
+        expires = p.get("lease_expires_unix")
+        p["lease_expired"] = bool(p.get("status") == "running"
+                                  and expires is not None and expires < now)
+        if p["lease_expired"]:
+            lease_expired += 1
         p["stalled"] = bool(p.get("status") == "running"
+                            and not p["lease_expired"]
                             and age is not None and age > stall_after)
         total = hb.get("instructions")
         p["progress"] = (min(1.0, hb.get("retired", 0) / total)
@@ -284,6 +310,7 @@ def live_view(doc: Dict, now: Optional[float] = None,
         points[key] = p
     view["points"] = points
     view["stalled"] = stalled
+    view["lease_expired"] = lease_expired
     view["stall_after"] = stall_after
     if walls and remaining:
         lanes = max(1, n_running)
@@ -338,12 +365,15 @@ def render_watch(view: Dict, limit: int = 0) -> str:
                         if counts.get(s)))
     if view.get("stalled"):
         head += f"  STALLED={view['stalled']}"
+    if view.get("lease_expired"):
+        head += f"  LEASE-EXPIRED={view['lease_expired']}"
     head += f"  eta={_fmt_eta(view.get('eta_seconds'))}"
 
     rows = []
     for key, p in view.get("points", {}).items():
         status = p.get("status", "pending")
-        flag = " STALLED" if p.get("stalled") else ""
+        flag = (" LEASE-EXPIRED" if p.get("lease_expired")
+                else " STALLED" if p.get("stalled") else "")
         progress = p.get("progress")
         hb = p.get("hb") or {}
         rows.append((
@@ -378,26 +408,18 @@ def render_watch(view: Dict, limit: int = 0) -> str:
 
 
 def journal_view(campaign_dir) -> Optional[Dict]:
-    """A :func:`live_view`-shaped document for a campaign with no (or a
-    stale) ``live.json`` — progress from the journal alone, no heartbeat
-    ages.  Lets ``repro watch`` tail finished or foreign campaigns."""
+    """A :func:`live_view`-shaped document straight from the journal —
+    no ``live.json`` needed.  Lets ``repro watch`` tail finished or
+    foreign campaigns, and is the primary view for service campaigns,
+    whose leased workers fold heartbeats into their *point shards* (each
+    point has exactly one owner) rather than a shared live.json."""
     camp = read_campaign(campaign_dir)
     if camp is None:
         return None
-    walls = [p["wall_seconds"] for p in camp["points"].values()
-             if p.get("status") == "done" and p.get("wall_seconds")]
-    remaining = sum(1 for p in camp["points"].values()
-                    if p.get("status") in ("pending", "running"))
-    n_running = sum(1 for p in camp["points"].values()
-                    if p.get("status") == "running")
-    eta = (round(sum(walls) / len(walls) * remaining / max(1, n_running), 1)
-           if walls and remaining else None)
-    return {
+    return live_view({
         "schema": _SCHEMA,
         "source": "journal",
         "total": camp["total"],
         "counts": camp["counts"],
-        "stalled": 0,
-        "eta_seconds": eta,
         "points": camp["points"],
-    }
+    })

@@ -26,6 +26,7 @@ Port 0 binds an ephemeral port (the bound port is on ``.port`` after
 """
 
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -59,7 +60,17 @@ class TelemetryServer:
         self.campaign_dir = campaign_dir
         self.registry = registry
         self.interval = float(interval)
-        self._httpd = ThreadingHTTPServer((host, port), self._handler_class())
+        try:
+            self._httpd = ThreadingHTTPServer((host, port),
+                                              self._handler_class())
+        except OSError as exc:
+            # A busy (or otherwise unbindable) port must not kill the
+            # sweep the telemetry rides along with: degrade to an
+            # ephemeral port with a clear log line instead of raising.
+            print(f"telemetry: cannot bind {host}:{port} ({exc}); "
+                  f"retrying on an ephemeral port", file=sys.stderr)
+            self._httpd = ThreadingHTTPServer((host, 0),
+                                              self._handler_class())
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
@@ -136,6 +147,9 @@ class TelemetryServer:
                 self.send_response(code)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                # Live views: a proxy caching /metrics, /live, or
+                # /campaign would serve stale campaign state.
+                self.send_header("Cache-Control", "no-store")
                 self.end_headers()
                 self.wfile.write(body)
 

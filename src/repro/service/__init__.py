@@ -1,0 +1,56 @@
+"""Campaign service: simulation-as-a-service on top of the journal.
+
+The harness packages built every single-host primitive — the sharded
+atomic :class:`~repro.harness.runcache.RunCache`, the write-ahead
+:class:`~repro.harness.campaign.CampaignJournal` with bit-identical
+resume, and the live telemetry endpoint.  This package lifts them into a
+standing service:
+
+* :mod:`repro.service.lease` — the lease layer: workers *claim* journal
+  points through an atomic exclusive-create protocol, renew a lease while
+  simulating, and a reaper requeues points whose lease lapsed, so a
+  SIGKILLed worker loses its in-flight work but never strands it.
+* :mod:`repro.service.queue` — submission specs, tenants, quotas,
+  priorities, weighted fair scheduling, and back-pressure accounting.
+* :mod:`repro.service.worker` — the pull-model worker loop: claim a
+  point, simulate it (renewing the lease from the heartbeat hook), flush
+  the result to the journal and run cache, repeat.  Runs against a
+  journal directory directly or connected to a daemon over HTTP.
+* :mod:`repro.service.daemon` — the long-running asyncio daemon: an
+  HTTP/JSON API (``POST /campaigns``, status/results/stream routes), an
+  in-daemon worker pool, the lease reaper, and Prometheus service gauges.
+"""
+
+from repro.service.lease import (DEFAULT_LEASE_SECONDS, LeaseLost,
+                                 claim_next, claim_point, complete_point,
+                                 fail_point, reap_expired, release_point,
+                                 renew_lease)
+from repro.service.queue import (BackPressure, CampaignRecord, ServiceState,
+                                 SweepSpec, TenantPolicy, ValidationError,
+                                 configs_from_spec)
+from repro.service.worker import WorkerOptions, work_campaign_dir, work_service
+from repro.service.daemon import CampaignService, ServiceConfig
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "LeaseLost",
+    "claim_point",
+    "claim_next",
+    "renew_lease",
+    "complete_point",
+    "fail_point",
+    "release_point",
+    "reap_expired",
+    "SweepSpec",
+    "ValidationError",
+    "BackPressure",
+    "TenantPolicy",
+    "CampaignRecord",
+    "ServiceState",
+    "configs_from_spec",
+    "WorkerOptions",
+    "work_campaign_dir",
+    "work_service",
+    "CampaignService",
+    "ServiceConfig",
+]

@@ -1,0 +1,649 @@
+"""The campaign daemon: simulation-as-a-service over HTTP.
+
+:class:`CampaignService` is a long-running process built from three
+asyncio control loops plus a threaded stdlib HTTP server:
+
+* the **scheduler** activates queued campaigns (write-ahead journal +
+  run-cache dedup) and folds journal scans back into the in-memory
+  records, so campaign status/completion is always derived from the
+  same shards a ``sweep --resume`` would read;
+* the **reaper** requeues points whose lease lapsed (dead workers) and
+  retries failed points up to ``max_attempts``;
+* the **supervisor** keeps the in-daemon worker pool populated — the
+  pool is just ``python -m repro worker --connect <own-url>``
+  subprocesses, byte-for-byte the same worker an operator would start on
+  another host, so there is exactly one execution path to trust.
+
+HTTP API (JSON unless noted)::
+
+    GET    /                      index (text)
+    GET    /campaigns             all campaigns + queue gauges
+    POST   /campaigns             submit a sweep spec -> 201 {id}
+                                  (400 invalid, 429 + Retry-After full)
+    GET    /campaigns/<id>        one campaign's record + live counts
+    GET    /campaigns/<id>/results  key -> result entry for done points
+    GET    /campaigns/<id>/stream   SSE: one status frame per interval
+    DELETE /campaigns/<id>        cooperative cancel
+    GET    /schedule?worker=ID    worker pull: campaign dir + keys to try
+    GET    /metrics               Prometheus text (service gauges)
+    GET    /healthz               liveness probe
+
+Every response carries ``Cache-Control: no-store`` — these are live
+views; a cached 404 or stale counts would actively mislead.
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+
+import repro
+from repro.harness.campaign import CampaignJournal
+from repro.harness.runcache import RunCache
+from repro.obs.events import EventTrace
+from repro.obs.live import read_campaign
+from repro.obs.promtext import CONTENT_TYPE, prom_line, render_prometheus
+from repro.service.lease import reap_expired
+from repro.service.queue import (BackPressure, CampaignRecord, ServiceState,
+                                 TenantPolicy, ValidationError,
+                                 configs_from_spec)
+from repro.workloads import workload_names
+
+__all__ = ["CampaignService", "ServiceConfig"]
+
+_INDEX = """repro campaign service
+  GET    /campaigns             list campaigns + queue gauges
+  POST   /campaigns             submit {workloads, engines, instructions,
+                                tenant?, priority?} -> {id}
+  GET    /campaigns/<id>        status
+  GET    /campaigns/<id>/results  done-point result entries
+  GET    /campaigns/<id>/stream   SSE status frames
+  DELETE /campaigns/<id>        cooperative cancel
+  GET    /schedule?worker=ID    worker pull endpoint
+  GET    /metrics               Prometheus service gauges
+"""
+
+
+@dataclass
+class ServiceConfig:
+    """Daemon configuration (all durations in seconds)."""
+
+    root: str = "campaigns"        # one subdirectory per campaign
+    host: str = "127.0.0.1"
+    port: int = 0                  # 0 = ephemeral (bound port on .port)
+    workers: int = 2               # in-daemon worker pool size (0 = none)
+    lease_seconds: float = 30.0
+    reap_interval: float = 2.0
+    tick_interval: float = 0.2     # scheduler cadence
+    stream_interval: float = 1.0   # SSE frame period
+    heartbeat_interval: float = 1.0
+    cache_dir: Optional[str] = None
+    max_queued_points: int = 100_000
+    max_active_campaigns: int = 4
+    max_attempts: int = 3          # failed-point retries (reaper)
+    retry_after: float = 5.0       # the 429 Retry-After hint
+    tenants: Dict[str, TenantPolicy] = field(default_factory=dict)
+    log: bool = True
+
+
+class CampaignService:
+    """One daemon instance; ``start()``/``stop()`` or ``with`` it."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.root = pathlib.Path(self.config.root)
+        self.state = ServiceState(
+            workload_names(),
+            max_queued_points=self.config.max_queued_points,
+            max_active_campaigns=self.config.max_active_campaigns,
+            retry_after=self.config.retry_after,
+            tenants=self.config.tenants)
+        self.events = EventTrace()
+        self.cache = (RunCache(self.config.cache_dir)
+                      if self.config.cache_dir else None)
+        self.lease_expirations = 0
+        self.stale_claims = 0
+        self.retries = 0
+        self.worker_respawns = 0
+        self._spawned = 0        # monotonic: worker ids never repeat
+        self._workers: List[subprocess.Popen] = []
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------ control
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1] if self._httpd else 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def _log(self, msg: str) -> None:
+        if self.config.log:
+            print(f"service: {msg}", file=sys.stderr, flush=True)
+
+    def start(self) -> "CampaignService":
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._recover()
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self.config.host, self.config.port), self._handler_class())
+        except OSError as exc:
+            # Same policy as TelemetryServer: a busy port degrades to an
+            # ephemeral one with a log line, never a dead daemon.
+            self._log(f"cannot bind {self.config.host}:{self.config.port} "
+                      f"({exc}); retrying on an ephemeral port")
+            self._httpd = ThreadingHTTPServer(
+                (self.config.host, 0), self._handler_class())
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http",
+            daemon=True)
+        self._http_thread.start()
+        self._loop_thread = threading.Thread(
+            target=self._run_control_loop, name="repro-service-control",
+            daemon=True)
+        self._loop_thread.start()
+        self._log(f"listening at {self.url} "
+                  f"(root={self.root}, workers={self.config.workers})")
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._loop is not None:
+            # Wake the control loops so they observe the stop flag.
+            self._loop.call_soon_threadsafe(lambda: None)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=10.0)
+        for proc in self._workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._workers:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            if self._http_thread is not None:
+                self._http_thread.join(timeout=5.0)
+            self._httpd.server_close()
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (the ``repro service`` foreground mode)."""
+        try:
+            while not self._stopping.is_set():
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # ----------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        """Re-adopt campaigns journaled by a previous daemon incarnation.
+
+        Everything needed to resume lives in ``campaign.json`` (the spec
+        plus the ``service`` submission metadata written at activation);
+        counts come from the shards, like every other status read.
+        """
+        for manifest_path in sorted(self.root.glob("*/campaign.json")):
+            journal = CampaignJournal(manifest_path.parent)
+            manifest = journal.load_manifest()
+            if manifest is None:
+                continue
+            spec = manifest.get("spec") or {}
+            meta = spec.get("service") or {}
+            cid = meta.get("id") or manifest_path.parent.name
+            record = CampaignRecord(
+                id=cid, tenant=meta.get("tenant", "default"),
+                priority=int(meta.get("priority", 0)),
+                spec={k: spec.get(k) for k in
+                      ("workloads", "engines", "instructions")},
+                dir=str(manifest_path.parent),
+                submitted_unix=float(meta.get("submitted_unix", 0.0)),
+                seq=int(meta.get("seq", 0)) or self._seq_from_id(cid),
+                status="active",
+                total_points=len(manifest.get("points", ())))
+            counts, leased, expired = self._scan_journal(journal)
+            record.counts = counts
+            record.leased = leased
+            record.lease_expired = expired
+            finished = counts.get("done", 0) + counts.get("failed", 0)
+            if record.total_points and finished >= record.total_points:
+                record.status = "failed" if counts.get("failed") else "done"
+            self.state.adopt(record)
+            self._log(f"recovered campaign {cid} "
+                      f"({record.status}, {record.total_points} points)")
+
+    @staticmethod
+    def _seq_from_id(cid: str) -> int:
+        try:
+            return int(cid.lstrip("c"))
+        except ValueError:
+            return 0
+
+    # ------------------------------------------------------- control loops
+    def _run_control_loop(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._control())
+        finally:
+            self._loop.close()
+
+    async def _control(self) -> None:
+        tasks = [asyncio.ensure_future(self._scheduler_loop()),
+                 asyncio.ensure_future(self._reaper_loop()),
+                 asyncio.ensure_future(self._supervisor_loop())]
+        while not self._stopping.is_set():
+            await asyncio.sleep(0.05)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _scheduler_loop(self) -> None:
+        while True:
+            try:
+                for record in self.state.to_activate():
+                    self._activate(record)
+                self._refresh_all()
+            except Exception as exc:  # noqa: BLE001 - loops must survive
+                self._log(f"scheduler error: {exc}")
+            await asyncio.sleep(self.config.tick_interval)
+
+    async def _reaper_loop(self) -> None:
+        while True:
+            try:
+                self._reap()
+            except Exception as exc:  # noqa: BLE001
+                self._log(f"reaper error: {exc}")
+            await asyncio.sleep(self.config.reap_interval)
+
+    async def _supervisor_loop(self) -> None:
+        while True:
+            try:
+                self._supervise()
+            except Exception as exc:  # noqa: BLE001
+                self._log(f"supervisor error: {exc}")
+            await asyncio.sleep(0.5)
+
+    # --------------------------------------------------------- activation
+    def _activate(self, record: CampaignRecord) -> None:
+        """Write-ahead setup for one queued campaign + run-cache dedup."""
+        journal = CampaignJournal(record.dir)
+        journal.root.mkdir(parents=True, exist_ok=True)
+        configs = configs_from_spec(record.spec)
+        spec_doc = dict(record.spec)
+        spec_doc["cache_dir"] = self.config.cache_dir
+        spec_doc["service"] = {
+            "id": record.id, "tenant": record.tenant,
+            "priority": record.priority, "seq": record.seq,
+            "submitted_unix": record.submitted_unix,
+        }
+        journal.prepare(configs, spec=spec_doc)
+        deduped = 0
+        if self.cache is not None:
+            for config in configs:
+                key = config.cache_key()
+                doc = journal.read_point(key)
+                if doc and doc.get("status") == "done":
+                    continue
+                hit = self.cache.get(config)
+                if hit is not None:
+                    journal.mark(key, "done", entry=hit, source="cache")
+                    deduped += 1
+        self.state.mark_active(record.id, deduped=deduped)
+        self.events.campaign_activated(record.id, len(configs), deduped)
+        self._log(f"activated {record.id}: {len(configs)} points"
+                  + (f", {deduped} from cache" if deduped else ""))
+
+    # ----------------------------------------------------------- scanning
+    @staticmethod
+    def _scan_journal(journal: CampaignJournal):
+        """One journal pass: (counts, leased, lease_expired)."""
+        now = time.time()
+        counts: Dict[str, int] = {}
+        leased = 0
+        expired = 0
+        manifest = journal.load_manifest() or {}
+        for point in manifest.get("points", ()):
+            doc = journal.read_point(point["key"]) or {}
+            status = doc.get("status", "pending")
+            counts[status] = counts.get(status, 0) + 1
+            if status == "running":
+                expires = doc.get("lease_expires_unix")
+                if expires is not None and expires < now:
+                    expired += 1
+                else:
+                    leased += 1
+        return counts, leased, expired
+
+    def _refresh_all(self) -> None:
+        for record in self.state.snapshot()["campaigns"]:
+            if record["status"] != "active":
+                continue
+            cid = record["id"]
+            live = self.state.get(cid)
+            if live is None:
+                continue
+            counts, leased, expired = self._scan_journal(
+                CampaignJournal(live.dir))
+            self.state.refresh_counts(cid, counts, leased, expired)
+            refreshed = self.state.get(cid)
+            if refreshed is not None and refreshed.status in ("done",
+                                                              "failed"):
+                self.events.campaign_completed(cid, refreshed.status)
+                self._log(f"campaign {cid} {refreshed.status} "
+                          f"({refreshed.counts})")
+
+    # ------------------------------------------------------------- reaper
+    def _reap(self) -> None:
+        for record in self.state.snapshot()["campaigns"]:
+            if record["status"] not in ("active", "cancelled"):
+                continue
+            journal = CampaignJournal(record["dir"])
+            reaped = reap_expired(
+                journal, lease_seconds=self.config.lease_seconds,
+                max_attempts=(0 if record["status"] == "cancelled"
+                              else self.config.max_attempts))
+            for key, reason in reaped:
+                if reason == "lease_expired":
+                    self.lease_expirations += 1
+                elif reason == "stale_claim":
+                    self.stale_claims += 1
+                else:
+                    self.retries += 1
+                self.events.lease_reaped(record["id"], key, reason)
+                self._log(f"reaped {record['id']}/{key}: {reason}")
+
+    # --------------------------------------------------------- supervisor
+    def _supervise(self) -> None:
+        if self._stopping.is_set():
+            return
+        live = []
+        for proc in self._workers:
+            if proc.poll() is None:
+                live.append(proc)
+            else:
+                self.worker_respawns += 1
+                self._log(f"worker pid={proc.pid} exited "
+                          f"(code {proc.returncode}); respawning")
+        self._workers = live
+        env = dict(os.environ)
+        pkg_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [pkg_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                          else []))
+        while len(self._workers) < self.config.workers:
+            self._spawned += 1
+            worker_id = f"svc-w{self._spawned}"
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--connect", self.url, "--id", worker_id,
+                 "--lease-seconds", str(self.config.lease_seconds),
+                 "--heartbeat-interval",
+                 str(self.config.heartbeat_interval),
+                 "--poll-interval", "0.2"],
+                env=env)
+            self._workers.append(proc)
+            self._log(f"spawned worker {worker_id} (pid {proc.pid})")
+
+    def live_workers(self) -> int:
+        return sum(1 for p in self._workers if p.poll() is None)
+
+    # -------------------------------------------------------------- views
+    def _submit(self, doc: Dict) -> CampaignRecord:
+        record = self.state.submit(
+            doc, make_dir=lambda cid: self.root / cid)
+        self.events.campaign_submitted(record.id, record.tenant,
+                                       record.total_points)
+        self._log(f"submitted {record.id} by {record.tenant}: "
+                  f"{record.total_points} points")
+        return record
+
+    def _cancel(self, cid: str) -> Optional[CampaignRecord]:
+        record = self.state.cancel(cid)
+        if record is not None and record.status == "cancelled":
+            # The PR-5 interruption record: the manifest remembers the
+            # cut, exactly like a SIGINT'd sweep, so a later
+            # ``sweep --resume`` knows this was a deliberate stop.
+            journal = CampaignJournal(record.dir)
+            done = record.counts.get("done", 0)
+            journal.note_interrupted(done, record.total_points)
+            self.events.campaign_cancelled(cid)
+            self._log(f"cancelled {cid} ({done}/{record.total_points} done)")
+        return record
+
+    def _campaign_doc(self, cid: str) -> Optional[Dict]:
+        record = self.state.get(cid)
+        if record is None:
+            return None
+        doc = record.to_dict()
+        # The journal view (read_campaign) carries the per-point lease
+        # fields + derived lease_expired flags, so the HTTP status doc
+        # and a local ``repro watch`` of the same directory agree.
+        camp = read_campaign(record.dir)
+        if camp is not None:
+            doc["points"] = camp["points"]
+            doc["counts"] = camp["counts"]
+            doc["total"] = camp["total"]
+            doc["lease_expired"] = camp["lease_expired"]
+        return doc
+
+    def _results_doc(self, cid: str) -> Optional[Dict]:
+        record = self.state.get(cid)
+        if record is None:
+            return None
+        journal = CampaignJournal(record.dir)
+        manifest = journal.load_manifest() or {}
+        results = {}
+        for point in manifest.get("points", ()):
+            shard = journal.read_point(point["key"]) or {}
+            if shard.get("status") == "done" and shard.get("entry"):
+                results[point["key"]] = shard["entry"]
+        return {"id": cid, "status": record.status,
+                "total_points": record.total_points,
+                "done": len(results), "results": results}
+
+    def _schedule_doc(self, worker: str) -> Dict:
+        if self._stopping.is_set():
+            return {"dir": None, "shutdown": True}
+        eligible = self.state.schedule()
+        if not eligible:
+            return {"dir": None,
+                    "retry_after": self.config.tick_interval * 2}
+        head = eligible[0]
+        journal = CampaignJournal(head.dir)
+        manifest = journal.load_manifest() or {}
+        keys = []
+        for point in manifest.get("points", ()):
+            doc = journal.read_point(point["key"]) or {}
+            if doc.get("status") in ("pending", "running"):
+                keys.append(point["key"])
+        return {"dir": head.dir, "campaign_id": head.id, "keys": keys,
+                "lease_seconds": self.config.lease_seconds,
+                "cache_dir": self.config.cache_dir, "worker": worker}
+
+    def _metrics_text(self) -> str:
+        snap = self.state.snapshot()
+        lines = [prom_line("repro_service_up", 1),
+                 prom_line("repro_service_queued_points",
+                           snap["queued_points"]),
+                 prom_line("repro_service_queue_bound",
+                           snap["max_queued_points"]),
+                 prom_line("repro_service_lease_expirations_total",
+                           self.lease_expirations),
+                 prom_line("repro_service_stale_claims_total",
+                           self.stale_claims),
+                 prom_line("repro_service_retries_total", self.retries),
+                 prom_line("repro_service_worker_respawns_total",
+                           self.worker_respawns),
+                 prom_line("repro_service_workers", self.live_workers())]
+        for status, n in sorted(snap["by_status"].items()):
+            lines.append(prom_line("repro_service_campaigns", n,
+                                   {"status": status}))
+        for tenant, depth in sorted(self.state.tenant_queue_depth().items()):
+            lines.append(prom_line("repro_service_tenant_queue_depth",
+                                   depth, {"tenant": tenant}))
+        for tenant, peak in sorted(snap["peak_leased"].items()):
+            lines.append(prom_line("repro_service_tenant_peak_leased",
+                                   peak, {"tenant": tenant}))
+        for c in snap["campaigns"]:
+            labels = {"campaign": c["id"], "tenant": c["tenant"]}
+            for status in ("pending", "running", "done", "failed"):
+                lines.append(prom_line(
+                    "repro_service_campaign_points",
+                    c["counts"].get(status, 0),
+                    {**labels, "status": status}))
+            lines.append(prom_line("repro_service_campaign_leased",
+                                   c["leased"], labels))
+            lines.append(prom_line("repro_service_campaign_lease_expired",
+                                   c["lease_expired"], labels))
+        return render_prometheus({}, extra_lines=lines)
+
+    # ------------------------------------------------------------ handler
+    def _handler_class(self):
+        service = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):
+                pass
+
+            def _send(self, code: int, content_type: str, body: bytes,
+                      headers: Optional[Dict[str, str]] = None) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.send_header("Cache-Control", "no-store")
+                for k, v in (headers or {}).items():
+                    self.send_header(k, v)
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_json(self, doc, code: int = 200,
+                           headers: Optional[Dict[str, str]] = None) -> None:
+                if doc is None:
+                    self._send(404, "application/json",
+                               b'{"error": "no such campaign"}\n')
+                    return
+                body = json.dumps(doc, indent=1, sort_keys=True)
+                self._send(code, "application/json", body.encode() + b"\n",
+                           headers=headers)
+
+            def _route(self):
+                parsed = urllib.parse.urlparse(self.path)
+                parts = [p for p in parsed.path.split("/") if p]
+                query = dict(urllib.parse.parse_qsl(parsed.query))
+                return parts, query
+
+            def do_GET(self):
+                parts, query = self._route()
+                try:
+                    if not parts:
+                        self._send(200, "text/plain; charset=utf-8",
+                                   _INDEX.encode())
+                    elif parts == ["healthz"]:
+                        self._send_json({"ok": True})
+                    elif parts == ["metrics"]:
+                        self._send(200, CONTENT_TYPE,
+                                   service._metrics_text().encode())
+                    elif parts == ["schedule"]:
+                        self._send_json(service._schedule_doc(
+                            query.get("worker", "?")))
+                    elif parts == ["campaigns"]:
+                        self._send_json(service.state.snapshot())
+                    elif len(parts) == 2 and parts[0] == "campaigns":
+                        self._send_json(service._campaign_doc(parts[1]))
+                    elif (len(parts) == 3 and parts[0] == "campaigns"
+                          and parts[2] == "results"):
+                        self._send_json(service._results_doc(parts[1]))
+                    elif (len(parts) == 3 and parts[0] == "campaigns"
+                          and parts[2] == "stream"):
+                        self._stream(parts[1])
+                    else:
+                        self._send(404, "text/plain; charset=utf-8",
+                                   b"not found\n")
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+
+            def do_POST(self):
+                parts, _query = self._route()
+                if parts != ["campaigns"]:
+                    self._send(404, "text/plain; charset=utf-8",
+                               b"not found\n")
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length") or 0)
+                    try:
+                        doc = json.loads(self.rfile.read(length) or b"{}")
+                    except json.JSONDecodeError as exc:
+                        raise ValidationError(f"invalid JSON: {exc}")
+                    record = service._submit(doc)
+                except ValidationError as exc:
+                    self._send_json({"error": str(exc)}, code=400)
+                except BackPressure as exc:
+                    self._send_json(
+                        {"error": str(exc), "queued_points": exc.depth,
+                         "retry_after": exc.retry_after},
+                        code=429,
+                        headers={"Retry-After":
+                                 str(int(max(1, exc.retry_after)))})
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+                else:
+                    self._send_json(record.to_dict(), code=201)
+
+            def do_DELETE(self):
+                parts, _query = self._route()
+                try:
+                    if len(parts) == 2 and parts[0] == "campaigns":
+                        record = service._cancel(parts[1])
+                        self._send_json(
+                            record.to_dict() if record else None)
+                    else:
+                        self._send(404, "text/plain; charset=utf-8",
+                                   b"not found\n")
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+
+            def _stream(self, cid: str) -> None:
+                if service.state.get(cid) is None:
+                    self._send_json(None)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", "text/event-stream")
+                self.send_header("Cache-Control", "no-store")
+                self.end_headers()
+                while True:
+                    record = service.state.get(cid)
+                    if record is None:
+                        return
+                    doc = record.to_dict()
+                    frame = ("data: " + json.dumps(doc, sort_keys=True)
+                             + "\n\n")
+                    self.wfile.write(frame.encode())
+                    self.wfile.flush()
+                    if doc["status"] in ("done", "failed", "cancelled"):
+                        return
+                    time.sleep(service.config.stream_interval)
+
+        return Handler

@@ -1,0 +1,308 @@
+"""Pull-model campaign worker: claim, simulate, publish, repeat.
+
+One worker process runs one point at a time: it claims a pending point
+through the lease layer, simulates it with the lease renewed from the
+simulation heartbeat hook (so a healthy worker's lease never lapses and
+watchers see live progress in the point shard), publishes the result to
+the journal and run cache, and claims the next.  The same loop serves
+both deployments:
+
+* :func:`work_campaign_dir` — aimed straight at a campaign directory
+  (``repro worker --dir CAMP``): drains that one campaign and exits.
+* :func:`work_service` — connected to a daemon
+  (``repro worker --connect URL``): polls ``GET /schedule`` for which
+  campaign to claim from next, so the daemon's tenant quotas and fair
+  ordering decide *where* the worker's capacity goes while the journal's
+  lease protocol decides *whether* a given claim wins.  Workers claim at
+  most one point per schedule poll — that is what makes the daemon's
+  weighted-fair ordering hold at point granularity.
+
+A worker that loses its lease mid-simulation (the reaper requeued it, or
+a resume fenced it out) gets :class:`~repro.service.lease.LeaseLost`
+from the renewal inside its heartbeat hook, abandons the point, and
+moves on; the new owner's result is the one that lands.
+
+Fault injection (CI only): ``REPRO_SERVICE_INJECT`` is a JSON object
+``{"worker": "w1", "die_after_claims": 2, "flag": "/path"}`` — the named
+worker hard-exits (``os._exit``, no cleanup, exactly like SIGKILL) right
+after its Nth successful claim, once per flag file, which is how the
+service smoke test manufactures a deterministic mid-campaign worker
+death for the reaper to heal.
+"""
+
+import json
+import os
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.harness.campaign import CampaignJournal
+from repro.harness.runcache import RunCache, entry_from_result
+from repro.harness.simulator import RunConfig, simulate
+from repro.service.lease import (DEFAULT_LEASE_SECONDS, LeaseLost,
+                                 claim_next, complete_point, fail_point,
+                                 release_point, renew_lease)
+from repro.service.queue import configs_from_spec
+
+__all__ = ["WorkerOptions", "work_campaign_dir", "work_service"]
+
+INJECT_ENV = "REPRO_SERVICE_INJECT"
+
+
+@dataclass
+class WorkerOptions:
+    """Knobs for one worker process."""
+
+    worker_id: str = ""
+    lease_seconds: float = DEFAULT_LEASE_SECONDS
+    heartbeat_interval: float = 1.0
+    poll_interval: float = 0.5     # idle wait between schedule polls
+    max_idle_polls: int = 0        # 0 = poll forever (daemon pool mode)
+    max_points: int = 0            # 0 = unbounded
+    cache_dir: Optional[str] = None
+    log: bool = True
+
+    def __post_init__(self):
+        if not self.worker_id:
+            self.worker_id = f"w{os.getpid()}"
+
+
+@dataclass
+class WorkerReport:
+    """What one worker loop did, for logs and tests."""
+
+    worker_id: str = ""
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    lease_lost: int = 0
+    cache_hits: int = 0
+    idle_polls: int = 0
+    campaigns: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return dict(self.__dict__)
+
+
+def _log(options: WorkerOptions, msg: str) -> None:
+    if options.log:
+        print(f"worker[{options.worker_id}]: {msg}", file=sys.stderr,
+              flush=True)
+
+
+class _Injection:
+    """The ``REPRO_SERVICE_INJECT`` crash plan for this process, if any."""
+
+    def __init__(self, worker_id: str):
+        self.die_after_claims = 0
+        self.flag: Optional[str] = None
+        raw = os.environ.get(INJECT_ENV)
+        if not raw:
+            return
+        try:
+            plan = json.loads(raw)
+        except json.JSONDecodeError:
+            return
+        if not isinstance(plan, dict) or plan.get("worker") != worker_id:
+            return
+        self.die_after_claims = int(plan.get("die_after_claims", 0))
+        self.flag = plan.get("flag")
+
+    def maybe_die(self, claims: int) -> None:
+        if not self.die_after_claims or claims < self.die_after_claims:
+            return
+        if self.flag:
+            # Once only: the flag file arbitrates which incarnation dies
+            # (a respawned worker with the same id must survive).
+            try:
+                fd = os.open(self.flag,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+            except OSError:
+                return
+        # SIGKILL semantics: no journal cleanup, no lease release — the
+        # point this worker holds must be healed by the reaper.
+        os._exit(37)
+
+
+def _run_point(journal: CampaignJournal, key: str, config: RunConfig,
+               options: WorkerOptions, report: WorkerReport,
+               cache: Optional[RunCache]) -> None:
+    """Simulate one claimed point and publish the outcome."""
+    worker = options.worker_id
+    if cache is not None:
+        hit = cache.get(config)
+        if hit is not None:
+            if complete_point(journal, key, worker, hit, source="cache"):
+                report.cache_hits += 1
+                report.completed += 1
+            return
+
+    # Renewing from the heartbeat hook gives the lease exactly the
+    # liveness the lease protocol wants: a simulating worker renews every
+    # heartbeat_interval << lease_seconds, a SIGKILLed worker stops
+    # renewing instantly, and a fenced-out worker aborts mid-simulation
+    # because LeaseLost propagates out of core.run.
+    last_renew = [0.0]
+
+    def on_heartbeat(payload: Dict) -> None:
+        now = time.monotonic()
+        if now - last_renew[0] < options.heartbeat_interval / 2.0:
+            return
+        last_renew[0] = now
+        renew_lease(journal, key, worker,
+                    lease_seconds=options.lease_seconds, hb=payload)
+
+    try:
+        result = simulate(config, on_heartbeat=on_heartbeat,
+                          heartbeat_interval=options.heartbeat_interval)
+    except LeaseLost:
+        report.lease_lost += 1
+        _log(options, f"lease lost on {key}; abandoning")
+        return
+    except Exception as exc:  # noqa: BLE001 - a point must never kill the loop
+        report.failed += 1
+        fail_point(journal, key, worker, f"{type(exc).__name__}: {exc}")
+        _log(options, f"FAILED {key}: {exc}")
+        return
+    entry = entry_from_result(result)
+    if cache is not None:
+        cache.put(config, entry)
+    if complete_point(journal, key, worker, entry):
+        report.completed += 1
+        _log(options, f"done {key} ({result.wall_seconds:.1f}s)")
+    else:
+        _log(options, f"done {key} (duplicate; first completion kept)")
+
+
+def _campaign_configs(journal: CampaignJournal) -> Dict[str, RunConfig]:
+    """``key -> RunConfig`` for every point the manifest spec names."""
+    manifest = journal.load_manifest() or {}
+    spec = manifest.get("spec") or {}
+    if not spec.get("workloads") or not spec.get("engines"):
+        return {}
+    return {c.cache_key(): c for c in configs_from_spec(spec)}
+
+
+def work_campaign_dir(campaign_dir, options: Optional[WorkerOptions] = None
+                      ) -> WorkerReport:
+    """Drain one campaign directory: claim until nothing is claimable.
+
+    Safe to run many of these concurrently against the same directory
+    (that is the whole point); each returns once every manifest point is
+    done/failed or leased to somebody else.
+    """
+    options = options or WorkerOptions()
+    report = WorkerReport(worker_id=options.worker_id)
+    journal = CampaignJournal(campaign_dir)
+    injection = _Injection(options.worker_id)
+    configs = _campaign_configs(journal)
+    if not configs:
+        _log(options, f"no runnable manifest under {campaign_dir}")
+        return report
+    cache = RunCache(options.cache_dir) if options.cache_dir else None
+    report.campaigns.append(str(campaign_dir))
+    keys = list(configs)
+    while True:
+        if options.max_points and report.claimed >= options.max_points:
+            break
+        got = claim_next(journal, keys, options.worker_id,
+                         lease_seconds=options.lease_seconds)
+        if got is None:
+            break
+        key, _shard = got
+        report.claimed += 1
+        injection.maybe_die(report.claimed)
+        _run_point(journal, key, configs[key], options, report, cache)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Connected mode: the daemon picks the campaign, the journal settles the
+# claim.
+# ----------------------------------------------------------------------
+def _http_json(url: str, timeout: float = 10.0) -> Optional[Dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode())
+    except (urllib.error.URLError, OSError, json.JSONDecodeError):
+        return None
+
+
+def work_service(base_url: str, options: Optional[WorkerOptions] = None
+                 ) -> WorkerReport:
+    """Work for a daemon: poll ``/schedule``, claim one point, repeat.
+
+    The loop ends when the daemon asks (``{"shutdown": true}``), the
+    daemon becomes unreachable, ``max_idle_polls`` consecutive polls
+    offer nothing (0 = never), or ``max_points`` claims were made.
+    """
+    options = options or WorkerOptions()
+    report = WorkerReport(worker_id=options.worker_id)
+    injection = _Injection(options.worker_id)
+    base = base_url.rstrip("/")
+    caches: Dict[str, RunCache] = {}
+    idle = 0
+    misses = 0
+    while True:
+        if options.max_points and report.claimed >= options.max_points:
+            break
+        doc = _http_json(f"{base}/schedule?worker={options.worker_id}")
+        if doc is None:
+            misses += 1
+            if misses >= 5:
+                _log(options, f"daemon at {base} unreachable; exiting")
+                break
+            time.sleep(options.poll_interval)
+            continue
+        misses = 0
+        if doc.get("shutdown"):
+            _log(options, "daemon asked for shutdown")
+            break
+        campaign_dir = doc.get("dir")
+        if not campaign_dir:
+            idle += 1
+            report.idle_polls += 1
+            if options.max_idle_polls and idle >= options.max_idle_polls:
+                break
+            time.sleep(float(doc.get("retry_after",
+                                      options.poll_interval)))
+            continue
+        journal = CampaignJournal(campaign_dir)
+        configs = _campaign_configs(journal)
+        keys = [k for k in doc.get("keys") or configs if k in configs]
+        lease_seconds = float(doc.get("lease_seconds",
+                                      options.lease_seconds))
+        got = claim_next(journal, keys, options.worker_id,
+                         lease_seconds=lease_seconds)
+        if got is None:
+            # Lost every race (or the offer went stale): not idleness,
+            # just contention; poll again immediately.
+            continue
+        idle = 0
+        key, _shard = got
+        report.claimed += 1
+        if campaign_dir not in report.campaigns:
+            report.campaigns.append(campaign_dir)
+        injection.maybe_die(report.claimed)
+        cache = None
+        cache_dir = doc.get("cache_dir") or options.cache_dir
+        if cache_dir:
+            cache = caches.setdefault(str(cache_dir), RunCache(cache_dir))
+        opts = options if lease_seconds == options.lease_seconds else \
+            WorkerOptions(worker_id=options.worker_id,
+                          lease_seconds=lease_seconds,
+                          heartbeat_interval=options.heartbeat_interval,
+                          log=options.log)
+        _run_point(journal, key, configs[key], opts, report, cache)
+    # Courtesy: hand back anything still leased (crash paths skip this
+    # by construction; the reaper covers them).
+    for campaign_dir in report.campaigns:
+        journal = CampaignJournal(campaign_dir)
+        manifest = journal.load_manifest() or {}
+        for point in manifest.get("points", ()):
+            release_point(journal, point["key"], options.worker_id)
+    return report

@@ -97,3 +97,26 @@ def test_missing_campaign_404s(tmp_path):
         assert err.value.code == 404
         # /metrics still serves (empty registry, no campaign gauges).
         assert _get(srv.url + "/metrics").endswith("\n")
+
+
+def test_busy_port_degrades_to_ephemeral(campaign, capsys):
+    """A taken port must not kill the sweep the server rides along with:
+    the server falls back to an ephemeral port and says so."""
+    with TelemetryServer(campaign) as first:
+        second = TelemetryServer(campaign, port=first.port)
+        try:
+            second.start()
+            assert second.port != first.port
+            assert json.loads(_get(second.url + "/campaign"))["total"] == 2
+        finally:
+            second.stop()
+    err = capsys.readouterr().err
+    assert f"cannot bind 127.0.0.1:{first.port}" in err
+    assert "ephemeral port" in err
+
+
+def test_live_views_are_marked_no_store(campaign):
+    with TelemetryServer(campaign) as srv:
+        for path in ("/metrics", "/campaign", "/live"):
+            with urllib.request.urlopen(srv.url + path, timeout=5) as resp:
+                assert resp.headers["Cache-Control"] == "no-store", path

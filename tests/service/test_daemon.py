@@ -1,0 +1,217 @@
+"""Daemon end-to-end: HTTP lifecycle, worker death + reaper healing,
+back-pressure, tenant quotas, recovery, SSE.
+
+These tests run the real daemon with its real subprocess worker pool
+against real (tiny) simulations, because the acceptance bar is an HTTP
+campaign finishing bit-identical to the local ``sweep`` path after a
+worker is killed mid-flight.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.harness.campaign import entry_fingerprint, run_campaign
+from repro.harness.runcache import RunCache
+from repro.service.daemon import CampaignService, ServiceConfig
+from repro.service.queue import TenantPolicy, configs_from_spec
+from repro.service.worker import INJECT_ENV
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+SPEC = {"workloads": ["astar", "perlbench"],
+        "engines": ["baseline", "phelps"], "instructions": 1500}
+
+
+def get(url, timeout=10.0):
+    """GET -> (status, parsed JSON or text)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            body = resp.read().decode()
+            status = resp.status
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode()
+        status = exc.code
+    try:
+        return status, json.loads(body)
+    except json.JSONDecodeError:
+        return status, body
+
+def post(url, doc, timeout=10.0):
+    req = urllib.request.Request(
+        url, data=json.dumps(doc).encode(), method="POST",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode()), resp.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode()), exc.headers
+
+def wait_for(predicate, timeout=180.0, interval=0.2, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def quick_config(tmp_path, **overrides):
+    kwargs = dict(root=str(tmp_path / "svc"), port=0, workers=0,
+                  lease_seconds=2.0, reap_interval=0.3, tick_interval=0.1,
+                  stream_interval=0.1, heartbeat_interval=0.2,
+                  cache_dir=str(tmp_path / "cache"), log=False)
+    kwargs.update(overrides)
+    return ServiceConfig(**kwargs)
+
+
+class TestHTTPSurface:
+    def test_validation_errors_and_unknown_ids(self, tmp_path):
+        with CampaignService(quick_config(tmp_path)) as svc:
+            code, doc, _ = post(f"{svc.url}/campaigns",
+                                {"workloads": ["nope"],
+                                 "engines": ["baseline"]})
+            assert code == 400
+            assert "unknown workloads" in doc["error"]
+            assert get(f"{svc.url}/campaigns/c9999")[0] == 404
+            assert get(f"{svc.url}/healthz") == (200, {"ok": True})
+            status, text = get(f"{svc.url}/metrics")
+            assert status == 200
+            assert "repro_service_up 1" in text
+
+    def test_responses_are_marked_no_store(self, tmp_path):
+        with CampaignService(quick_config(tmp_path)) as svc:
+            for path in ("/metrics", "/campaigns", "/healthz"):
+                with urllib.request.urlopen(svc.url + path,
+                                            timeout=10) as resp:
+                    assert resp.headers["Cache-Control"] == "no-store", path
+
+    def test_back_pressure_returns_429_with_retry_after(self, tmp_path):
+        config = quick_config(tmp_path, max_queued_points=5,
+                              retry_after=9.0)
+        with CampaignService(config) as svc:
+            code, doc, _ = post(f"{svc.url}/campaigns", SPEC)  # 4 points
+            assert code == 201
+            cid = doc["id"]
+            code, doc, headers = post(f"{svc.url}/campaigns", SPEC)
+            assert code == 429
+            assert headers["Retry-After"] == "9"
+            assert doc["retry_after"] == 9.0
+            # Cancelling the queued campaign frees the budget.
+            req = urllib.request.Request(
+                f"{svc.url}/campaigns/{cid}", method="DELETE")
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                assert json.loads(resp.read())["status"] == "cancelled"
+            code, _, _ = post(f"{svc.url}/campaigns", SPEC)
+            assert code == 201
+
+    def test_cache_warm_campaign_and_sse_stream(self, tmp_path):
+        """With every point in the run cache, activation dedups the whole
+        campaign; the SSE stream delivers frames until the terminal one."""
+        cache = RunCache(tmp_path / "cache")
+        warm = run_campaign(configs_from_spec(SPEC), cache=cache, jobs=1)
+        with CampaignService(quick_config(tmp_path)) as svc:
+            _, doc, _ = post(f"{svc.url}/campaigns", SPEC)
+            cid = doc["id"]
+            frames = []
+            with urllib.request.urlopen(f"{svc.url}/campaigns/{cid}/stream",
+                                        timeout=60) as resp:
+                assert resp.headers["Content-Type"] == "text/event-stream"
+                for raw in resp:
+                    line = raw.decode().strip()
+                    if line.startswith("data: "):
+                        frames.append(json.loads(line[len("data: "):]))
+            assert frames
+            assert frames[-1]["status"] == "done"
+            record = get(f"{svc.url}/campaigns/{cid}")[1]
+            assert record["deduped"] == 4
+            assert record["counts"]["done"] == 4
+            _, results = get(f"{svc.url}/campaigns/{cid}/results")
+            assert {k: entry_fingerprint(v)
+                    for k, v in results["results"].items()} \
+                == {k: entry_fingerprint(v) for k, v in warm.items()}
+
+
+class TestWorkerPoolEndToEnd:
+    def test_killed_worker_is_reaped_and_campaign_stays_bit_identical(
+            self, tmp_path, monkeypatch):
+        """The tentpole acceptance test: two pool workers, one hard-dies
+        (os._exit, no cleanup) right after its first claim; the reaper
+        expires the orphaned lease, the survivor (or the respawn) retakes
+        the point, and the finished campaign's entries are bit-identical
+        to an in-process ``run_campaign`` of the same spec."""
+        flag = tmp_path / "died.flag"
+        monkeypatch.setenv(INJECT_ENV, json.dumps(
+            {"worker": "svc-w1", "die_after_claims": 1, "flag": str(flag)}))
+        config = quick_config(tmp_path, workers=2)
+        with CampaignService(config) as svc:
+            wait_for(lambda: svc.live_workers() == 2, timeout=30,
+                     what="worker pool")
+            code, doc, _ = post(f"{svc.url}/campaigns", SPEC)
+            assert code == 201
+            cid = doc["id"]
+            record = wait_for(
+                lambda: (lambda d: d if d and d.get("status") in
+                         ("done", "failed") else None)(
+                             get(f"{svc.url}/campaigns/{cid}")[1]),
+                what="campaign to finish")
+            assert record["status"] == "done", record
+            assert flag.exists()  # the injected death really happened
+            assert svc.lease_expirations >= 1
+            assert svc.worker_respawns >= 1
+            # A requeued shard remembers why.
+            requeued = [p for p in record["points"].values()
+                        if p.get("requeued") == "lease_expired"]
+            assert requeued
+            _, results = get(f"{svc.url}/campaigns/{cid}/results")
+            names = {e.name for e in svc.events.buffer}
+            assert {"campaign_submitted", "campaign_activated",
+                    "lease_reaped", "campaign_completed"} <= names
+            _, metrics = get(f"{svc.url}/metrics")
+            assert "repro_service_lease_expirations_total" in metrics
+        reference = run_campaign(configs_from_spec(SPEC), jobs=1)
+        assert {k: entry_fingerprint(v)
+                for k, v in results["results"].items()} \
+            == {k: entry_fingerprint(v) for k, v in reference.items()}
+
+    def test_tenant_quota_caps_concurrent_leases(self, tmp_path):
+        """A max_leased=1 tenant with two pool workers never holds two
+        leases at once, and its campaign still completes."""
+        config = quick_config(
+            tmp_path, workers=2,
+            tenants={"small": TenantPolicy(max_leased=1)})
+        with CampaignService(config) as svc:
+            wait_for(lambda: svc.live_workers() == 2, timeout=30,
+                     what="worker pool")
+            _, doc, _ = post(f"{svc.url}/campaigns",
+                             {**SPEC, "tenant": "small"})
+            cid = doc["id"]
+            wait_for(
+                lambda: get(f"{svc.url}/campaigns/{cid}")[1].get(
+                    "status") == "done",
+                what="quota-capped campaign to finish")
+            assert svc.state.peak_leased.get("small", 0) <= 1
+
+
+class TestRecovery:
+    def test_restarted_daemon_adopts_journaled_campaigns(self, tmp_path):
+        config = quick_config(tmp_path)  # workers=0: nothing executes
+        with CampaignService(config) as svc:
+            _, doc, _ = post(f"{svc.url}/campaigns", SPEC)
+            cid = doc["id"]
+            wait_for(lambda: get(f"{svc.url}/campaigns/{cid}")[1].get(
+                "status") == "active", timeout=30, what="activation")
+        with CampaignService(quick_config(tmp_path)) as svc2:
+            status, record = get(f"{svc2.url}/campaigns/{cid}")
+            assert status == 200
+            assert record["status"] == "active"
+            assert record["total_points"] == 4
+            assert record["spec"]["workloads"] == SPEC["workloads"]
+            # A new submission continues the id sequence past the
+            # adopted one instead of reusing it.
+            _, doc2, _ = post(f"{svc2.url}/campaigns", SPEC)
+            assert doc2["id"] != cid

@@ -1,0 +1,192 @@
+"""ServiceState contracts: validation, back-pressure, fairness, quotas."""
+
+import pytest
+
+from repro.harness.simulator import RunConfig
+from repro.service.queue import (BackPressure, ServiceState, SweepSpec,
+                                 TenantPolicy, ValidationError,
+                                 configs_from_spec)
+
+KNOWN = ("astar", "bfs", "sssp", "perlbench")
+
+
+def make_state(**kwargs):
+    kwargs.setdefault("max_queued_points", 100)
+    return ServiceState(KNOWN, **kwargs)
+
+
+def submit(state, workloads=("astar",), engines=("baseline",),
+           tenant="default", priority=0, instructions=1000):
+    return state.submit({"workloads": list(workloads),
+                         "engines": list(engines),
+                         "instructions": instructions,
+                         "tenant": tenant, "priority": priority},
+                        make_dir=lambda cid: f"/c/{cid}")
+
+
+class TestSpecValidation:
+    def test_valid_spec_cross_product(self):
+        spec = SweepSpec.validate({"workloads": ["astar", "bfs"],
+                                   "engines": ["baseline", "phelps"],
+                                   "instructions": 5000}, KNOWN)
+        assert spec.points == 4
+
+    @pytest.mark.parametrize("doc", [
+        [],                                                  # not an object
+        {"workloads": [], "engines": ["baseline"]},          # empty
+        {"workloads": ["nope"], "engines": ["baseline"]},    # unknown wl
+        {"workloads": ["astar"], "engines": ["warp9"]},      # unknown engine
+        {"workloads": ["astar"], "engines": ["baseline"],
+         "instructions": 0},                                 # bad n
+        {"workloads": ["astar"], "engines": ["baseline"],
+         "instructions": "many"},                            # non-int n
+        {"workloads": "astar", "engines": ["baseline"]},     # not a list
+    ])
+    def test_invalid_specs_raise(self, doc):
+        with pytest.raises(ValidationError):
+            SweepSpec.validate(doc, KNOWN)
+
+    def test_duplicates_deduped_preserving_order(self):
+        spec = SweepSpec.validate({"workloads": ["astar", "astar", "bfs"],
+                                   "engines": ["baseline", "baseline"]},
+                                  KNOWN)
+        assert spec.workloads == ["astar", "bfs"]
+        assert spec.engines == ["baseline"]
+
+    def test_configs_from_spec_matches_sweep_cli_derivation(self):
+        """The one identity the bit-identical acceptance check rests on:
+        service-side configs mint the same cache keys as the CLI sweep's
+        ``RunConfig(w, e, n)`` cross product, in the same order."""
+        spec = {"workloads": ["astar", "bfs"],
+                "engines": ["baseline", "phelps"], "instructions": 5000}
+        cli = [RunConfig(workload=w, engine=e, max_instructions=5000)
+               for w in spec["workloads"] for e in spec["engines"]]
+        assert [c.cache_key() for c in configs_from_spec(spec)] \
+            == [c.cache_key() for c in cli]
+
+
+class TestSubmitAndBackPressure:
+    def test_submit_mints_sequential_ids(self):
+        state = make_state()
+        assert submit(state).id == "c0001"
+        assert submit(state).id == "c0002"
+
+    def test_back_pressure_past_queue_bound(self):
+        state = make_state(max_queued_points=5, retry_after=7.0)
+        submit(state, workloads=("astar", "bfs"),
+               engines=("baseline", "phelps"))  # 4 queued
+        with pytest.raises(BackPressure) as exc:
+            submit(state, workloads=("astar", "bfs"),
+                   engines=("baseline",))       # +2 would cross 5
+        assert exc.value.retry_after == 7.0
+        assert exc.value.depth == 4
+        # A submission that still fits goes through.
+        assert submit(state).total_points == 1
+
+    def test_finished_points_free_queue_depth(self):
+        state = make_state(max_queued_points=4)
+        record = submit(state, workloads=("astar", "bfs"),
+                        engines=("baseline", "phelps"))
+        state.mark_active(record.id)
+        state.refresh_counts(record.id, {"done": 4}, 0, 0)
+        assert state.queue_depth() == 0
+        submit(state)  # no BackPressure
+
+    def test_bad_tenant_rejected(self):
+        state = make_state()
+        with pytest.raises(ValidationError):
+            submit(state, tenant="a/b")
+
+    def test_cancel_only_touches_live_campaigns(self):
+        state = make_state()
+        record = submit(state)
+        assert state.cancel(record.id).status == "cancelled"
+        assert state.cancel("c9999") is None
+        # Cancelling a finished campaign is a no-op.
+        record2 = submit(state)
+        state.mark_active(record2.id)
+        state.refresh_counts(record2.id, {"done": 1}, 0, 0)
+        assert state.cancel(record2.id).status == "done"
+
+
+class TestScheduling:
+    def test_activation_respects_cap_and_priority(self):
+        state = make_state(max_active_campaigns=1)
+        low = submit(state, priority=0)
+        high = submit(state, priority=5)
+        order = state.to_activate()
+        assert [c.id for c in order] == [high.id]
+        state.mark_active(high.id)
+        assert state.to_activate() == []  # cap reached
+
+    def test_weighted_fair_order_prefers_starved_tenant(self):
+        state = make_state(
+            tenants={"big": TenantPolicy(weight=1.0),
+                     "small": TenantPolicy(weight=1.0)},
+            offer_ttl=0.0)  # no offer accounting in this test
+        a = submit(state, tenant="big", workloads=("astar", "bfs"))
+        b = submit(state, tenant="small", workloads=("astar", "bfs"))
+        state.mark_active(a.id)
+        state.mark_active(b.id)
+        state.refresh_counts(a.id, {"pending": 1, "running": 1}, 1, 0)
+        state.refresh_counts(b.id, {"pending": 2}, 0, 0)
+        # big already holds a lease; small's deficit is lower.
+        assert [c.id for c in state.schedule(offer=False)] == [b.id, a.id]
+
+    def test_weight_scales_the_fair_share(self):
+        state = make_state(
+            tenants={"heavy": TenantPolicy(weight=4.0)}, offer_ttl=0.0)
+        a = submit(state, tenant="heavy", workloads=("astar", "bfs"))
+        b = submit(state, tenant="light", workloads=("astar", "bfs"))
+        state.mark_active(a.id)
+        state.mark_active(b.id)
+        state.refresh_counts(a.id, {"pending": 1, "running": 2}, 2, 0)
+        state.refresh_counts(b.id, {"pending": 1, "running": 1}, 1, 0)
+        # heavy: 2 leased / weight 4 = 0.5 < light: 1 / 1 = 1.0
+        assert [c.id for c in state.schedule(offer=False)] == [a.id, b.id]
+
+    def test_quota_capped_tenant_is_skipped(self):
+        state = make_state(
+            tenants={"small": TenantPolicy(max_leased=1)}, offer_ttl=0.0)
+        a = submit(state, tenant="small", workloads=("astar", "bfs"))
+        b = submit(state, tenant="other")
+        state.mark_active(a.id)
+        state.mark_active(b.id)
+        state.refresh_counts(a.id, {"pending": 1, "running": 1}, 1, 0)
+        state.refresh_counts(b.id, {"pending": 1}, 0, 0)
+        eligible = [c.id for c in state.schedule(offer=False)]
+        assert a.id not in eligible   # at quota
+        assert b.id in eligible       # other tenants proceed
+
+    def test_offers_close_the_read_claim_window(self):
+        """Two workers polling before either's claim shows in a journal
+        scan must not both be pointed at a quota-capped tenant."""
+        state = make_state(
+            tenants={"small": TenantPolicy(max_leased=1)}, offer_ttl=30.0)
+        a = submit(state, tenant="small", workloads=("astar", "bfs"))
+        b = submit(state, tenant="other")
+        state.mark_active(a.id)
+        state.mark_active(b.id)
+        state.refresh_counts(a.id, {"pending": 2}, 0, 0)
+        state.refresh_counts(b.id, {"pending": 1}, 0, 0)
+        first = state.schedule()
+        assert first[0].id == a.id    # small offered once...
+        second = state.schedule()
+        assert second[0].id == b.id   # ...then capped by its own offer
+
+    def test_cancelled_campaigns_are_never_offered(self):
+        state = make_state()
+        record = submit(state)
+        state.mark_active(record.id)
+        state.refresh_counts(record.id, {"pending": 1}, 0, 0)
+        state.cancel(record.id)
+        assert state.schedule() == []
+
+    def test_snapshot_reports_gauges(self):
+        state = make_state()
+        record = submit(state, workloads=("astar", "bfs"))
+        snap = state.snapshot()
+        assert snap["by_status"] == {"queued": 1}
+        assert snap["queued_points"] == 2
+        assert snap["campaigns"][0]["id"] == record.id
+        assert state.tenant_queue_depth() == {"default": 2}

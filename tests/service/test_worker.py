@@ -1,0 +1,147 @@
+"""Worker-loop contracts: draining, concurrency, cache reuse, crash plan.
+
+The bit-identity tests run real (tiny) simulations: the worker path and
+the in-process ``run_campaign`` path must publish byte-equal entries for
+the same spec, because that is the acceptance bar for the whole service.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.harness.campaign import (CampaignJournal, entry_fingerprint,
+                                    run_campaign)
+from repro.harness.runcache import RunCache
+from repro.service.queue import configs_from_spec
+from repro.service.worker import INJECT_ENV, WorkerOptions, work_campaign_dir
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+SPEC = {"workloads": ["astar", "perlbench"], "engines": ["baseline"],
+        "instructions": 1500}
+
+
+def prepare_campaign(tmp_path, spec=SPEC, name="camp"):
+    journal = CampaignJournal(tmp_path / name)
+    journal.root.mkdir()
+    journal.prepare(configs_from_spec(spec), spec=dict(spec))
+    return journal
+
+
+def fingerprints(journal):
+    out = {}
+    for key, status in journal.statuses().items():
+        assert status == "done", (key, status)
+        out[key] = entry_fingerprint(journal.read_point(key)["entry"])
+    return out
+
+
+class TestDrain:
+    def test_worker_drains_campaign_bit_identical_to_sweep(self, tmp_path):
+        journal = prepare_campaign(tmp_path)
+        report = work_campaign_dir(
+            journal.root, WorkerOptions(worker_id="w1", log=False))
+        assert report.claimed == report.completed == 2
+        reference = run_campaign(configs_from_spec(SPEC), jobs=1)
+        assert fingerprints(journal) == {
+            k: entry_fingerprint(v) for k, v in reference.items()}
+        # Completion provenance survives in the shards.
+        for key in journal.statuses():
+            doc = journal.read_point(key)
+            assert doc["completed_by"] == "w1"
+            assert doc["source"] == "worker"
+
+    def test_cache_hits_short_circuit_simulation(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        warm = run_campaign(configs_from_spec(SPEC), cache=cache, jobs=1)
+        journal = prepare_campaign(tmp_path)
+        report = work_campaign_dir(
+            journal.root, WorkerOptions(worker_id="w1", log=False,
+                                        cache_dir=str(tmp_path / "cache")))
+        assert report.cache_hits == 2
+        assert fingerprints(journal) == {
+            k: entry_fingerprint(v) for k, v in warm.items()}
+        doc = journal.read_point(next(iter(journal.statuses())))
+        assert doc["source"] == "cache"
+
+    def test_max_points_bounds_one_worker(self, tmp_path):
+        journal = prepare_campaign(tmp_path)
+        report = work_campaign_dir(
+            journal.root, WorkerOptions(worker_id="w1", log=False,
+                                        max_points=1))
+        assert report.claimed == 1
+        statuses = sorted(journal.statuses().values())
+        assert statuses == ["done", "pending"]
+
+
+class TestConcurrency:
+    def test_concurrent_workers_share_without_duplication(self, tmp_path):
+        spec = {"workloads": ["astar", "perlbench", "bfs", "sssp"],
+                "engines": ["baseline"], "instructions": 1500}
+        journal = prepare_campaign(tmp_path, spec=spec)
+        reports = {}
+
+        def drain(worker_id):
+            reports[worker_id] = work_campaign_dir(
+                journal.root, WorkerOptions(worker_id=worker_id, log=False))
+
+        threads = [threading.Thread(target=drain, args=(f"w{i}",))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        # Every point done exactly once; the sum over workers covers the
+        # campaign with no double completion.
+        assert sum(r.completed for r in reports.values()) == 4
+        assert all(s == "done" for s in journal.statuses().values())
+        completers = {journal.read_point(k)["completed_by"]
+                      for k in journal.statuses()}
+        assert completers <= {"w0", "w1", "w2"}
+        reference = run_campaign(configs_from_spec(spec), jobs=1)
+        assert fingerprints(journal) == {
+            k: entry_fingerprint(v) for k, v in reference.items()}
+
+
+class TestInjection:
+    def test_injected_death_leaves_a_leased_point_behind(self, tmp_path):
+        """The CI crash plan: ``repro worker --dir`` with a matching
+        ``REPRO_SERVICE_INJECT`` hard-exits 37 right after its first
+        claim, leaving that point running under a lease the reaper must
+        later expire."""
+        journal = prepare_campaign(tmp_path)
+        flag = tmp_path / "died.flag"
+        env = {**os.environ,
+               "PYTHONPATH": os.pathsep.join(
+                   [os.path.abspath("src"),
+                    os.environ.get("PYTHONPATH", "")]).rstrip(os.pathsep),
+               INJECT_ENV: json.dumps({"worker": "victim",
+                                       "die_after_claims": 1,
+                                       "flag": str(flag)})}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "worker", "--dir",
+             str(journal.root), "--id", "victim", "--quiet"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 37, proc.stderr
+        assert flag.exists()
+        statuses = journal.statuses()
+        assert sorted(statuses.values()) == ["pending", "running"]
+        running = next(k for k, s in statuses.items() if s == "running")
+        doc = journal.read_point(running)
+        assert doc["worker"] == "victim"
+        assert doc["lease_expires_unix"] > 0
+
+    def test_plan_for_other_worker_is_inert(self, tmp_path):
+        journal = prepare_campaign(tmp_path)
+        os.environ[INJECT_ENV] = json.dumps(
+            {"worker": "somebody-else", "die_after_claims": 1})
+        try:
+            report = work_campaign_dir(
+                journal.root, WorkerOptions(worker_id="w1", log=False))
+        finally:
+            del os.environ[INJECT_ENV]
+        assert report.completed == 2
