@@ -612,11 +612,14 @@ def _cmd_service(args) -> int:
         max_active_campaigns=args.max_active,
         max_attempts=args.max_attempts,
         heartbeat_interval=args.heartbeat_interval,
+        drain_seconds=args.drain_seconds,
+        expose_dir=not args.no_expose_dir,
         tenants=tenants)
     service = CampaignService(config).start()
     print(f"campaign service at {service.url} "
           f"(root={args.root}, workers={args.workers}; "
-          f"POST /campaigns submits, Ctrl-C stops)")
+          f"POST /campaigns submits, Ctrl-C stops, "
+          f"SIGTERM drains)")
     service.serve_forever()
     return 0
 
@@ -636,6 +639,7 @@ def _cmd_worker(args) -> int:
         poll_interval=args.poll_interval,
         max_idle_polls=args.max_idle_polls,
         max_points=args.max_points,
+        max_misses=args.max_misses,
         cache_dir=args.cache_dir,
         log=not args.quiet)
     if args.connect:
@@ -645,6 +649,12 @@ def _cmd_worker(args) -> int:
     print(f"worker {report.worker_id}: {report.completed} completed "
           f"({report.cache_hits} from cache), {report.failed} failed, "
           f"{report.lease_lost} leases lost, {report.claimed} claims")
+    if args.connect and (report.http_retries or report.breaker_opens
+                         or report.renew_misses):
+        print(f"worker {report.worker_id}: transport "
+              f"{report.http_retries} retries, "
+              f"{report.breaker_opens} breaker opens, "
+              f"{report.renew_misses} renew misses")
     return 0
 
 
@@ -947,6 +957,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "retries (0 = no retries)")
     service.add_argument("--heartbeat-interval", type=float, default=1.0,
                          help="worker heartbeat/lease-renewal cadence")
+    service.add_argument("--drain-seconds", type=float, default=30.0,
+                         help="SIGTERM grace: stop offering work, wait "
+                              "this long for leased points to land, "
+                              "record the interruption, then exit")
+    service.add_argument("--no-expose-dir", action="store_true",
+                         help="never reveal campaign directories over "
+                              "/schedule (enforces filesystem-free "
+                              "workers)")
     service.add_argument("--tenant", action="append", metavar="SPEC",
                          help="tenant policy name=weight[:max_leased], "
                               "repeatable (e.g. --tenant ci=2.0:4)")
@@ -974,9 +992,15 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-points", type=int, default=0,
                         help="exit after claiming this many points "
                              "(0 = unbounded)")
+    worker.add_argument("--max-misses", type=int, default=0,
+                        help="exit after this many consecutive failed "
+                             "polls (0 = never: the circuit breaker "
+                             "paces reconnection to a dead daemon)")
     worker.add_argument("--cache-dir", metavar="DIR", default=None,
-                        help="run cache override (--dir mode; connected "
-                             "workers take the daemon's)")
+                        help="local run cache (connected workers never "
+                             "use the daemon's filesystem; results "
+                             "still reach the daemon's cache through "
+                             "POST /complete)")
     worker.add_argument("-q", "--quiet", action="store_true")
     worker.set_defaults(fn=_cmd_worker)
 

@@ -131,6 +131,11 @@ class EventTrace:
     def campaign_cancelled(self, campaign: str) -> None:
         self.emit(0, "campaign_cancelled", "campaign", campaign=campaign)
 
+    def point_claimed(self, campaign: str, key: str, worker: str) -> None:
+        """A remote worker won one point over the HTTP lease protocol."""
+        self.emit(0, "point_claimed", "campaign", campaign=campaign,
+                  key=key, worker=worker)
+
     def lease_reaped(self, campaign: str, key: str, reason: str) -> None:
         """The service reaper requeued one point (dead worker, stale
         claim, or a failed-point retry)."""

@@ -17,8 +17,19 @@ standing service:
   the result to the journal and run cache, repeat.  Runs against a
   journal directory directly or connected to a daemon over HTTP.
 * :mod:`repro.service.daemon` — the long-running asyncio daemon: an
-  HTTP/JSON API (``POST /campaigns``, status/results/stream routes), an
+  HTTP/JSON API (``POST /campaigns``, status/results/stream routes, the
+  five ``POST`` lease endpoints of the remote-execution protocol), an
   in-daemon worker pool, the lease reaper, and Prometheus service gauges.
+* :mod:`repro.service.httpclient` — the resilient worker-side HTTP
+  client: timeouts, deterministic-jitter retries, status-aware error
+  handling, a circuit breaker, idempotency keys.
+* :mod:`repro.service.transport` — the worker's execution surface:
+  :class:`~repro.service.transport.LocalJournal` over a mounted campaign
+  directory, :class:`~repro.service.transport.RemoteJournal` over the
+  daemon's lease protocol (filesystem-free workers).
+* :mod:`repro.service.chaosproxy` — a seeded network-fault proxy
+  (latency, drops, 500s, truncation, duplicate delivery) the chaos
+  suites and CI put between workers and the daemon.
 """
 
 from repro.service.lease import (DEFAULT_LEASE_SECONDS, LeaseLost,
@@ -28,6 +39,12 @@ from repro.service.lease import (DEFAULT_LEASE_SECONDS, LeaseLost,
 from repro.service.queue import (BackPressure, CampaignRecord, ServiceState,
                                  SweepSpec, TenantPolicy, ValidationError,
                                  configs_from_spec)
+from repro.service.httpclient import (CircuitOpen, ClientStats,
+                                      HttpStatusError, NotFound,
+                                      ServiceClient, TransportError)
+from repro.service.transport import (LocalJournal, RemoteJournal,
+                                     config_from_doc, config_to_doc)
+from repro.service.chaosproxy import ChaosProxy, FaultPlan
 from repro.service.worker import WorkerOptions, work_campaign_dir, work_service
 from repro.service.daemon import CampaignService, ServiceConfig
 
@@ -48,6 +65,18 @@ __all__ = [
     "CampaignRecord",
     "ServiceState",
     "configs_from_spec",
+    "ServiceClient",
+    "ClientStats",
+    "HttpStatusError",
+    "NotFound",
+    "TransportError",
+    "CircuitOpen",
+    "LocalJournal",
+    "RemoteJournal",
+    "config_to_doc",
+    "config_from_doc",
+    "ChaosProxy",
+    "FaultPlan",
     "WorkerOptions",
     "work_campaign_dir",
     "work_service",

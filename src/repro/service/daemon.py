@@ -24,18 +24,45 @@ HTTP API (JSON unless noted)::
     GET    /campaigns/<id>/results  key -> result entry for done points
     GET    /campaigns/<id>/stream   SSE: one status frame per interval
     DELETE /campaigns/<id>        cooperative cancel
-    GET    /schedule?worker=ID    worker pull: campaign dir + keys to try
+    GET    /schedule?worker=ID    worker pull: which campaign to claim from
+    POST   /claim                 {campaign, worker, keys?, lease_seconds?}
+                                  -> {key, config, shard} or {key: null}
+    POST   /renew                 {campaign, worker, key, lease_seconds, hb?}
+                                  -> 200 ok / 409 lease lost
+    POST   /complete              {campaign, worker, key, entry, source?}
+                                  -> {accepted} (idempotent; publishes to
+                                  journal + run cache)
+    POST   /fail                  {campaign, worker, key, error}
+    POST   /release               {campaign, worker, key} -> {released}
     GET    /metrics               Prometheus text (service gauges)
     GET    /healthz               liveness probe
+
+The five ``POST`` lease endpoints are the remote-execution protocol: the
+daemon performs the :mod:`repro.service.lease` file operations on the
+workers' behalf (generation-fenced, idempotent first-done-wins
+preserved), so connected workers need no shared filesystem.
+``complete``/``fail`` honour ``Idempotency-Key`` headers through a
+bounded replay store — a retried publish whose first response was lost
+returns the recorded answer instead of re-applying.
+
+On SIGTERM (or :meth:`CampaignService.drain`) the daemon drains
+gracefully: ``/schedule`` answers ``{"shutdown": true}`` and ``/claim``
+stops handing out wins, leased points get up to ``drain_seconds`` to
+complete or lapse (renew/complete stay served), unfinished active
+campaigns receive the manifest interruption record a SIGINT'd sweep
+writes, and only then does the daemon exit — so a restart resumes
+bit-identically.
 
 Every response carries ``Cache-Control: no-store`` — these are live
 views; a cached 404 or stale counts would actively mislead.
 """
 
 import asyncio
+import collections
 import json
 import os
 import pathlib
+import signal
 import subprocess
 import sys
 import threading
@@ -43,7 +70,7 @@ import time
 import urllib.parse
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import repro
 from repro.harness.campaign import CampaignJournal
@@ -51,10 +78,13 @@ from repro.harness.runcache import RunCache
 from repro.obs.events import EventTrace
 from repro.obs.live import read_campaign
 from repro.obs.promtext import CONTENT_TYPE, prom_line, render_prometheus
-from repro.service.lease import reap_expired
+from repro.service.lease import (LeaseLost, claim_next, complete_point,
+                                 fail_point, reap_expired, release_point,
+                                 renew_lease)
 from repro.service.queue import (BackPressure, CampaignRecord, ServiceState,
                                  TenantPolicy, ValidationError,
                                  configs_from_spec)
+from repro.service.transport import config_to_doc
 from repro.workloads import workload_names
 
 __all__ = ["CampaignService", "ServiceConfig"]
@@ -90,6 +120,10 @@ class ServiceConfig:
     max_active_campaigns: int = 4
     max_attempts: int = 3          # failed-point retries (reaper)
     retry_after: float = 5.0       # the 429 Retry-After hint
+    drain_seconds: float = 30.0    # SIGTERM: grace for leased points
+    expose_dir: bool = True        # include the campaign dir in /schedule
+    #                                (False enforces filesystem-free
+    #                                workers: the path is never revealed)
     tenants: Dict[str, TenantPolicy] = field(default_factory=dict)
     log: bool = True
 
@@ -113,6 +147,18 @@ class CampaignService:
         self.stale_claims = 0
         self.retries = 0
         self.worker_respawns = 0
+        # HTTP-protocol health (the repro_service_http_* metrics).
+        self.http_requests: Dict[str, int] = {}
+        self.http_retries = 0        # requests arriving with Attempt > 1
+        self.http_duplicates = 0     # idempotent replays suppressed
+        self._worker_breaker_opens: Dict[str, int] = {}
+        self._http_lock = threading.Lock()
+        # Idempotency replay store: key -> (status, response doc).
+        self._idem: "collections.OrderedDict[str, Tuple[int, Dict]]" = \
+            collections.OrderedDict()
+        self._idem_cap = 4096
+        self._config_maps: Dict[str, Dict] = {}   # cid -> key -> RunConfig
+        self._draining = threading.Event()
         self._spawned = 0        # monotonic: worker ids never repeat
         self._workers: List[subprocess.Popen] = []
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -163,8 +209,11 @@ class CampaignService:
     def stop(self) -> None:
         self._stopping.set()
         if self._loop is not None:
-            # Wake the control loops so they observe the stop flag.
-            self._loop.call_soon_threadsafe(lambda: None)
+            try:
+                # Wake the control loops so they observe the stop flag.
+                self._loop.call_soon_threadsafe(lambda: None)
+            except RuntimeError:
+                pass  # loop already closed: stop() is idempotent
         if self._loop_thread is not None:
             self._loop_thread.join(timeout=10.0)
         for proc in self._workers:
@@ -188,14 +237,79 @@ class CampaignService:
         self.stop()
 
     def serve_forever(self) -> None:
-        """Block until interrupted (the ``repro service`` foreground mode)."""
+        """Block until interrupted (the ``repro service`` foreground mode).
+
+        SIGINT stops immediately (journals make that loss-free); SIGTERM
+        triggers the graceful drain first, so an orchestrated shutdown
+        (systemd, Kubernetes, CI teardown) lets leased points land.
+        """
+        term = threading.Event()
+        previous = None
+        try:
+            previous = signal.signal(signal.SIGTERM,
+                                     lambda *_: term.set())
+        except ValueError:
+            pass  # not the main thread: no handler, SIGINT still works
         try:
             while not self._stopping.is_set():
-                time.sleep(0.5)
+                if term.is_set():
+                    self.drain()
+                    break
+                time.sleep(0.2)
         except KeyboardInterrupt:
             pass
         finally:
             self.stop()
+            if previous is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous)
+                except ValueError:
+                    pass
+
+    # -------------------------------------------------------------- drain
+    def drain(self, drain_seconds: Optional[float] = None) -> None:
+        """Graceful shutdown: no new offers/claims, wait for leases.
+
+        ``/schedule`` starts answering ``{"shutdown": true}`` and
+        ``/claim`` declines, while renew/complete stay served; then the
+        daemon waits up to ``drain_seconds`` for every unexpired lease to
+        complete or lapse, and finally writes the manifest interruption
+        record (the PR-5 shape a SIGINT'd sweep leaves) for each active
+        campaign with work remaining, so a restart — daemon or ``sweep
+        --resume`` — continues bit-identically.
+        """
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        grace = (self.config.drain_seconds if drain_seconds is None
+                 else drain_seconds)
+        self._log(f"draining: no new claims; waiting up to {grace:.0f}s "
+                  "for leased points")
+        deadline = time.monotonic() + max(0.0, grace)
+        while time.monotonic() < deadline:
+            leased = 0
+            for record in self.state.snapshot()["campaigns"]:
+                if record["status"] not in ("active", "cancelled"):
+                    continue
+                _counts, live, _expired = self._scan_journal(
+                    CampaignJournal(record["dir"]))
+                leased += live
+            if leased == 0:
+                break
+            time.sleep(0.25)
+        self._refresh_all()
+        for record in self.state.snapshot()["campaigns"]:
+            if record["status"] != "active":
+                continue
+            done = record["counts"].get("done", 0)
+            total = record["total_points"]
+            finished = done + record["counts"].get("failed", 0)
+            if total and finished >= total:
+                continue
+            CampaignJournal(record["dir"]).note_interrupted(done, total)
+            self._log(f"drain: {record['id']} interrupted at "
+                      f"{done}/{total} done")
+        self._log("drained")
 
     # ----------------------------------------------------------- recovery
     def _recover(self) -> None:
@@ -263,8 +377,9 @@ class CampaignService:
     async def _scheduler_loop(self) -> None:
         while True:
             try:
-                for record in self.state.to_activate():
-                    self._activate(record)
+                if not self._draining.is_set():
+                    for record in self.state.to_activate():
+                        self._activate(record)
                 self._refresh_all()
             except Exception as exc:  # noqa: BLE001 - loops must survive
                 self._log(f"scheduler error: {exc}")
@@ -377,8 +492,8 @@ class CampaignService:
 
     # --------------------------------------------------------- supervisor
     def _supervise(self) -> None:
-        if self._stopping.is_set():
-            return
+        if self._stopping.is_set() or self._draining.is_set():
+            return  # draining: let the pool wind down, respawn nothing
         live = []
         for proc in self._workers:
             if proc.poll() is None:
@@ -465,7 +580,7 @@ class CampaignService:
                 "done": len(results), "results": results}
 
     def _schedule_doc(self, worker: str) -> Dict:
-        if self._stopping.is_set():
+        if self._stopping.is_set() or self._draining.is_set():
             return {"dir": None, "shutdown": True}
         eligible = self.state.schedule()
         if not eligible:
@@ -479,9 +594,158 @@ class CampaignService:
             doc = journal.read_point(point["key"]) or {}
             if doc.get("status") in ("pending", "running"):
                 keys.append(point["key"])
-        return {"dir": head.dir, "campaign_id": head.id, "keys": keys,
+        return {"dir": head.dir if self.config.expose_dir else None,
+                "campaign_id": head.id, "keys": keys,
                 "lease_seconds": self.config.lease_seconds,
                 "cache_dir": self.config.cache_dir, "worker": worker}
+
+    # --------------------------------------------- remote lease protocol
+    def _count_http(self, endpoint: str, headers) -> None:
+        """Fold one request's protocol headers into the http_* metrics.
+
+        The retry count deliberately lives daemon-side, derived from the
+        client's ``X-Repro-Attempt`` header: a chaos-injected 500 never
+        reaches us, but the retried request that follows it does — so
+        ``repro_service_http_retries_total`` is scrapeable evidence the
+        resilient client actually retried.
+        """
+        with self._http_lock:
+            self.http_requests[endpoint] = \
+                self.http_requests.get(endpoint, 0) + 1
+            try:
+                if int(headers.get("X-Repro-Attempt", 1)) > 1:
+                    self.http_retries += 1
+            except (TypeError, ValueError):
+                pass
+            worker = headers.get("X-Repro-Worker")
+            if worker:
+                try:
+                    opens = int(headers.get("X-Repro-Breaker-Opens", 0))
+                except (TypeError, ValueError):
+                    opens = 0
+                self._worker_breaker_opens[worker] = max(
+                    self._worker_breaker_opens.get(worker, 0), opens)
+
+    def _idem_lookup(self, idem: Optional[str]) -> Optional[Tuple[int, Dict]]:
+        if not idem:
+            return None
+        with self._http_lock:
+            hit = self._idem.get(idem)
+            if hit is not None:
+                self._idem.move_to_end(idem)
+                self.http_duplicates += 1
+        return hit
+
+    def _idem_store(self, idem: Optional[str], status: int,
+                    doc: Dict) -> None:
+        if not idem:
+            return
+        with self._http_lock:
+            self._idem[idem] = (status, doc)
+            self._idem.move_to_end(idem)
+            while len(self._idem) > self._idem_cap:
+                self._idem.popitem(last=False)
+
+    def _config_for(self, record: CampaignRecord, key: str):
+        """The RunConfig behind one journal key (memoised per campaign)."""
+        cmap = self._config_maps.get(record.id)
+        if cmap is None:
+            cmap = {c.cache_key(): c for c in
+                    configs_from_spec(record.spec)}
+            self._config_maps[record.id] = cmap
+        return cmap.get(key)
+
+    def _lease_rpc(self, op: str, doc: Dict,
+                   idem: Optional[str] = None) -> Tuple[int, Dict]:
+        """One remote lease operation -> (status, response document).
+
+        Performs the :mod:`repro.service.lease` file operation the worker
+        would have done over a shared filesystem, preserving its exact
+        semantics: generation-fenced claims, 409 on a fenced renew,
+        idempotent first-done-wins completion.  ``complete``/``fail``
+        with an idempotency key replay the recorded response instead of
+        re-applying — a duplicated delivery (retry whose first response
+        was dropped) is therefore indistinguishable from a single one.
+        """
+        cid = doc.get("campaign")
+        record = self.state.get(cid) if cid else None
+        if record is None:
+            return 404, {"error": "no such campaign", "campaign": cid}
+        worker = str(doc.get("worker") or "?")
+        journal = CampaignJournal(record.dir)
+
+        if op == "claim":
+            if self._draining.is_set() or self._stopping.is_set():
+                return 200, {"key": None, "draining": True}
+            if record.status != "active":
+                return 200, {"key": None, "status": record.status}
+            lease_seconds = float(doc.get("lease_seconds")
+                                  or self.config.lease_seconds)
+            keys = doc.get("keys")
+            if keys is None:
+                manifest = journal.load_manifest() or {}
+                keys = [p["key"] for p in manifest.get("points", ())]
+            candidates = [k for k in keys
+                          if self._config_for(record, k) is not None]
+            got = claim_next(journal, candidates, worker,
+                             lease_seconds=lease_seconds)
+            if got is None:
+                return 200, {"key": None}
+            key, shard = got
+            self.events.point_claimed(cid, key, worker)
+            return 200, {"key": key, "shard": shard,
+                         "config": config_to_doc(
+                             self._config_for(record, key))}
+
+        key = doc.get("key")
+        if not key:
+            return 400, {"error": "missing key"}
+
+        if op == "renew":
+            lease_seconds = float(doc.get("lease_seconds")
+                                  or self.config.lease_seconds)
+            try:
+                shard = renew_lease(journal, key, worker,
+                                    lease_seconds=lease_seconds,
+                                    hb=doc.get("hb"))
+            except LeaseLost as exc:
+                return 409, {"error": "lease_lost", "key": key,
+                             "holder": exc.holder}
+            return 200, {"ok": True, "lease_expires_unix":
+                         shard.get("lease_expires_unix")}
+
+        if op == "complete":
+            replay = self._idem_lookup(idem)
+            if replay is not None:
+                return replay
+            entry = doc.get("entry")
+            if not isinstance(entry, dict):
+                return 400, {"error": "missing entry"}
+            accepted = complete_point(journal, key, worker, entry,
+                                      source=doc.get("source", "worker"))
+            if accepted and self.cache is not None:
+                config = self._config_for(record, key)
+                if config is not None:
+                    self.cache.put(config, entry)
+            response = (200, {"accepted": accepted, "key": key})
+            self._idem_store(idem, *response)
+            return response
+
+        if op == "fail":
+            replay = self._idem_lookup(idem)
+            if replay is not None:
+                return replay
+            fail_point(journal, key, worker,
+                       str(doc.get("error") or "unknown error"))
+            response = (200, {"ok": True, "key": key})
+            self._idem_store(idem, *response)
+            return response
+
+        if op == "release":
+            released = release_point(journal, key, worker)
+            return 200, {"released": released, "key": key}
+
+        return 404, {"error": f"unknown operation {op!r}"}
 
     def _metrics_text(self) -> str:
         snap = self.state.snapshot()
@@ -497,7 +761,25 @@ class CampaignService:
                  prom_line("repro_service_retries_total", self.retries),
                  prom_line("repro_service_worker_respawns_total",
                            self.worker_respawns),
-                 prom_line("repro_service_workers", self.live_workers())]
+                 prom_line("repro_service_workers", self.live_workers()),
+                 prom_line("repro_service_draining",
+                           1 if self._draining.is_set() else 0)]
+        with self._http_lock:
+            http_requests = dict(self.http_requests)
+            http_retries = self.http_retries
+            http_duplicates = self.http_duplicates
+            breaker_opens = dict(self._worker_breaker_opens)
+        for endpoint, n in sorted(http_requests.items()):
+            lines.append(prom_line("repro_service_http_requests_total", n,
+                                   {"endpoint": endpoint}))
+        lines.append(prom_line("repro_service_http_retries_total",
+                               http_retries))
+        lines.append(prom_line("repro_service_http_duplicates_total",
+                               http_duplicates))
+        for worker, opens in sorted(breaker_opens.items()):
+            lines.append(prom_line(
+                "repro_service_worker_breaker_opens_total", opens,
+                {"worker": worker}))
         for status, n in sorted(snap["by_status"].items()):
             lines.append(prom_line("repro_service_campaigns", n,
                                    {"status": status}))
@@ -567,6 +849,7 @@ class CampaignService:
                         self._send(200, CONTENT_TYPE,
                                    service._metrics_text().encode())
                     elif parts == ["schedule"]:
+                        service._count_http("schedule", self.headers)
                         self._send_json(service._schedule_doc(
                             query.get("worker", "?")))
                     elif parts == ["campaigns"]:
@@ -585,8 +868,13 @@ class CampaignService:
                 except (BrokenPipeError, ConnectionResetError):
                     pass
 
+            _LEASE_OPS = ("claim", "renew", "complete", "fail", "release")
+
             def do_POST(self):
                 parts, _query = self._route()
+                if len(parts) == 1 and parts[0] in self._LEASE_OPS:
+                    self._lease_op(parts[0])
+                    return
                 if parts != ["campaigns"]:
                     self._send(404, "text/plain; charset=utf-8",
                                b"not found\n")
@@ -611,6 +899,27 @@ class CampaignService:
                     pass
                 else:
                     self._send_json(record.to_dict(), code=201)
+
+            def _lease_op(self, op: str) -> None:
+                """One remote lease endpoint: parse JSON, dispatch, reply."""
+                service._count_http(op, self.headers)
+                try:
+                    length = int(self.headers.get("Content-Length") or 0)
+                    try:
+                        doc = json.loads(self.rfile.read(length) or b"{}")
+                    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                        self._send_json({"error": f"invalid JSON: {exc}"},
+                                        code=400)
+                        return
+                    if not isinstance(doc, dict):
+                        self._send_json({"error": "body must be an object"},
+                                        code=400)
+                        return
+                    status, response = service._lease_rpc(
+                        op, doc, idem=self.headers.get("Idempotency-Key"))
+                    self._send_json(response, code=status)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
 
             def do_DELETE(self):
                 parts, _query = self._route()

@@ -1,32 +1,43 @@
 """Pull-model campaign worker: claim, simulate, publish, repeat.
 
 One worker process runs one point at a time: it claims a pending point
-through the lease layer, simulates it with the lease renewed from the
+through a transport, simulates it with the lease renewed from the
 simulation heartbeat hook (so a healthy worker's lease never lapses and
-watchers see live progress in the point shard), publishes the result to
-the journal and run cache, and claims the next.  The same loop serves
-both deployments:
+watchers see live progress in the point shard), publishes the result,
+and claims the next.  The point loop (:func:`_run_point`) is
+transport-agnostic; the two deployments differ only in which
+:mod:`repro.service.transport` implementation hands points out:
 
 * :func:`work_campaign_dir` — aimed straight at a campaign directory
-  (``repro worker --dir CAMP``): drains that one campaign and exits.
+  (``repro worker --dir CAMP``): drains that one campaign through the
+  local lease layer (:class:`~repro.service.transport.LocalJournal`)
+  and exits.
 * :func:`work_service` — connected to a daemon
   (``repro worker --connect URL``): polls ``GET /schedule`` for which
-  campaign to claim from next, so the daemon's tenant quotas and fair
-  ordering decide *where* the worker's capacity goes while the journal's
-  lease protocol decides *whether* a given claim wins.  Workers claim at
-  most one point per schedule poll — that is what makes the daemon's
-  weighted-fair ordering hold at point granularity.
+  campaign to claim from next, then claims/renews/publishes through the
+  daemon's ``POST /claim``/``/renew``/``/complete``/``/fail`` protocol
+  (:class:`~repro.service.transport.RemoteJournal`).  A connected
+  worker **never touches the campaign root** — it is never even told
+  the path — so worker hosts need no shared filesystem.  All HTTP goes
+  through the resilient :class:`~repro.service.httpclient.ServiceClient`
+  (retries, backoff, circuit breaker): a daemon restart or a flaky link
+  degrades the worker to a breaker-paced reconnect loop instead of an
+  exit.  ``WorkerOptions.max_misses`` (0 = never) bounds how many
+  consecutive failed schedule polls are tolerated before giving up.
 
 A worker that loses its lease mid-simulation (the reaper requeued it, or
 a resume fenced it out) gets :class:`~repro.service.lease.LeaseLost`
 from the renewal inside its heartbeat hook, abandons the point, and
-moves on; the new owner's result is the one that lands.
+moves on; the new owner's result is the one that lands.  On exit the
+worker courteously releases exactly the points it still holds —
+transports track held keys, so the release is O(held), not a
+release-everything sweep over the manifest.
 
 Fault injection (CI only): ``REPRO_SERVICE_INJECT`` is a JSON object
 ``{"worker": "w1", "die_after_claims": 2, "flag": "/path"}`` — the named
 worker hard-exits (``os._exit``, no cleanup, exactly like SIGKILL) right
 after its Nth successful claim, once per flag file, which is how the
-service smoke test manufactures a deterministic mid-campaign worker
+service smoke tests manufacture a deterministic mid-campaign worker
 death for the reaper to heal.
 """
 
@@ -34,18 +45,17 @@ import json
 import os
 import sys
 import time
-import urllib.error
-import urllib.request
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.harness.campaign import CampaignJournal
 from repro.harness.runcache import RunCache, entry_from_result
 from repro.harness.simulator import RunConfig, simulate
-from repro.service.lease import (DEFAULT_LEASE_SECONDS, LeaseLost,
-                                 claim_next, complete_point, fail_point,
-                                 release_point, renew_lease)
+from repro.service.httpclient import (CircuitOpen, HttpStatusError, NotFound,
+                                      ServiceClient, TransportError)
+from repro.service.lease import DEFAULT_LEASE_SECONDS, LeaseLost
 from repro.service.queue import configs_from_spec
+from repro.service.transport import LocalJournal, RemoteJournal
 
 __all__ = ["WorkerOptions", "work_campaign_dir", "work_service"]
 
@@ -62,8 +72,18 @@ class WorkerOptions:
     poll_interval: float = 0.5     # idle wait between schedule polls
     max_idle_polls: int = 0        # 0 = poll forever (daemon pool mode)
     max_points: int = 0            # 0 = unbounded
+    max_misses: int = 0            # consecutive failed polls before exit
+    #                                (0 = never die: the circuit breaker
+    #                                paces reconnection instead)
     cache_dir: Optional[str] = None
     log: bool = True
+    # Resilient-client knobs (connected mode).
+    http_timeout: float = 10.0
+    http_retries: int = 4
+    http_backoff: float = 0.25
+    breaker_threshold: int = 5
+    breaker_reset_seconds: float = 5.0
+    publish_retry_seconds: float = 120.0
 
     def __post_init__(self):
         if not self.worker_id:
@@ -81,7 +101,13 @@ class WorkerReport:
     lease_lost: int = 0
     cache_hits: int = 0
     idle_polls: int = 0
+    released: int = 0
     campaigns: List[str] = field(default_factory=list)
+    # Connected-mode transport health.
+    http_retries: int = 0
+    breaker_opens: int = 0
+    renew_misses: int = 0
+    publish_retries: int = 0
 
     def to_dict(self) -> Dict:
         return dict(self.__dict__)
@@ -128,15 +154,21 @@ class _Injection:
         os._exit(37)
 
 
-def _run_point(journal: CampaignJournal, key: str, config: RunConfig,
+def _run_point(transport, key: str, config: RunConfig,
                options: WorkerOptions, report: WorkerReport,
                cache: Optional[RunCache]) -> None:
-    """Simulate one claimed point and publish the outcome."""
-    worker = options.worker_id
+    """Simulate one claimed point and publish the outcome.
+
+    Transport-agnostic: ``transport`` is a
+    :class:`~repro.service.transport.LocalJournal` or
+    :class:`~repro.service.transport.RemoteJournal`; both renew from the
+    heartbeat hook, raise :class:`LeaseLost` only on authoritative
+    fencing, and publish idempotently (first done wins).
+    """
     if cache is not None:
         hit = cache.get(config)
         if hit is not None:
-            if complete_point(journal, key, worker, hit, source="cache"):
+            if transport.complete(key, hit, source="cache"):
                 report.cache_hits += 1
                 report.completed += 1
             return
@@ -153,8 +185,7 @@ def _run_point(journal: CampaignJournal, key: str, config: RunConfig,
         if now - last_renew[0] < options.heartbeat_interval / 2.0:
             return
         last_renew[0] = now
-        renew_lease(journal, key, worker,
-                    lease_seconds=options.lease_seconds, hb=payload)
+        transport.renew(key, options.lease_seconds, hb=payload)
 
     try:
         result = simulate(config, on_heartbeat=on_heartbeat,
@@ -165,13 +196,13 @@ def _run_point(journal: CampaignJournal, key: str, config: RunConfig,
         return
     except Exception as exc:  # noqa: BLE001 - a point must never kill the loop
         report.failed += 1
-        fail_point(journal, key, worker, f"{type(exc).__name__}: {exc}")
+        transport.fail(key, f"{type(exc).__name__}: {exc}")
         _log(options, f"FAILED {key}: {exc}")
         return
     entry = entry_from_result(result)
     if cache is not None:
         cache.put(config, entry)
-    if complete_point(journal, key, worker, entry):
+    if transport.complete(key, entry):
         report.completed += 1
         _log(options, f"done {key} ({result.wall_seconds:.1f}s)")
     else:
@@ -205,56 +236,76 @@ def work_campaign_dir(campaign_dir, options: Optional[WorkerOptions] = None
         return report
     cache = RunCache(options.cache_dir) if options.cache_dir else None
     report.campaigns.append(str(campaign_dir))
-    keys = list(configs)
+    transport = LocalJournal(journal, options.worker_id, configs)
     while True:
         if options.max_points and report.claimed >= options.max_points:
             break
-        got = claim_next(journal, keys, options.worker_id,
-                         lease_seconds=options.lease_seconds)
+        got = transport.claim(lease_seconds=options.lease_seconds)
         if got is None:
             break
-        key, _shard = got
+        key, config, _shard = got
         report.claimed += 1
         injection.maybe_die(report.claimed)
-        _run_point(journal, key, configs[key], options, report, cache)
+        _run_point(transport, key, config, options, report, cache)
+    # Courtesy: hand back anything still held (crash paths skip this by
+    # construction; the reaper covers them). O(held) — normally zero.
+    report.released = transport.release_held()
     return report
 
 
 # ----------------------------------------------------------------------
-# Connected mode: the daemon picks the campaign, the journal settles the
-# claim.
+# Connected mode: the daemon picks the campaign, the daemon's lease
+# endpoints settle the claim. No filesystem in sight.
 # ----------------------------------------------------------------------
-def _http_json(url: str, timeout: float = 10.0) -> Optional[Dict]:
-    try:
-        with urllib.request.urlopen(url, timeout=timeout) as resp:
-            return json.loads(resp.read().decode())
-    except (urllib.error.URLError, OSError, json.JSONDecodeError):
-        return None
-
-
 def work_service(base_url: str, options: Optional[WorkerOptions] = None
                  ) -> WorkerReport:
     """Work for a daemon: poll ``/schedule``, claim one point, repeat.
 
-    The loop ends when the daemon asks (``{"shutdown": true}``), the
-    daemon becomes unreachable, ``max_idle_polls`` consecutive polls
-    offer nothing (0 = never), or ``max_points`` claims were made.
+    The loop ends when the daemon asks (``{"shutdown": true}``),
+    ``max_idle_polls`` consecutive polls offer nothing (0 = never),
+    ``max_points`` claims were made, or — only when ``max_misses`` is
+    nonzero — that many consecutive polls failed outright.  With the
+    default ``max_misses=0`` an unreachable daemon never kills the
+    worker: the circuit breaker fails polls fast and the loop becomes a
+    slow reconnect loop until the daemon returns.
     """
     options = options or WorkerOptions()
     report = WorkerReport(worker_id=options.worker_id)
     injection = _Injection(options.worker_id)
-    base = base_url.rstrip("/")
-    caches: Dict[str, RunCache] = {}
+    client = ServiceClient(
+        base_url, worker_id=options.worker_id,
+        timeout=options.http_timeout, retries=options.http_retries,
+        backoff=options.http_backoff,
+        breaker_threshold=options.breaker_threshold,
+        breaker_reset_seconds=options.breaker_reset_seconds)
+    remotes: Dict[str, RemoteJournal] = {}
+    cache = RunCache(options.cache_dir) if options.cache_dir else None
     idle = 0
     misses = 0
+
+    def miss(why: str) -> bool:
+        """Count one failed poll; True when the loop should give up."""
+        nonlocal misses
+        misses += 1
+        if options.max_misses and misses >= options.max_misses:
+            _log(options, f"daemon unreachable ({why}) for {misses} "
+                          "consecutive polls; exiting")
+            return True
+        return False
+
     while True:
         if options.max_points and report.claimed >= options.max_points:
             break
-        doc = _http_json(f"{base}/schedule?worker={options.worker_id}")
-        if doc is None:
-            misses += 1
-            if misses >= 5:
-                _log(options, f"daemon at {base} unreachable; exiting")
+        try:
+            doc = client.get(f"/schedule?worker={options.worker_id}"
+                             "&remote=1")
+        except CircuitOpen as exc:
+            if miss("circuit open"):
+                break
+            time.sleep(min(max(exc.retry_in, 0.05), 2.0))
+            continue
+        except (TransportError, HttpStatusError) as exc:
+            if miss(str(exc)):
                 break
             time.sleep(options.poll_interval)
             continue
@@ -262,8 +313,8 @@ def work_service(base_url: str, options: Optional[WorkerOptions] = None
         if doc.get("shutdown"):
             _log(options, "daemon asked for shutdown")
             break
-        campaign_dir = doc.get("dir")
-        if not campaign_dir:
+        cid = doc.get("campaign_id")
+        if not cid:
             idle += 1
             report.idle_polls += 1
             if options.max_idle_polls and idle >= options.max_idle_polls:
@@ -271,38 +322,53 @@ def work_service(base_url: str, options: Optional[WorkerOptions] = None
             time.sleep(float(doc.get("retry_after",
                                       options.poll_interval)))
             continue
-        journal = CampaignJournal(campaign_dir)
-        configs = _campaign_configs(journal)
-        keys = [k for k in doc.get("keys") or configs if k in configs]
         lease_seconds = float(doc.get("lease_seconds",
                                       options.lease_seconds))
-        got = claim_next(journal, keys, options.worker_id,
-                         lease_seconds=lease_seconds)
+        remote = remotes.get(cid)
+        if remote is None:
+            remote = RemoteJournal(
+                client, cid, options.worker_id,
+                publish_retry_seconds=options.publish_retry_seconds,
+                log=lambda msg: _log(options, msg))
+            remotes[cid] = remote
+        try:
+            got = remote.claim(doc.get("keys"),
+                               lease_seconds=lease_seconds)
+        except NotFound:
+            # The campaign is authoritatively gone (daemon restarted
+            # without it, or it was deleted): drop it and move on.
+            _log(options, f"campaign {cid} gone; dropping it")
+            remotes.pop(cid, None)
+            continue
+        except CircuitOpen as exc:
+            if miss("circuit open"):
+                break
+            time.sleep(min(max(exc.retry_in, 0.05), 2.0))
+            continue
+        except (TransportError, HttpStatusError) as exc:
+            if miss(str(exc)):
+                break
+            time.sleep(options.poll_interval)
+            continue
         if got is None:
             # Lost every race (or the offer went stale): not idleness,
             # just contention; poll again immediately.
             continue
         idle = 0
-        key, _shard = got
+        key, config, _shard = got
         report.claimed += 1
-        if campaign_dir not in report.campaigns:
-            report.campaigns.append(campaign_dir)
+        if cid not in report.campaigns:
+            report.campaigns.append(cid)
         injection.maybe_die(report.claimed)
-        cache = None
-        cache_dir = doc.get("cache_dir") or options.cache_dir
-        if cache_dir:
-            cache = caches.setdefault(str(cache_dir), RunCache(cache_dir))
         opts = options if lease_seconds == options.lease_seconds else \
-            WorkerOptions(worker_id=options.worker_id,
-                          lease_seconds=lease_seconds,
-                          heartbeat_interval=options.heartbeat_interval,
-                          log=options.log)
-        _run_point(journal, key, configs[key], opts, report, cache)
-    # Courtesy: hand back anything still leased (crash paths skip this
-    # by construction; the reaper covers them).
-    for campaign_dir in report.campaigns:
-        journal = CampaignJournal(campaign_dir)
-        manifest = journal.load_manifest() or {}
-        for point in manifest.get("points", ()):
-            release_point(journal, point["key"], options.worker_id)
+            replace(options, lease_seconds=lease_seconds)
+        _run_point(remote, key, config, opts, report, cache)
+    # Courtesy: hand back exactly the points still held (normally none).
+    for remote in remotes.values():
+        report.released += remote.release_held()
+    report.http_retries = client.stats.retries
+    report.breaker_opens = client.stats.breaker_opens
+    report.renew_misses = sum(r.renew_misses for r in remotes.values())
+    report.publish_retries = sum(r.publish_retries
+                                 for r in remotes.values())
     return report
