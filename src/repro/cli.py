@@ -15,6 +15,7 @@
     python -m repro sweep -w astar bfs -e baseline phelps --manifest camp/ --serve 8320
     python -m repro watch camp/
     python -m repro serve camp/ --port 8320
+    python -m repro audit camp/ --rate 0.25 --seed 7
     python -m repro perf --out BENCH_perf.json
     python -m repro perf --record            # append to benchmarks/perf_history/
     python -m repro perf --compare           # newest vs previous history shard
@@ -49,6 +50,8 @@ EXIT_DIVERGENCE = 4      # golden-model divergence (DivergenceError)
 EXIT_WORKER_FAILURE = 5  # simulate_many run failed every attempt
 EXIT_INVARIANT = 6       # cycle-level sanitizer violation (InvariantViolation)
 EXIT_PERF_REGRESSION = 7 # perf --compare found a same-host regression
+EXIT_INTEGRITY = 8       # audit re-execution fingerprint-diverged from a
+#                          published entry (result-integrity failure)
 EXIT_INTERRUPTED = 130   # SIGINT/SIGTERM: graceful stop (128 + SIGINT)
 
 _EXIT_CODE_DOC = """\
@@ -66,6 +69,9 @@ exit codes:
      microarchitectural state (InvariantViolation)
   7  perf regression: perf --compare found a same-host slowdown past the
      measured noise floor plus margin
+  8  integrity failure: an audit re-execution's fingerprint diverged
+     from the published entry (repro audit, or a service campaign whose
+     audits left unresolved mismatches / poisoned points)
 130  interrupted: SIGINT/SIGTERM stopped a sweep/guard/sample gracefully
      after flushing completed results (128 + SIGINT; a second SIGINT
      hard-kills immediately)
@@ -614,7 +620,11 @@ def _cmd_service(args) -> int:
         heartbeat_interval=args.heartbeat_interval,
         drain_seconds=args.drain_seconds,
         expose_dir=not args.no_expose_dir,
-        tenants=tenants)
+        tenants=tenants,
+        audit_rate=args.audit_rate,
+        audit_seed=args.audit_seed,
+        quarantine_threshold=args.quarantine_threshold,
+        poison_workers=args.poison_workers)
     service = CampaignService(config).start()
     print(f"campaign service at {service.url} "
           f"(root={args.root}, workers={args.workers}; "
@@ -656,6 +666,67 @@ def _cmd_worker(args) -> int:
               f"{report.breaker_opens} breaker opens, "
               f"{report.renew_misses} renew misses")
     return 0
+
+
+def _cmd_audit(args) -> int:
+    """Offline sampled re-execution of a campaign's published entries.
+
+    The deterministic-simulator counterpart of the service's live audit
+    scheduler: re-run a seeded sample of the done points and demand
+    bit-identical ``entry_fingerprint``s.  Any divergence means the
+    stored entry was not produced by this simulator on this input —
+    bit-rot, a corrupted worker, or a stale cache — and exits
+    ``EXIT_INTEGRITY`` (8) so CI can gate on it.
+    """
+    import json as _json
+    import pathlib
+
+    from repro.harness.campaign import entry_fingerprint
+    from repro.service.integrity import should_audit
+    from repro.service.queue import configs_from_spec
+
+    root = pathlib.Path(args.dir)
+    try:
+        manifest = _json.loads((root / "campaign.json").read_text())
+    except (FileNotFoundError, _json.JSONDecodeError, OSError) as exc:
+        print(f"audit: no readable campaign.json under {root}: {exc}",
+              file=sys.stderr)
+        return 2
+    spec = manifest.get("spec") or {}
+    if not spec.get("workloads") or not spec.get("engines"):
+        print("audit: manifest has no runnable spec", file=sys.stderr)
+        return 2
+    configs = {c.cache_key(): c for c in configs_from_spec(spec)}
+    audited = mismatched = sampled_out = unreadable = 0
+    for meta in manifest.get("points", ()):
+        key = meta.get("key")
+        config = configs.get(key)
+        if not key or config is None:
+            continue
+        try:
+            shard = _json.loads((root / f"{key}.json").read_text())
+        except (FileNotFoundError, _json.JSONDecodeError, OSError):
+            unreadable += 1
+            continue
+        entry = shard.get("entry")
+        if shard.get("status") != "done" or not isinstance(entry, dict):
+            continue
+        if not should_audit(key, args.rate, args.seed):
+            sampled_out += 1
+            continue
+        audited += 1
+        fresh = entry_from_result(simulate(config))
+        if entry_fingerprint(fresh) == entry_fingerprint(entry):
+            if not args.quiet:
+                print(f"audit: {key} ok")
+        else:
+            mismatched += 1
+            print(f"audit: MISMATCH {key} "
+                  f"({config.workload}/{config.engine}): stored entry "
+                  f"does not reproduce", file=sys.stderr)
+    print(f"audit: {audited} re-executed, {mismatched} mismatched, "
+          f"{sampled_out} outside the sample, {unreadable} unreadable")
+    return EXIT_INTEGRITY if mismatched else 0
 
 
 def _cmd_stats(args) -> int:
@@ -968,6 +1039,20 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--tenant", action="append", metavar="SPEC",
                          help="tenant policy name=weight[:max_leased], "
                               "repeatable (e.g. --tenant ci=2.0:4)")
+    service.add_argument("--audit-rate", type=float, default=0.0,
+                         help="fraction of completed points re-executed "
+                              "on a different worker and fingerprint-"
+                              "checked (0 = off, 1 = every point)")
+    service.add_argument("--audit-seed", type=int, default=0,
+                         help="seed for the deterministic audit sample")
+    service.add_argument("--quarantine-threshold", type=float, default=5.0,
+                         help="reputation score (weighted mismatches/"
+                              "crashes/lease expiries) past which a "
+                              "worker stops being offered work")
+    service.add_argument("--poison-workers", type=int, default=3,
+                         help="distinct workers that must fail a point "
+                              "before it is terminally poisoned "
+                              "(0 = never poison)")
     service.set_defaults(fn=_cmd_service)
 
     worker = sub.add_parser(
@@ -1003,6 +1088,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "POST /complete)")
     worker.add_argument("-q", "--quiet", action="store_true")
     worker.set_defaults(fn=_cmd_worker)
+
+    audit = sub.add_parser(
+        "audit", help="re-execute a seeded sample of a campaign's done "
+                      "points and verify bit-identical fingerprints",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    audit.add_argument("dir", help="campaign directory to audit")
+    audit.add_argument("--rate", type=float, default=1.0,
+                       help="fraction of done points to re-execute "
+                            "(seeded, deterministic; default all)")
+    audit.add_argument("--seed", type=int, default=0,
+                       help="sample seed (same seed -> same sample)")
+    audit.add_argument("-q", "--quiet", action="store_true",
+                       help="only report mismatches and the summary")
+    audit.set_defaults(fn=_cmd_audit)
 
     sample = sub.add_parser(
         "sample", help="sampled simulation: BBV profile -> k-means regions "

@@ -142,6 +142,28 @@ class EventTrace:
         self.emit(0, "lease_reaped", "campaign", campaign=campaign,
                   key=key, reason=reason)
 
+    # Result-integrity subsystem (repro.service.integrity).
+    def audit_mismatch(self, campaign: str, key: str, original_worker: str,
+                       audit_worker: str) -> None:
+        """A sampled audit re-execution fingerprint-diverged from the
+        originally published entry; arbitration follows."""
+        self.emit(0, "audit_mismatch", "campaign", campaign=campaign,
+                  key=key, original_worker=original_worker,
+                  audit_worker=audit_worker)
+
+    def worker_quarantined(self, worker: str, score: float,
+                           reason: str) -> None:
+        """A worker's reputation score crossed the quarantine threshold;
+        the scheduler stops offering it work."""
+        self.emit(0, "worker_quarantined", "campaign", worker=worker,
+                  score=score, reason=reason)
+
+    def point_poisoned(self, campaign: str, key: str, workers) -> None:
+        """A point failed under enough *distinct* workers that the
+        breaker declared it terminally poisoned instead of retrying."""
+        self.emit(0, "point_poisoned", "campaign", campaign=campaign,
+                  key=key, workers=list(workers))
+
     def epoch(self, cycle: int, index: int) -> None:
         self.emit(cycle, f"epoch_{index}", "epochs", index=index)
 

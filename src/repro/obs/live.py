@@ -247,6 +247,8 @@ def read_campaign(campaign_dir) -> Optional[Dict]:
             "hb": shard.get("hb"),
             "lease_expires_unix": expires,
             "lease_expired": expired,
+            "audit": shard.get("audit"),
+            "failed_workers": shard.get("failed_workers"),
         }
         counts[status] = counts.get(status, 0) + 1
     return {"manifest": manifest, "points": points, "counts": counts,
@@ -275,6 +277,8 @@ def live_view(doc: Dict, now: Optional[float] = None,
     points: Dict[str, Dict] = {}
     stalled = 0
     lease_expired = 0
+    audits = 0
+    poisoned = 0
     walls: List[float] = []
     remaining = 0.0
     n_running = 0
@@ -298,6 +302,15 @@ def live_view(doc: Dict, now: Optional[float] = None,
         total = hb.get("instructions")
         p["progress"] = (min(1.0, hb.get("retired", 0) / total)
                          if total else None)
+        # Audit sub-docs live *outside* the entry (fingerprint-neutral);
+        # surface the in-flight ones so a watcher can tell "done but
+        # still under audit" from plain "done".
+        audit = p.get("audit") or {}
+        p["audit_active"] = bool(
+            isinstance(audit, dict) and
+            audit.get("status") in ("pending", "running", "arbitrating"))
+        if p["audit_active"]:
+            audits += 1
         if p["stalled"]:
             stalled += 1
         if p.get("status") == "done" and p.get("wall_seconds"):
@@ -307,10 +320,16 @@ def live_view(doc: Dict, now: Optional[float] = None,
         elif p.get("status") == "running":
             n_running += 1
             remaining += 1.0 - (p["progress"] or 0.0)
+        elif p.get("status") == "poisoned":
+            # Terminal: the breaker gave up on it, so it contributes
+            # nothing to remaining work or the ETA.
+            poisoned += 1
         points[key] = p
     view["points"] = points
     view["stalled"] = stalled
     view["lease_expired"] = lease_expired
+    view["audits"] = audits
+    view["poisoned"] = poisoned
     view["stall_after"] = stall_after
     if walls and remaining:
         lanes = max(1, n_running)
@@ -324,7 +343,8 @@ def live_view(doc: Dict, now: Optional[float] = None,
 # ----------------------------------------------------------------------
 # ASCII dashboard (``repro watch``).
 # ----------------------------------------------------------------------
-_STATUS_ORDER = {"failed": 0, "running": 1, "pending": 2, "done": 3}
+_STATUS_ORDER = {"poisoned": 0, "failed": 0, "running": 1, "pending": 2,
+                 "done": 3}
 
 
 def _fmt_rate(value) -> str:
@@ -358,22 +378,29 @@ def render_watch(view: Dict, limit: int = 0) -> str:
     """
     counts = view.get("counts") or {}
     total = view.get("total", 0)
-    done = counts.get("done", 0) + counts.get("failed", 0)
+    done = (counts.get("done", 0) + counts.get("failed", 0)
+            + counts.get("poisoned", 0))
     head = (f"campaign: {done}/{total} finished  "
             + "  ".join(f"{s}={counts[s]}" for s in
-                        ("pending", "running", "done", "failed")
+                        ("pending", "running", "done", "failed",
+                         "poisoned")
                         if counts.get(s)))
     if view.get("stalled"):
         head += f"  STALLED={view['stalled']}"
     if view.get("lease_expired"):
         head += f"  LEASE-EXPIRED={view['lease_expired']}"
+    if view.get("audits"):
+        head += f"  AUDIT={view['audits']}"
+    if view.get("poisoned"):
+        head += f"  POISONED={view['poisoned']}"
     head += f"  eta={_fmt_eta(view.get('eta_seconds'))}"
 
     rows = []
     for key, p in view.get("points", {}).items():
         status = p.get("status", "pending")
         flag = (" LEASE-EXPIRED" if p.get("lease_expired")
-                else " STALLED" if p.get("stalled") else "")
+                else " STALLED" if p.get("stalled")
+                else " AUDIT" if p.get("audit_active") else "")
         progress = p.get("progress")
         hb = p.get("hb") or {}
         rows.append((

@@ -28,8 +28,14 @@ standing service:
   directory, :class:`~repro.service.transport.RemoteJournal` over the
   daemon's lease protocol (filesystem-free workers).
 * :mod:`repro.service.chaosproxy` — a seeded network-fault proxy
-  (latency, drops, 500s, truncation, duplicate delivery) the chaos
-  suites and CI put between workers and the daemon.
+  (latency, drops, 500s, truncation, duplicate delivery, response-body
+  corruption) the chaos suites and CI put between workers and the
+  daemon.
+* :mod:`repro.service.integrity` — the result-integrity subsystem:
+  seeded sampled audit re-execution on a *different* worker, fingerprint
+  voting with a daemon-side tie-break on mismatch, per-worker reputation
+  scores that quarantine misbehaving workers, and the poison-point
+  breaker that stops a crash-looping config from burning the fleet.
 """
 
 from repro.service.lease import (DEFAULT_LEASE_SECONDS, LeaseLost,
@@ -45,6 +51,9 @@ from repro.service.httpclient import (CircuitOpen, ClientStats,
 from repro.service.transport import (LocalJournal, RemoteJournal,
                                      config_from_doc, config_to_doc)
 from repro.service.chaosproxy import ChaosProxy, FaultPlan
+from repro.service.integrity import (IntegrityConfig, IntegrityMonitor,
+                                     IntegrityViolation, WorkerReputation,
+                                     should_audit)
 from repro.service.worker import WorkerOptions, work_campaign_dir, work_service
 from repro.service.daemon import CampaignService, ServiceConfig
 
@@ -77,6 +86,11 @@ __all__ = [
     "config_from_doc",
     "ChaosProxy",
     "FaultPlan",
+    "IntegrityConfig",
+    "IntegrityMonitor",
+    "IntegrityViolation",
+    "WorkerReputation",
+    "should_audit",
     "WorkerOptions",
     "work_campaign_dir",
     "work_service",

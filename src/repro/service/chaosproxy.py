@@ -15,7 +15,15 @@ fault plan so every chaos run is reproducible:
 * **duplicate** — the request is delivered to the daemon *twice* and the
   client sees only the second response — exactly what a retried publish
   looks like daemon-side, so first-done-wins and the idempotency store
-  get exercised against real double deliveries.
+  get exercised against real double deliveries;
+* **corrupt** — one byte of the daemon's response *body* to a
+  ``POST /complete`` is flipped in flight (length-preserving XOR, so
+  Content-Length still matches).  The garbled JSON fails to parse
+  client-side and is retried under the same idempotency key — wire
+  corruption that a checksumless protocol would swallow becomes just
+  another retriable failure, distinct from the *silent* worker-side
+  corruption (``REPRO_SERVICE_INJECT`` ``corrupt_after_claims``) that
+  only the audit subsystem can catch.
 
 The proxy assumes one HTTP request per connection, which is what both
 ``urllib`` clients and the daemon's HTTP/1.0 responses produce; it reads
@@ -48,7 +56,9 @@ _IO_TIMEOUT = 30.0
 
 # The order faults are drawn per connection. Fixed so a (seed, plan)
 # pair names one exact fault sequence regardless of host or run.
-FAULTS = ("drop", "error", "truncate", "duplicate", "latency")
+# "corrupt" was appended (never insert mid-tuple: existing seeded runs
+# must keep replaying the same drop/error/... prefix).
+FAULTS = ("drop", "error", "truncate", "duplicate", "latency", "corrupt")
 
 
 @dataclass
@@ -68,6 +78,7 @@ class FaultPlan:
     duplicate_rate: float = 0.0
     latency_rate: float = 0.0
     latency_seconds: float = 0.05
+    corrupt_rate: float = 0.0
 
     def __post_init__(self):
         self._rng = random.Random(self.seed)
@@ -83,6 +94,7 @@ class FaultPlan:
             "truncate": rolls["truncate"] < self.truncate_rate,
             "duplicate": rolls["duplicate"] < self.duplicate_rate,
             "latency": rolls["latency"] < self.latency_rate,
+            "corrupt": rolls["corrupt"] < self.corrupt_rate,
         }
 
 
@@ -220,6 +232,13 @@ class ChaosProxy:
                           f"/{len(response)} bytes")
                 conn.sendall(response[:len(response) // 2])
                 return
+            if faults["corrupt"]:
+                corrupted = _corrupt_complete_response(request, response)
+                if corrupted is not None:
+                    self._count("corrupt")
+                    self._log("corrupt: flipping one /complete "
+                              "response-body byte")
+                    response = corrupted
             conn.sendall(response)
         except OSError:
             pass
@@ -245,6 +264,25 @@ class ChaosProxy:
                 return b"".join(chunks)
         except OSError:
             return None
+
+
+def _corrupt_complete_response(request: bytes,
+                               response: bytes) -> Optional[bytes]:
+    """Flip one body byte of a ``POST /complete`` response, or None.
+
+    Length-preserving (XOR 0x01 on the first body byte), so the
+    Content-Length header stays truthful and the client reads the full
+    — garbled — body.  Only ``/complete`` responses are touched: that is
+    the exchange whose loss-or-garbling the publish retry loop must
+    absorb without double-applying.
+    """
+    if not request.startswith(b"POST /complete"):
+        return None
+    head, sep, body = response.partition(b"\r\n\r\n")
+    if not sep or not body:
+        return None
+    flipped = bytes([body[0] ^ 0x01]) + body[1:]
+    return head + sep + flipped
 
 
 def _read_http_message(conn: socket.socket) -> Optional[bytes]:
@@ -297,6 +335,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--duplicate-rate", type=float, default=0.0)
     parser.add_argument("--latency-rate", type=float, default=0.0)
     parser.add_argument("--latency-seconds", type=float, default=0.05)
+    parser.add_argument("--corrupt-rate", type=float, default=0.0,
+                        help="byte-flip rate for /complete response "
+                             "bodies")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     backend_host, _, backend_port = args.backend.partition(":")
@@ -305,7 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                      truncate_rate=args.truncate_rate,
                      duplicate_rate=args.duplicate_rate,
                      latency_rate=args.latency_rate,
-                     latency_seconds=args.latency_seconds)
+                     latency_seconds=args.latency_seconds,
+                     corrupt_rate=args.corrupt_rate)
     proxy = ChaosProxy(backend_host, int(backend_port or 80), plan=plan,
                        host=args.host, port=args.port, log=args.verbose)
     proxy.start()

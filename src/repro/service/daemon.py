@@ -74,17 +74,19 @@ from typing import Dict, List, Optional, Tuple
 
 import repro
 from repro.harness.campaign import CampaignJournal
-from repro.harness.runcache import RunCache
+from repro.harness.runcache import RunCache, entry_from_result
+from repro.harness.simulator import simulate
 from repro.obs.events import EventTrace
 from repro.obs.live import read_campaign
 from repro.obs.promtext import CONTENT_TYPE, prom_line, render_prometheus
-from repro.service.lease import (LeaseLost, claim_next, complete_point,
-                                 fail_point, reap_expired, release_point,
-                                 renew_lease)
+from repro.service.integrity import IntegrityConfig, IntegrityMonitor
+from repro.service.lease import (LeaseLost, _distinct_failures, claim_next,
+                                 complete_point, fail_point, reap_expired,
+                                 release_point, renew_lease)
 from repro.service.queue import (BackPressure, CampaignRecord, ServiceState,
                                  TenantPolicy, ValidationError,
                                  configs_from_spec)
-from repro.service.transport import config_to_doc
+from repro.service.transport import config_from_doc, config_to_doc
 from repro.workloads import workload_names
 
 __all__ = ["CampaignService", "ServiceConfig"]
@@ -126,6 +128,13 @@ class ServiceConfig:
     #                                workers: the path is never revealed)
     tenants: Dict[str, TenantPolicy] = field(default_factory=dict)
     log: bool = True
+    # Result-integrity subsystem (repro.service.integrity).
+    audit_rate: float = 0.0        # fraction of completions re-executed
+    audit_seed: int = 0
+    quarantine_threshold: float = 5.0
+    reputation_window: float = 600.0
+    poison_workers: int = 3        # distinct failing workers -> poisoned
+    #                                (0 disables the breaker)
 
 
 class CampaignService:
@@ -147,6 +156,19 @@ class CampaignService:
         self.stale_claims = 0
         self.retries = 0
         self.worker_respawns = 0
+        self.points_poisoned = 0
+        # Result integrity: the audit book, worker reputation, and the
+        # daemon-local arbitration executor (a straight deterministic
+        # re-simulation; tests inject a stub via integrity.run_config).
+        self.integrity = IntegrityMonitor(
+            IntegrityConfig(
+                audit_rate=self.config.audit_rate,
+                audit_seed=self.config.audit_seed,
+                quarantine_threshold=self.config.quarantine_threshold,
+                reputation_window=self.config.reputation_window,
+                poison_workers=self.config.poison_workers),
+            run_config=lambda config: entry_from_result(simulate(config)),
+            events=self.events, log=self._log)
         # HTTP-protocol health (the repro_service_http_* metrics).
         self.http_requests: Dict[str, int] = {}
         self.http_retries = 0        # requests arriving with Attempt > 1
@@ -160,7 +182,7 @@ class CampaignService:
         self._config_maps: Dict[str, Dict] = {}   # cid -> key -> RunConfig
         self._draining = threading.Event()
         self._spawned = 0        # monotonic: worker ids never repeat
-        self._workers: List[subprocess.Popen] = []
+        self._workers: List[Tuple[str, subprocess.Popen]] = []
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -216,10 +238,10 @@ class CampaignService:
                 pass  # loop already closed: stop() is idempotent
         if self._loop_thread is not None:
             self._loop_thread.join(timeout=10.0)
-        for proc in self._workers:
+        for _wid, proc in self._workers:
             if proc.poll() is None:
                 proc.terminate()
-        for proc in self._workers:
+        for _wid, proc in self._workers:
             try:
                 proc.wait(timeout=5.0)
             except subprocess.TimeoutExpired:
@@ -291,7 +313,7 @@ class CampaignService:
             for record in self.state.snapshot()["campaigns"]:
                 if record["status"] not in ("active", "cancelled"):
                     continue
-                _counts, live, _expired = self._scan_journal(
+                _counts, live, _expired, _retrying = self._scan_journal(
                     CampaignJournal(record["dir"]))
                 leased += live
             if leased == 0:
@@ -303,7 +325,8 @@ class CampaignService:
                 continue
             done = record["counts"].get("done", 0)
             total = record["total_points"]
-            finished = done + record["counts"].get("failed", 0)
+            finished = (done + record["counts"].get("failed", 0)
+                        + record["counts"].get("poisoned", 0))
             if total and finished >= total:
                 continue
             CampaignJournal(record["dir"]).note_interrupted(done, total)
@@ -337,14 +360,22 @@ class CampaignService:
                 seq=int(meta.get("seq", 0)) or self._seq_from_id(cid),
                 status="active",
                 total_points=len(manifest.get("points", ())))
-            counts, leased, expired = self._scan_journal(journal)
+            counts, leased, expired, retrying = self._scan_journal(journal)
             record.counts = counts
             record.leased = leased
             record.lease_expired = expired
-            finished = counts.get("done", 0) + counts.get("failed", 0)
+            finished = (counts.get("done", 0) + counts.get("failed", 0)
+                        + counts.get("poisoned", 0) - retrying)
             if record.total_points and finished >= record.total_points:
-                record.status = "failed" if counts.get("failed") else "done"
+                record.status = ("failed"
+                                 if counts.get("failed")
+                                 or counts.get("poisoned") else "done")
             self.state.adopt(record)
+            adopted_audits = self.integrity.adopt(cid, journal)
+            if adopted_audits:
+                record.status = "active"  # audits still hold it open
+                self._log(f"re-adopted {adopted_audits} in-flight "
+                          f"audit(s) for {cid}")
             self._log(f"recovered campaign {cid} "
                       f"({record.status}, {record.total_points} points)")
 
@@ -432,16 +463,36 @@ class CampaignService:
                   + (f", {deduped} from cache" if deduped else ""))
 
     # ----------------------------------------------------------- scanning
-    @staticmethod
-    def _scan_journal(journal: CampaignJournal):
-        """One journal pass: (counts, leased, lease_expired)."""
+    def _scan_journal(self, journal: CampaignJournal,
+                      sample_for: Optional[str] = None):
+        """One journal pass: (counts, leased, lease_expired, retrying).
+
+        With ``sample_for`` (a campaign id) and a nonzero audit rate,
+        every done shard is offered to the audit sampler *in the same
+        pass that counts it* — the ordering that makes "terminal" and
+        "sampled" atomic per point, so a completion can never slip
+        between a separate sampling sweep and the terminal-status
+        refresh unaudited.
+
+        ``retrying`` counts ``failed`` shards the reaper still owes a
+        verdict — retry budget left, or enough distinct failures that
+        the poison breaker will fire.  Those are in flight, not
+        terminal; without the carve-out a refresh landing between a
+        worker's /fail and the next reap would end the campaign with
+        retries unserved.
+        """
         now = time.time()
         counts: Dict[str, int] = {}
         leased = 0
         expired = 0
+        retrying = 0
         manifest = journal.load_manifest() or {}
         for point in manifest.get("points", ()):
             doc = journal.read_point(point["key"]) or {}
+            if sample_for is not None and self.config.audit_rate > 0.0 \
+                    and doc:
+                self.integrity.consider(sample_for, journal,
+                                        point["key"], doc)
             status = doc.get("status", "pending")
             counts[status] = counts.get(status, 0) + 1
             if status == "running":
@@ -450,7 +501,17 @@ class CampaignService:
                     expired += 1
                 else:
                     leased += 1
-        return counts, leased, expired
+            elif status == "failed":
+                # Mirror reap_expired's failed-branch conditions.
+                if (self.config.poison_workers
+                        and _distinct_failures(doc)
+                        >= self.config.poison_workers):
+                    retrying += 1
+                elif (self.config.max_attempts
+                      and int(doc.get("attempts", 0))
+                      < self.config.max_attempts):
+                    retrying += 1
+        return counts, leased, expired, retrying
 
     def _refresh_all(self) -> None:
         for record in self.state.snapshot()["campaigns"]:
@@ -460,9 +521,12 @@ class CampaignService:
             live = self.state.get(cid)
             if live is None:
                 continue
-            counts, leased, expired = self._scan_journal(
-                CampaignJournal(live.dir))
-            self.state.refresh_counts(cid, counts, leased, expired)
+            counts, leased, expired, retrying = self._scan_journal(
+                CampaignJournal(live.dir), sample_for=cid)
+            self.state.refresh_counts(
+                cid, counts, leased, expired,
+                audits_pending=self.integrity.pending_audits(cid),
+                retrying=retrying)
             refreshed = self.state.get(cid)
             if refreshed is not None and refreshed.status in ("done",
                                                               "failed"):
@@ -479,12 +543,24 @@ class CampaignService:
             reaped = reap_expired(
                 journal, lease_seconds=self.config.lease_seconds,
                 max_attempts=(0 if record["status"] == "cancelled"
-                              else self.config.max_attempts))
-            for key, reason in reaped:
+                              else self.config.max_attempts),
+                poison_distinct=self.config.poison_workers)
+            for key, reason, worker in reaped:
                 if reason == "lease_expired":
                     self.lease_expirations += 1
+                    # The dead worker cannot report itself; the reaper
+                    # is its obituary and its reputation hit.
+                    if worker:
+                        self.integrity.record_misbehaviour(
+                            worker, "lease_expired")
                 elif reason == "stale_claim":
                     self.stale_claims += 1
+                elif reason == "poisoned":
+                    self.points_poisoned += 1
+                    shard = journal.read_point(key) or {}
+                    self.events.point_poisoned(
+                        record["id"], key,
+                        shard.get("failed_workers", []))
                 else:
                     self.retries += 1
                 self.events.lease_reaped(record["id"], key, reason)
@@ -495,12 +571,18 @@ class CampaignService:
         if self._stopping.is_set() or self._draining.is_set():
             return  # draining: let the pool wind down, respawn nothing
         live = []
-        for proc in self._workers:
+        for worker_id, proc in self._workers:
             if proc.poll() is None:
-                live.append(proc)
+                live.append((worker_id, proc))
             else:
                 self.worker_respawns += 1
-                self._log(f"worker pid={proc.pid} exited "
+                # Exit 0 is a clean shutdown (idle exit, or a quarantined
+                # worker obeying /schedule); anything else — injection
+                # os._exit, a signal's negative code, a crash — counts
+                # against the worker's reputation.
+                if proc.returncode != 0:
+                    self.integrity.record_misbehaviour(worker_id, "crash")
+                self._log(f"worker {worker_id} pid={proc.pid} exited "
                           f"(code {proc.returncode}); respawning")
         self._workers = live
         env = dict(os.environ)
@@ -519,11 +601,11 @@ class CampaignService:
                  str(self.config.heartbeat_interval),
                  "--poll-interval", "0.2"],
                 env=env)
-            self._workers.append(proc)
+            self._workers.append((worker_id, proc))
             self._log(f"spawned worker {worker_id} (pid {proc.pid})")
 
     def live_workers(self) -> int:
-        return sum(1 for p in self._workers if p.poll() is None)
+        return sum(1 for _wid, p in self._workers if p.poll() is None)
 
     # -------------------------------------------------------------- views
     def _submit(self, doc: Dict) -> CampaignRecord:
@@ -582,11 +664,23 @@ class CampaignService:
     def _schedule_doc(self, worker: str) -> Dict:
         if self._stopping.is_set() or self._draining.is_set():
             return {"dir": None, "shutdown": True}
+        if self.integrity.is_quarantined(worker):
+            # A quarantined worker gets no work, ever: the shutdown
+            # answer makes a pool worker exit cleanly, and the
+            # supervisor replaces the slot under a fresh identity.
+            return {"dir": None, "shutdown": True, "quarantined": True}
         eligible = self.state.schedule()
-        if not eligible:
+        # Skip campaigns whose only remaining work is audits this worker
+        # cannot legally run (it completed the originals itself).
+        head = None
+        for candidate in eligible:
+            if candidate.counts.get("pending", 0) > 0 \
+                    or self.integrity.assignable(candidate.id, worker):
+                head = candidate
+                break
+        if head is None:
             return {"dir": None,
                     "retry_after": self.config.tick_interval * 2}
-        head = eligible[0]
         journal = CampaignJournal(head.dir)
         manifest = journal.load_manifest() or {}
         keys = []
@@ -597,7 +691,8 @@ class CampaignService:
         return {"dir": head.dir if self.config.expose_dir else None,
                 "campaign_id": head.id, "keys": keys,
                 "lease_seconds": self.config.lease_seconds,
-                "cache_dir": self.config.cache_dir, "worker": worker}
+                "cache_dir": self.config.cache_dir, "worker": worker,
+                "audits": self.integrity.assignable(head.id, worker)}
 
     # --------------------------------------------- remote lease protocol
     def _count_http(self, endpoint: str, headers) -> None:
@@ -655,6 +750,35 @@ class CampaignService:
             self._config_maps[record.id] = cmap
         return cmap.get(key)
 
+    @staticmethod
+    def _entry_config_mismatch(key: str, entry: Dict) -> Optional[str]:
+        """Zeroth-line integrity check on a completion's embedded config.
+
+        A worker-produced entry carries the full config it actually ran
+        (:func:`~repro.harness.runcache.entry_from_result`); rebuilding
+        the sweep-point :class:`RunConfig` from it must mint the claimed
+        journal key, or the entry is for a *different* point — a buggy
+        or lying worker — and publishing it would poison the store.
+        Entries without an embedded config (hand-rolled test fixtures,
+        legacy cache adoptions) are not checkable and pass through.
+        """
+        embedded = entry.get("config")
+        if not isinstance(embedded, dict):
+            return None
+        wire = {"workload": embedded.get("workload"),
+                "engine": embedded.get("engine"),
+                "instructions": embedded.get("max_instructions")}
+        if not all(wire[f] is not None for f in wire):
+            return None
+        try:
+            minted = config_from_doc(wire).cache_key()
+        except (ValueError, TypeError) as exc:
+            return f"embedded config does not rebuild: {exc}"
+        if minted != key:
+            return (f"embedded config mints {minted}, "
+                    f"not the claimed {key}")
+        return None
+
     def _lease_rpc(self, op: str, doc: Dict,
                    idem: Optional[str] = None) -> Tuple[int, Dict]:
         """One remote lease operation -> (status, response document).
@@ -677,6 +801,8 @@ class CampaignService:
         if op == "claim":
             if self._draining.is_set() or self._stopping.is_set():
                 return 200, {"key": None, "draining": True}
+            if self.integrity.is_quarantined(worker):
+                return 200, {"key": None, "quarantined": True}
             if record.status != "active":
                 return 200, {"key": None, "status": record.status}
             lease_seconds = float(doc.get("lease_seconds")
@@ -690,6 +816,20 @@ class CampaignService:
             got = claim_next(journal, candidates, worker,
                              lease_seconds=lease_seconds)
             if got is None:
+                # No claimable point: maybe an audit run instead.  The
+                # assignment is pinned away from the original completer
+                # and carries ``audit: true`` plus a synthetic
+                # generation, so the worker re-executes with the cache
+                # bypassed and publishes with ``source="audit"``.
+                assigned = self.integrity.assign(cid, journal, worker)
+                if assigned is not None:
+                    akey, ashard = assigned
+                    config = self._config_for(record, akey)
+                    if config is not None:
+                        self.events.point_claimed(cid, akey, worker)
+                        return 200, {"key": akey, "shard": ashard,
+                                     "config": config_to_doc(config),
+                                     "audit": True}
                 return 200, {"key": None}
             key, shard = got
             self.events.point_claimed(cid, key, worker)
@@ -704,6 +844,14 @@ class CampaignService:
         if op == "renew":
             lease_seconds = float(doc.get("lease_seconds")
                                   or self.config.lease_seconds)
+            # Audit runs lease from the audit book, not the shard (the
+            # shard is already ``done``; renew_lease would fence them).
+            audit_ok = self.integrity.audit_renew(cid, key, worker)
+            if audit_ok is True:
+                return 200, {"ok": True, "audit": True}
+            if audit_ok is False:
+                return 409, {"error": "lease_lost", "key": key,
+                             "holder": None}
             try:
                 shard = renew_lease(journal, key, worker,
                                     lease_seconds=lease_seconds,
@@ -721,12 +869,28 @@ class CampaignService:
             entry = doc.get("entry")
             if not isinstance(entry, dict):
                 return 400, {"error": "missing entry"}
+            problem = self._entry_config_mismatch(key, entry)
+            if problem is not None:
+                self.integrity.complete_rejects += 1
+                self._log(f"rejected completion of {cid}/{key} from "
+                          f"{worker}: {problem}")
+                response = (422, {"error": "entry_config_mismatch",
+                                  "detail": problem, "key": key})
+                self._idem_store(idem, *response)
+                return response
+            config = self._config_for(record, key)
+            verdict = self.integrity.on_audit_complete(
+                cid, journal, key, worker, entry,
+                cache=self.cache, config=config)
+            if verdict is not None:
+                response = (200, {"accepted": True, "key": key,
+                                  **verdict})
+                self._idem_store(idem, *response)
+                return response
             accepted = complete_point(journal, key, worker, entry,
                                       source=doc.get("source", "worker"))
-            if accepted and self.cache is not None:
-                config = self._config_for(record, key)
-                if config is not None:
-                    self.cache.put(config, entry)
+            if accepted and self.cache is not None and config is not None:
+                self.cache.put(config, entry)
             response = (200, {"accepted": accepted, "key": key})
             self._idem_store(idem, *response)
             return response
@@ -735,8 +899,14 @@ class CampaignService:
             replay = self._idem_lookup(idem)
             if replay is not None:
                 return replay
-            fail_point(journal, key, worker,
-                       str(doc.get("error") or "unknown error"))
+            error = str(doc.get("error") or "unknown error")
+            verdict = self.integrity.on_audit_fail(cid, journal, key,
+                                                   worker, error)
+            if verdict is not None:
+                response = (200, {"ok": True, "key": key, **verdict})
+                self._idem_store(idem, *response)
+                return response
+            fail_point(journal, key, worker, error)
             response = (200, {"ok": True, "key": key})
             self._idem_store(idem, *response)
             return response
@@ -780,6 +950,29 @@ class CampaignService:
             lines.append(prom_line(
                 "repro_service_worker_breaker_opens_total", opens,
                 {"worker": worker}))
+        audits = self.integrity.counters()
+        lines.append(prom_line("repro_service_audit_scheduled_total",
+                               audits["audits_scheduled"]))
+        lines.append(prom_line("repro_service_audit_passed_total",
+                               audits["audits_passed"]))
+        lines.append(prom_line("repro_service_audit_mismatches_total",
+                               audits["audit_mismatches"]))
+        lines.append(prom_line("repro_service_audit_repaired_total",
+                               audits["audits_repaired"]))
+        lines.append(prom_line("repro_service_audit_rejected_total",
+                               audits["audits_rejected"]))
+        lines.append(prom_line("repro_service_audit_unresolved_total",
+                               audits["audits_unresolved"]))
+        lines.append(prom_line("repro_service_complete_rejects_total",
+                               audits["complete_rejects"]))
+        lines.append(prom_line("repro_service_points_poisoned_total",
+                               self.points_poisoned))
+        quarantined = self.integrity.reputation.quarantined()
+        lines.append(prom_line("repro_service_workers_quarantined",
+                               len(quarantined)))
+        for worker in sorted(quarantined):
+            lines.append(prom_line("repro_service_worker_quarantined", 1,
+                                   {"worker": worker}))
         for status, n in sorted(snap["by_status"].items()):
             lines.append(prom_line("repro_service_campaigns", n,
                                    {"status": status}))
@@ -791,7 +984,8 @@ class CampaignService:
                                    peak, {"tenant": tenant}))
         for c in snap["campaigns"]:
             labels = {"campaign": c["id"], "tenant": c["tenant"]}
-            for status in ("pending", "running", "done", "failed"):
+            for status in ("pending", "running", "done", "failed",
+                           "poisoned"):
                 lines.append(prom_line(
                     "repro_service_campaign_points",
                     c["counts"].get(status, 0),
@@ -800,6 +994,8 @@ class CampaignService:
                                    c["leased"], labels))
             lines.append(prom_line("repro_service_campaign_lease_expired",
                                    c["lease_expired"], labels))
+            lines.append(prom_line("repro_service_campaign_audits_pending",
+                                   c.get("audits_pending", 0), labels))
         return render_prometheus({}, extra_lines=lines)
 
     # ------------------------------------------------------------ handler

@@ -31,6 +31,14 @@ other hosts over a shared filesystem — can pull from safely:
   ``done`` wins, every later completion of the same point is a no-op
   (:func:`complete_point` returns False).  Duplicate compute is the
   worst case; divergent or stranded state is impossible.
+* **Poison points stop crash loops.**  Every failed attempt (an
+  explicit :func:`fail_point` or a lease that lapsed mid-run) records
+  its worker in the shard's ``failed_workers`` list; when
+  :func:`reap_expired` is given ``poison_distinct`` and a point has now
+  failed under that many *distinct* workers, the fault is the point's,
+  not the fleet's, and the shard transitions to the terminal
+  ``poisoned`` status instead of requeueing forever and burning every
+  worker in turn.
 """
 
 import os
@@ -130,6 +138,15 @@ def claim_point(journal: CampaignJournal, key: str, worker: str,
     return claimed
 
 
+def _blame(fields: Dict, worker: Optional[str]) -> List[str]:
+    """Append ``worker`` to the shard's distinct ``failed_workers`` list."""
+    workers = [w for w in fields.get("failed_workers", ()) if w]
+    if worker and worker not in workers:
+        workers.append(worker)
+    fields["failed_workers"] = workers
+    return workers
+
+
 def _requeue(journal: CampaignJournal, key: str, doc: Dict,
              reason: str) -> Dict:
     """Requeue one shard to ``pending`` in place, bumping the generation.
@@ -137,13 +154,28 @@ def _requeue(journal: CampaignJournal, key: str, doc: Dict,
     The bump is what fences the old owner: its renewals check worker
     identity against the rewritten shard and raise :class:`LeaseLost`.
     Idempotent under races — two reapers writing the same requeue produce
-    identical shards.
+    identical shards.  A ``lease_expired`` requeue blames the dead
+    worker in ``failed_workers`` (it cannot report its own failure), so
+    the poison-point breaker sees crash loops, not just clean failures.
     """
     fields = _strip_lease(dict(doc))
+    if reason == "lease_expired":
+        _blame(fields, doc.get("worker"))
     fields["status"] = "pending"
     fields["generation"] = int(doc.get("generation", 0)) + 1
     fields["requeued"] = reason
     fields.pop("error", None)
+    return journal.write_point(key, fields)
+
+
+def _poison(journal: CampaignJournal, key: str, doc: Dict,
+            error: Optional[str] = None) -> Dict:
+    """Terminal ``poisoned`` transition: this point eats workers."""
+    fields = _strip_lease(dict(doc))
+    fields["status"] = "poisoned"
+    fields["poisoned_unix"] = round(time.time(), 3)
+    if error:
+        fields["error"] = error
     return journal.write_point(key, fields)
 
 
@@ -232,6 +264,7 @@ def fail_point(journal: CampaignJournal, key: str, worker: str,
     fields["status"] = "failed"
     fields["error"] = error
     fields["failed_by"] = worker
+    _blame(fields, worker)
     return journal.write_point(key, fields)
 
 
@@ -257,13 +290,26 @@ def _stale_markers(journal: CampaignJournal, key: str, generation: int,
     return [marker] if age > horizon else []
 
 
+def _distinct_failures(doc: Dict, extra: Optional[str] = None) -> int:
+    workers = {w for w in doc.get("failed_workers", ()) if w}
+    if extra:
+        workers.add(extra)
+    return len(workers)
+
+
 def reap_expired(journal: CampaignJournal,
                  lease_seconds: float = DEFAULT_LEASE_SECONDS,
                  now: Optional[float] = None,
                  max_attempts: int = 0,
-                 keys: Optional[Iterable[str]] = None
-                 ) -> List[Tuple[str, str]]:
-    """Requeue every point whose lease (or claim) lapsed; list of (key, why).
+                 keys: Optional[Iterable[str]] = None,
+                 poison_distinct: int = 0
+                 ) -> List[Tuple[str, str, Optional[str]]]:
+    """Requeue every point whose lease (or claim) lapsed.
+
+    Returns ``(key, reason, worker)`` triples — ``worker`` is the one
+    the event implicates (the dead lease owner, the failing worker) or
+    None when nobody is (stale claim markers are anonymous), so callers
+    can attribute blame without re-reading shards.
 
     Three wounds heal here, all in place (no ``--resume`` needed):
 
@@ -276,13 +322,19 @@ def reap_expired(journal: CampaignJournal,
     * ``failed`` with ``attempts`` below ``max_attempts`` (0 disables) —
       requeue with reason ``retry``.
 
+    And one wound is declared incurable: with ``poison_distinct`` > 0, a
+    point about to requeue that has already failed under that many
+    *distinct* workers transitions to the terminal ``poisoned`` status
+    (reason ``poisoned``) instead — the crash-loop breaker that stops
+    one pathological config from burning the whole fleet.
+
     ``keys`` restricts the sweep (default: every manifest point).
     """
     now = time.time() if now is None else now
     if keys is None:
         manifest = journal.load_manifest() or {}
         keys = [p["key"] for p in manifest.get("points", ())]
-    reaped: List[Tuple[str, str]] = []
+    reaped: List[Tuple[str, str, Optional[str]]] = []
     for key in keys:
         doc = journal.read_point(key)
         if doc is None:
@@ -291,8 +343,20 @@ def reap_expired(journal: CampaignJournal,
         if status == "running":
             expires = doc.get("lease_expires_unix")
             if expires is not None and expires < now:
-                _requeue(journal, key, doc, "lease_expired")
-                reaped.append((key, "lease_expired"))
+                worker = doc.get("worker")
+                if (poison_distinct
+                        and _distinct_failures(doc, extra=worker)
+                        >= poison_distinct):
+                    blamed = dict(doc)
+                    _blame(blamed, worker)
+                    _poison(journal, key, blamed,
+                            error="lease expired under "
+                                  f"{_distinct_failures(doc, extra=worker)}"
+                                  " distinct workers")
+                    reaped.append((key, "poisoned", worker))
+                else:
+                    _requeue(journal, key, doc, "lease_expired")
+                    reaped.append((key, "lease_expired", worker))
         elif status == "pending":
             generation = int(doc.get("generation", 0))
             for marker in _stale_markers(journal, key, generation,
@@ -302,9 +366,14 @@ def reap_expired(journal: CampaignJournal,
                     os.unlink(marker)
                 except OSError:
                     pass
-                reaped.append((key, "stale_claim"))
-        elif status == "failed" and max_attempts:
-            if int(doc.get("attempts", 0)) < max_attempts:
+                reaped.append((key, "stale_claim", None))
+        elif status == "failed":
+            worker = doc.get("failed_by")
+            if (poison_distinct
+                    and _distinct_failures(doc) >= poison_distinct):
+                _poison(journal, key, doc)
+                reaped.append((key, "poisoned", worker))
+            elif max_attempts and int(doc.get("attempts", 0)) < max_attempts:
                 _requeue(journal, key, doc, "retry")
-                reaped.append((key, "retry"))
+                reaped.append((key, "retry", worker))
     return reaped

@@ -158,12 +158,17 @@ class CampaignRecord:
     leased: int = 0          # running points with an unexpired lease
     lease_expired: int = 0
     deduped: int = 0         # points served from the run cache at activation
+    audits_pending: int = 0  # integrity audits still holding us open
     finished_unix: Optional[float] = None
     error: Optional[str] = None
 
+    def finished_points(self) -> int:
+        """Points in a terminal status (done, failed, or poisoned)."""
+        return (self.counts.get("done", 0) + self.counts.get("failed", 0)
+                + self.counts.get("poisoned", 0))
+
     def remaining(self) -> int:
-        done = self.counts.get("done", 0) + self.counts.get("failed", 0)
-        return max(0, self.total_points - done)
+        return max(0, self.total_points - self.finished_points())
 
     def to_dict(self) -> Dict:
         return {
@@ -173,7 +178,8 @@ class CampaignRecord:
             "finished_unix": self.finished_unix,
             "total_points": self.total_points, "counts": dict(self.counts),
             "leased": self.leased, "lease_expired": self.lease_expired,
-            "deduped": self.deduped, "error": self.error,
+            "deduped": self.deduped, "audits_pending": self.audits_pending,
+            "error": self.error,
         }
 
 
@@ -317,7 +323,8 @@ class ServiceState:
             leased = self._tenant_leased_locked()
             claimable = [c for c in self.campaigns.values()
                          if c.status == "active"
-                         and c.counts.get("pending", 0) > 0]
+                         and (c.counts.get("pending", 0) > 0
+                              or c.audits_pending > 0)]
             eligible = []
             for c in self._fair_order_locked(claimable, leased):
                 cap = self.policy(c.tenant).max_leased
@@ -332,8 +339,20 @@ class ServiceState:
 
     # -------------------------------------------------------- refreshing
     def refresh_counts(self, cid: str, counts: Dict[str, int],
-                       leased: int, lease_expired: int) -> None:
-        """Fold one journal scan into the record (scheduler loop)."""
+                       leased: int, lease_expired: int,
+                       audits_pending: int = 0,
+                       retrying: int = 0) -> None:
+        """Fold one journal scan into the record (scheduler loop).
+
+        A campaign is terminal only when every point reached a terminal
+        status *and* no integrity audit is still in flight — a campaign
+        must not report ``done`` while a sampled result is unverified.
+        Poisoned points count as finished (that is the whole point of
+        the breaker: the campaign completes around them) but make the
+        terminal status ``failed``, like failed points do.  ``retrying``
+        discounts failed points the reaper still owes a retry (or a
+        poison verdict) — they are in flight, not terminal.
+        """
         with self._lock:
             record = self.campaigns.get(cid)
             if record is None:
@@ -341,10 +360,15 @@ class ServiceState:
             record.counts = dict(counts)
             record.leased = leased
             record.lease_expired = lease_expired
+            record.audits_pending = audits_pending
             if record.status == "active":
-                finished = (counts.get("done", 0) + counts.get("failed", 0))
-                if record.total_points and finished >= record.total_points:
-                    record.status = ("failed" if counts.get("failed")
+                finished = (counts.get("done", 0) + counts.get("failed", 0)
+                            + counts.get("poisoned", 0) - retrying)
+                if (record.total_points and finished >= record.total_points
+                        and audits_pending == 0):
+                    record.status = ("failed"
+                                     if counts.get("failed")
+                                     or counts.get("poisoned")
                                      else "done")
                     record.finished_unix = round(time.time(), 3)
             tenant_leased: Dict[str, int] = {}

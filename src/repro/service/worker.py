@@ -38,7 +38,14 @@ Fault injection (CI only): ``REPRO_SERVICE_INJECT`` is a JSON object
 worker hard-exits (``os._exit``, no cleanup, exactly like SIGKILL) right
 after its Nth successful claim, once per flag file, which is how the
 service smoke tests manufacture a deterministic mid-campaign worker
-death for the reaper to heal.
+death for the reaper to heal.  Two further plan keys exercise the
+result-integrity path: ``"corrupt_after_claims": N`` makes the worker
+silently perturb one SimStats field of every entry from its Nth claim
+on before publishing (the silent-data-corruption failure mode audits
+exist to catch), and ``"fail_workload": "name"`` makes it report every
+point of that workload as failed (a deterministic crash-looping point
+for the poison breaker).  ``"worker": "*"`` matches any worker id, for
+fleet-wide plans.
 """
 
 import json
@@ -120,10 +127,12 @@ def _log(options: WorkerOptions, msg: str) -> None:
 
 
 class _Injection:
-    """The ``REPRO_SERVICE_INJECT`` crash plan for this process, if any."""
+    """The ``REPRO_SERVICE_INJECT`` fault plan for this process, if any."""
 
     def __init__(self, worker_id: str):
         self.die_after_claims = 0
+        self.corrupt_after_claims = 0
+        self.fail_workload: Optional[str] = None
         self.flag: Optional[str] = None
         raw = os.environ.get(INJECT_ENV)
         if not raw:
@@ -132,9 +141,15 @@ class _Injection:
             plan = json.loads(raw)
         except json.JSONDecodeError:
             return
-        if not isinstance(plan, dict) or plan.get("worker") != worker_id:
+        if not isinstance(plan, dict):
+            return
+        target = plan.get("worker")
+        if target != worker_id and target != "*":
             return
         self.die_after_claims = int(plan.get("die_after_claims", 0))
+        self.corrupt_after_claims = int(plan.get("corrupt_after_claims", 0))
+        self.fail_workload = plan.get("fail_workload")
+
         self.flag = plan.get("flag")
 
     def maybe_die(self, claims: int) -> None:
@@ -153,10 +168,30 @@ class _Injection:
         # point this worker holds must be healed by the reaper.
         os._exit(37)
 
+    def maybe_corrupt(self, claims: int, entry: Dict) -> bool:
+        """Perturb one SimStats field in-place; True if it corrupted.
+
+        Silent-data-corruption semantics: the worker believes the run
+        succeeded and publishes a well-formed entry whose payload is
+        off by one — exactly what a bad host or bit-rot produces, and
+        exactly what the daemon's sampled audits must catch.
+        """
+        if not self.corrupt_after_claims or \
+                claims < self.corrupt_after_claims:
+            return False
+        entry["cycles"] = int(entry.get("cycles", 0)) + 1
+        return True
+
+    def should_fail(self, config: RunConfig) -> bool:
+        return (self.fail_workload is not None and
+                config.workload == self.fail_workload)
+
 
 def _run_point(transport, key: str, config: RunConfig,
                options: WorkerOptions, report: WorkerReport,
-               cache: Optional[RunCache]) -> None:
+               cache: Optional[RunCache],
+               injection: Optional[_Injection] = None,
+               audit: bool = False) -> None:
     """Simulate one claimed point and publish the outcome.
 
     Transport-agnostic: ``transport`` is a
@@ -164,8 +199,19 @@ def _run_point(transport, key: str, config: RunConfig,
     :class:`~repro.service.transport.RemoteJournal`; both renew from the
     heartbeat hook, raise :class:`LeaseLost` only on authoritative
     fencing, and publish idempotently (first done wins).
+
+    ``audit`` runs re-execute an already-done point for the daemon's
+    integrity monitor: the local RunCache is bypassed in both directions
+    (a cache hit would just echo the entry under audit back at the
+    daemon, and the audit result must not clobber a good cached entry
+    before arbitration settles who is right).
     """
-    if cache is not None:
+    if injection is not None and injection.should_fail(config):
+        report.failed += 1
+        transport.fail(key, "InjectedFailure: fail_workload plan")
+        _log(options, f"FAILED {key} (injected)")
+        return
+    if cache is not None and not audit:
         hit = cache.get(config)
         if hit is not None:
             if transport.complete(key, hit, source="cache"):
@@ -200,9 +246,12 @@ def _run_point(transport, key: str, config: RunConfig,
         _log(options, f"FAILED {key}: {exc}")
         return
     entry = entry_from_result(result)
-    if cache is not None:
+    corrupted = (injection is not None and
+                 injection.maybe_corrupt(report.claimed, entry))
+    if cache is not None and not audit and not corrupted:
         cache.put(config, entry)
-    if transport.complete(key, entry):
+    source = "audit" if audit else "worker"
+    if transport.complete(key, entry, source=source):
         report.completed += 1
         _log(options, f"done {key} ({result.wall_seconds:.1f}s)")
     else:
@@ -246,7 +295,8 @@ def work_campaign_dir(campaign_dir, options: Optional[WorkerOptions] = None
         key, config, _shard = got
         report.claimed += 1
         injection.maybe_die(report.claimed)
-        _run_point(transport, key, config, options, report, cache)
+        _run_point(transport, key, config, options, report, cache,
+                   injection=injection)
     # Courtesy: hand back anything still held (crash paths skip this by
     # construction; the reaper covers them). O(held) — normally zero.
     report.released = transport.release_held()
@@ -362,7 +412,9 @@ def work_service(base_url: str, options: Optional[WorkerOptions] = None
         injection.maybe_die(report.claimed)
         opts = options if lease_seconds == options.lease_seconds else \
             replace(options, lease_seconds=lease_seconds)
-        _run_point(remote, key, config, opts, report, cache)
+        _run_point(remote, key, config, opts, report, cache,
+                   injection=injection,
+                   audit=bool((_shard or {}).get("audit")))
     # Courtesy: hand back exactly the points still held (normally none).
     for remote in remotes.values():
         report.released += remote.release_held()

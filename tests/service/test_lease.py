@@ -122,7 +122,7 @@ class TestLeaseExpiry:
         claim_point(journal, "q", "alive", lease_seconds=60)
         time.sleep(0.05)
         reaped = reap_expired(journal, lease_seconds=0.01)
-        assert reaped == [("p", "lease_expired")]
+        assert reaped == [("p", "lease_expired", "dead")]
         p = journal.read_point("p")
         assert p["status"] == "pending"
         assert p["requeued"] == "lease_expired"
@@ -163,7 +163,7 @@ class TestLeaseExpiry:
         os.utime(marker, (old, old))
         assert claim_point(journal, "p", "w1") is None  # blocked
         reaped = reap_expired(journal, lease_seconds=1.0)
-        assert reaped == [("p", "stale_claim")]
+        assert reaped == [("p", "stale_claim", None)]
         assert not marker.exists()
         assert claim_point(journal, "p", "w1") is not None
 
@@ -172,7 +172,8 @@ class TestLeaseExpiry:
         claim_point(journal, "p", "w1")
         fail_point(journal, "p", "w1", "boom")
         assert reap_expired(journal, max_attempts=0) == []  # retries off
-        assert reap_expired(journal, max_attempts=2) == [("p", "retry")]
+        assert reap_expired(journal, max_attempts=2) == [("p", "retry",
+                                                          "w1")]
         claim_point(journal, "p", "w1")  # attempts -> 2
         fail_point(journal, "p", "w1", "boom again")
         assert reap_expired(journal, max_attempts=2) == []  # cap reached
